@@ -1,0 +1,26 @@
+"""Scale parameters shared by the benchmark suite.
+
+The paper measures 1000-query workloads on server hardware with a 12-hour
+cut-off; this pure-Python reproduction uses the synthetic dataset analogues
+with the scaled-down parameters below.  Increase them (or run the CLI
+``tspg experiment`` commands) for longer, higher-resolution runs.
+"""
+
+from __future__ import annotations
+
+#: Queries per workload (paper: 1000).
+BENCH_NUM_QUERIES = 10
+
+#: Datasets exercised by multi-dataset benchmarks.  D1–D3 are moderate
+#: analogues where the enumeration baselines finish; D8 is the dense
+#: flickr-like analogue on which they blow up (the paper's "INF" regime).
+BENCH_DATASETS = ["D1", "D2", "D3", "D8"]
+
+#: Datasets used by the VUG-only benchmarks (phases, upper bounds).
+BENCH_DATASETS_ALL = [f"D{i}" for i in range(1, 11)]
+
+#: θ values used in the parameter sweeps (Fig. 6 / 10 / 11 / 12 analogues).
+BENCH_THETAS = [6, 8, 10, 12]
+
+#: Per-(algorithm, workload) wall-clock budget standing in for the 12 h cap.
+BENCH_TIME_BUDGET_SECONDS = 12.0

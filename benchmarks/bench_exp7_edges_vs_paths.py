@@ -1,0 +1,70 @@
+"""Exp-7 (Fig. 12) — number of edges vs number of paths in the tspG.
+
+The paper's effectiveness argument: the number of temporal simple paths
+represented by a ``tspG`` vastly exceeds its number of edges (millions of
+paths over a few hundred edges at θ=10 on D1), so returning the compact graph
+instead of the path list is the right interface.  The benchmark reproduces the
+two curves on the D1 analogue and asserts the paths/edges gap grows with θ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import exp7_edges_vs_paths
+from repro.core.vug import generate_tspg
+from repro.datasets.registry import get_dataset
+from repro.paths.counting import count_temporal_simple_paths_capped
+from repro.queries.workload import generate_workload
+
+from bench_config import BENCH_NUM_QUERIES, BENCH_THETAS
+
+# The dense flickr-like analogue: the paper uses D1 and D8 for this figure and
+# D8 is where the #paths ≫ #edges gap is most pronounced.
+DATASET = "D8"
+PATH_CAP = 200_000
+
+
+@pytest.mark.parametrize("theta", BENCH_THETAS)
+def test_exp7_generate_and_count(benchmark, theta):
+    """One θ point: generate every query's tspG and count its paths."""
+    graph = get_dataset(DATASET).load()
+    workload = generate_workload(graph, num_queries=BENCH_NUM_QUERIES, theta=theta, seed=7)
+
+    def run():
+        edges = 0
+        paths = 0
+        for query in workload:
+            tspg = generate_tspg(graph, query.source, query.target, query.interval)
+            edges += tspg.num_edges
+            paths += count_temporal_simple_paths_capped(
+                tspg.to_temporal_graph(), query.source, query.target, query.interval,
+                cap=PATH_CAP,
+            ).count
+        return edges, paths
+
+    edges, paths = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["theta"] = theta
+    benchmark.extra_info["tspg_edges"] = edges
+    benchmark.extra_info["tspg_paths"] = paths
+    assert paths >= 0 and edges >= 0
+
+
+def test_exp7_summary_series(benchmark, save_report):
+    report = benchmark.pedantic(
+        exp7_edges_vs_paths,
+        args=(DATASET,),
+        kwargs=dict(thetas=BENCH_THETAS, num_queries=BENCH_NUM_QUERIES, path_cap=PATH_CAP),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(f"exp7_edges_vs_paths_{DATASET}", report, x_label="theta")
+    # The #paths / #edges ratio must not shrink as θ grows, and at the largest
+    # θ the path count must exceed the edge count (the Fig. 12 gap).
+    ratios = []
+    for row in report.rows:
+        if row["tspg_edges"]:
+            ratios.append(row["tspg_paths"] / row["tspg_edges"])
+    assert ratios, "no non-empty tspG was produced"
+    assert ratios[-1] >= 1.0
+    assert ratios[-1] >= ratios[0] * 0.9

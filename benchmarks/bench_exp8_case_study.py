@@ -1,0 +1,45 @@
+"""Exp-8 (Fig. 13) — the SFMTA transit case study.
+
+The paper queries the temporal simple path graph from "Silver Ave" to
+"30th St" within [9:20, 9:30] on the SFMTA GTFS feed and obtains a subgraph
+with 8 transit stops and 17 scheduled trips.  The benchmark runs the same
+query against the synthetic timetable (which embeds that exact neighbourhood)
+and checks the Fig. 13 structure on the bare corridor.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import exp8_case_study
+from repro.core.vug import generate_tspg
+from repro.datasets.transit import CASE_STUDY_QUERY, case_study_graph, generate_transit_network
+
+
+def test_exp8_bare_corridor_matches_figure13(benchmark, save_report):
+    """The 8-stop / 17-trip neighbourhood of Fig. 13."""
+    source, target, interval = CASE_STUDY_QUERY
+    corridor = case_study_graph()
+    tspg = benchmark.pedantic(
+        generate_tspg, args=(corridor, source, target, interval), rounds=3, iterations=1
+    )
+    assert tspg.num_vertices == 8
+    assert tspg.num_edges >= 15
+    benchmark.extra_info["stops"] = tspg.num_vertices
+    benchmark.extra_info["trips"] = tspg.num_edges
+
+    report = exp8_case_study(use_full_network=False)
+    save_report("exp8_case_study_corridor", report, x_label="stat")
+
+
+def test_exp8_full_network_query(benchmark, save_report):
+    """The same query against the full synthetic city timetable."""
+    source, target, interval = CASE_STUDY_QUERY
+    network = generate_transit_network()
+    tspg = benchmark.pedantic(
+        generate_tspg, args=(network, source, target, interval), rounds=3, iterations=1
+    )
+    assert tspg.num_vertices >= 8
+    benchmark.extra_info["network_trips"] = network.num_edges
+    benchmark.extra_info["tspg_trips"] = tspg.num_edges
+
+    report = exp8_case_study(use_full_network=True)
+    save_report("exp8_case_study_full", report, x_label="stat")

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures via the
+drivers in :mod:`repro.bench.experiments`.  Because the pure-Python
+reproduction runs on scaled-down synthetic datasets, benchmarks use a modest
+number of queries; the *shape* of the results (who wins, how the curves grow
+with θ) is what matters, not absolute times.
+
+Each rendered report is written to ``benchmarks/results/<name>.txt`` so the
+rows/series that mirror the paper's artifacts survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_report(results_dir):
+    """Persist an ExperimentReport's rendering and echo it to stdout."""
+
+    def _save(name: str, report, x_label: str = "x") -> None:
+        text = report.render(x_label=x_label)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _save

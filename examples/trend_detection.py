@@ -1,0 +1,99 @@
+"""Trend detection: trace how information flows from a source to a target user.
+
+The paper's fourth application: interactions in a social network (retweets,
+comments, mentions) form a temporal graph; the temporal simple path graph from
+an information source to a target user within a time window captures every
+dissemination route and highlights the key influencers that sit on many of
+them — without enumerating the routes explicitly.
+
+Run with::
+
+    python examples/trend_detection.py
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+from repro import generate_tspg, TemporalGraph
+from repro.graph.statistics import compute_statistics
+from repro.paths import count_temporal_simple_paths_capped
+
+
+def build_social_interactions(seed: int = 33) -> TemporalGraph:
+    """Synthetic retweet/mention cascade over a 48-hour horizon.
+
+    ``origin`` posts at hour 1; a few influencer accounts amplify it early and
+    ordinary users pass it along afterwards.  Timestamps are hours.
+    """
+    rng = random.Random(seed)
+    influencers = [f"influencer_{i}" for i in range(5)]
+    users = [f"user_{i:03d}" for i in range(120)]
+    everyone = ["origin"] + influencers + users
+    graph = TemporalGraph(vertices=everyone)
+
+    # The origin seeds the influencers within the first hours.
+    for index, influencer in enumerate(influencers):
+        graph.add_edge("origin", influencer, 1 + index)
+    # Influencers amplify to their audiences over the first day.
+    for influencer in influencers:
+        for _ in range(25):
+            graph.add_edge(influencer, rng.choice(users), rng.randrange(2, 25))
+    # Ordinary users reshare among themselves for the rest of the horizon.
+    for _ in range(900):
+        a, b = rng.sample(users, 2)
+        graph.add_edge(a, b, rng.randrange(3, 49))
+    # Some back-chatter towards influencers and the origin (replies).
+    for _ in range(80):
+        graph.add_edge(rng.choice(users), rng.choice(influencers + ["origin"]), rng.randrange(5, 49))
+    return graph
+
+
+def main() -> None:
+    network = build_social_interactions()
+    stats = compute_statistics(network)
+    print(
+        f"Interaction network: {stats.num_vertices} accounts, {stats.num_edges} interactions, "
+        f"{stats.num_timestamps} distinct hours"
+    )
+
+    source = "origin"
+    target = "user_042"
+    window = (1, 36)
+    print(f"\nQuery: information flow from {source!r} to {target!r} within hours {window}")
+
+    flow = generate_tspg(network, source, target, window)
+    if flow.is_empty:
+        print("No dissemination route exists in this window.")
+        return
+
+    count = count_temporal_simple_paths_capped(
+        flow.to_temporal_graph(), source, target, window, cap=1_000_000
+    )
+    routes = f">{count.count}" if count.capped else str(count.count)
+    print(
+        f"Flow graph: {flow.num_vertices} accounts and {flow.num_edges} interactions "
+        f"represent {routes} dissemination routes"
+    )
+
+    # Key influencers: accounts on the most flow-graph interactions.
+    involvement: Counter = Counter()
+    for u, v, _ in flow.edges:
+        involvement[u] += 1
+        involvement[v] += 1
+    involvement.pop(source, None)
+    involvement.pop(target, None)
+    print("\nKey accounts on the dissemination routes:")
+    for account, score in involvement.most_common(5):
+        print(f"  {account:<16} on {score} flow interactions")
+
+    share = 100.0 * flow.num_edges / network.num_edges
+    print(
+        f"\nOnly {share:.1f}% of all interactions participate in the flow — "
+        "the tspG isolates them in one query."
+    )
+
+
+if __name__ == "__main__":
+    main()

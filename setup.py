@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this shim exists so editable installs
+(`pip install -e .`) work in offline environments whose setuptools predates
+bundled PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,106 @@
+"""Registry of every ``tspG`` algorithm (VUG and the baselines).
+
+This module is the single place where the benchmark harness, the query runner
+and the CLI look algorithms up by their paper names: ``"VUG"``, ``"EPdtTSG"``,
+``"EPesTSG"``, ``"EPtgTSG"`` and ``"Naive"``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from .baselines.ep_algorithms import EPdtTSG, EPesTSG, EPtgTSG, NaiveEnumeration
+from .baselines.interface import AlgorithmResult, TspgAlgorithm
+from .core.vug import VUG
+from .graph.edge import Vertex, as_interval
+from .graph.temporal_graph import TemporalGraph
+
+
+class VUGAlgorithm(TspgAlgorithm):
+    """Adapter exposing the VUG pipeline through the common algorithm interface."""
+
+    name = "VUG"
+
+    def __init__(
+        self,
+        use_tight_upper_bound: bool = True,
+        use_lemma10: bool = True,
+    ) -> None:
+        self._engine = VUG(
+            use_tight_upper_bound=use_tight_upper_bound,
+            use_lemma10=use_lemma10,
+        )
+
+    def compute(
+        self,
+        graph: TemporalGraph,
+        source: Vertex,
+        target: Vertex,
+        interval,
+    ) -> AlgorithmResult:
+        window = as_interval(interval)
+        report = self._engine.run(graph, source, target, window)
+        return AlgorithmResult(
+            algorithm=self.name,
+            result=report.result,
+            elapsed_seconds=report.timings.total,
+            space_cost=report.space_cost,
+            extras={
+                "quick_ubg_edges": report.upper_bound_quick.num_edges,
+                "tight_ubg_edges": report.upper_bound_tight.num_edges,
+                "phase_timings": report.timings.as_dict(),
+            },
+        )
+
+
+class VUGQuickOnly(VUGAlgorithm):
+    """Ablation: VUG without the TightUBG phase (EEV runs on ``Gq``)."""
+
+    name = "VUG-noTight"
+
+    def __init__(self) -> None:
+        super().__init__(use_tight_upper_bound=False)
+
+
+class VUGNoLemma10(VUGAlgorithm):
+    """Ablation: VUG without the Lemma 10 one-hop confirmation shortcut."""
+
+    name = "VUG-noLemma10"
+
+    def __init__(self) -> None:
+        super().__init__(use_lemma10=False)
+
+
+#: All algorithms evaluated in the paper's experiments, keyed by name.
+ALGORITHM_CLASSES: Dict[str, Type[TspgAlgorithm]] = {
+    "VUG": VUGAlgorithm,
+    "EPdtTSG": EPdtTSG,
+    "EPesTSG": EPesTSG,
+    "EPtgTSG": EPtgTSG,
+    "Naive": NaiveEnumeration,
+    "VUG-noTight": VUGQuickOnly,
+    "VUG-noLemma10": VUGNoLemma10,
+}
+
+#: The four algorithms compared throughout Section VI.
+PAPER_ALGORITHMS: List[str] = ["EPdtTSG", "EPesTSG", "EPtgTSG", "VUG"]
+
+
+def available_algorithms() -> List[str]:
+    """Names of every registered algorithm."""
+    return sorted(ALGORITHM_CLASSES)
+
+
+def get_algorithm(name: str, **options) -> TspgAlgorithm:
+    """Instantiate a registered algorithm by name.
+
+    ``options`` are forwarded to the constructor (e.g. ``max_paths`` for the
+    enumeration baselines).
+    """
+    try:
+        cls = ALGORITHM_CLASSES[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown algorithm {name!r}; available: {', '.join(available_algorithms())}"
+        ) from exc
+    return cls(**options)

@@ -1,0 +1,121 @@
+"""Correctness cross-checks between algorithms.
+
+Every algorithm in the library must return the same ``tspG`` for the same
+query.  These helpers compare results, explain discrepancies, and verify the
+containment chain of upper-bound graphs — they back both the test-suite and
+the benchmark harness (which refuses to time algorithms that disagree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.interface import TspgAlgorithm
+from ..core.result import PathGraph
+from ..graph.edge import Vertex, as_interval
+from ..graph.temporal_graph import TemporalGraph
+from ..graph.validation import is_subgraph
+from ..queries.query import TspgQuery
+
+
+class ResultMismatchError(AssertionError):
+    """Raised when two algorithms disagree on a query's ``tspG``."""
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing several algorithms over several queries."""
+
+    num_queries: int = 0
+    num_agreements: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def all_agree(self) -> bool:
+        """``True`` when no mismatch was recorded."""
+        return not self.mismatches
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_queries": self.num_queries,
+            "num_agreements": self.num_agreements,
+            "mismatches": list(self.mismatches),
+        }
+
+
+def describe_difference(name_a: str, a: PathGraph, name_b: str, b: PathGraph) -> str:
+    """Human-readable description of how two results differ."""
+    only_a, only_b = a.edge_difference(b)
+    pieces = [f"{name_a} vs {name_b} disagree on query ({a.source!r} -> {a.target!r}, {a.interval})"]
+    if only_a:
+        pieces.append(f"  edges only in {name_a}: {sorted(only_a)[:10]}")
+    if only_b:
+        pieces.append(f"  edges only in {name_b}: {sorted(only_b)[:10]}")
+    vertex_only_a = set(a.vertices) - set(b.vertices)
+    vertex_only_b = set(b.vertices) - set(a.vertices)
+    if vertex_only_a:
+        pieces.append(f"  vertices only in {name_a}: {sorted(map(repr, vertex_only_a))[:10]}")
+    if vertex_only_b:
+        pieces.append(f"  vertices only in {name_b}: {sorted(map(repr, vertex_only_b))[:10]}")
+    return "\n".join(pieces)
+
+
+def assert_same_result(name_a: str, a: PathGraph, name_b: str, b: PathGraph) -> None:
+    """Raise :class:`ResultMismatchError` unless the two results are identical."""
+    if not a.same_members(b):
+        raise ResultMismatchError(describe_difference(name_a, a, name_b, b))
+
+
+def compare_algorithms(
+    algorithms: Sequence[TspgAlgorithm],
+    graph: TemporalGraph,
+    queries: Sequence[TspgQuery],
+    reference: Optional[TspgAlgorithm] = None,
+) -> ComparisonReport:
+    """Run every algorithm on every query and compare against the reference.
+
+    The first algorithm is the reference when none is given.  Mismatches are
+    collected (not raised) so a single report can describe them all.
+    """
+    if not algorithms:
+        raise ValueError("need at least one algorithm to compare")
+    reference = reference or algorithms[0]
+    report = ComparisonReport()
+    for query in queries:
+        report.num_queries += 1
+        expected = reference.run(graph, query.source, query.target, query.interval).result
+        agreed = True
+        for algorithm in algorithms:
+            if algorithm is reference:
+                continue
+            actual = algorithm.run(graph, query.source, query.target, query.interval).result
+            if not expected.same_members(actual):
+                agreed = False
+                report.mismatches.append(
+                    describe_difference(reference.name, expected, algorithm.name, actual)
+                )
+        if agreed:
+            report.num_agreements += 1
+    return report
+
+
+def verify_containment_chain(
+    chain: Sequence[TemporalGraph], names: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Check that each graph in ``chain`` is a subgraph of the next.
+
+    Returns a list of violation descriptions (empty when the chain holds);
+    used to validate ``tspG ⊆ Gt ⊆ Gq ⊆ tgTSG ⊆ esTSG ⊆ dtTSG ⊆ G``.
+    """
+    violations = []
+    names = list(names or [f"graph[{i}]" for i in range(len(chain))])
+    for index in range(len(chain) - 1):
+        smaller, larger = chain[index], chain[index + 1]
+        if not is_subgraph(smaller, larger):
+            extra = smaller.edge_tuples() - larger.edge_tuples()
+            violations.append(
+                f"{names[index]} is not contained in {names[index + 1]}; "
+                f"offending edges: {sorted(extra)[:5]}"
+            )
+    return violations

@@ -1,0 +1,39 @@
+"""Brute-force reference ("oracle") implementation of the ``tspG``.
+
+The oracle constructs the temporal simple path graph directly from its
+definition — enumerate every temporal simple path and union the members — on
+the *original* graph, without any reduction.  It is deliberately simple (and
+exponential) so it can serve as the ground truth in unit, integration and
+property-based tests that validate VUG and every baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.result import PathGraph
+from ..graph.edge import Vertex, as_interval
+from ..graph.temporal_graph import TemporalGraph
+from ..paths.enumerate import collect_path_graph_members
+
+
+def brute_force_tspg(
+    graph: TemporalGraph,
+    source: Vertex,
+    target: Vertex,
+    interval,
+    max_paths: Optional[int] = None,
+) -> PathGraph:
+    """Compute the exact ``tspG`` straight from Definition 2.
+
+    Parameters
+    ----------
+    max_paths:
+        Optional path budget forwarded to the enumerator; only used to protect
+        tests against pathological inputs.
+    """
+    window = as_interval(interval)
+    vertices, edges, _ = collect_path_graph_members(
+        graph, source, target, window, max_paths=max_paths
+    )
+    return PathGraph.from_members(source, target, window, vertices, edges)

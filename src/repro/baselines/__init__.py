@@ -1,0 +1,32 @@
+"""Baseline algorithms: graph reductions and enumeration-based tspG construction."""
+
+from .interface import AlgorithmResult, QueryTimeout, TspgAlgorithm
+from .reductions import (
+    REDUCTIONS,
+    dt_tsg_reduction,
+    es_tsg_reduction,
+    tg_tsg_reduction,
+)
+from .enumeration import (
+    EnumerationBudgetExceeded,
+    EnumerationOutcome,
+    tspg_by_enumeration,
+)
+from .ep_algorithms import EPdtTSG, EPesTSG, EPtgTSG, NaiveEnumeration
+
+__all__ = [
+    "AlgorithmResult",
+    "TspgAlgorithm",
+    "QueryTimeout",
+    "REDUCTIONS",
+    "dt_tsg_reduction",
+    "es_tsg_reduction",
+    "tg_tsg_reduction",
+    "EnumerationBudgetExceeded",
+    "EnumerationOutcome",
+    "tspg_by_enumeration",
+    "EPdtTSG",
+    "EPesTSG",
+    "EPtgTSG",
+    "NaiveEnumeration",
+]

@@ -1,0 +1,71 @@
+"""Common interface shared by every ``tspG`` algorithm in the library.
+
+The benchmark harness, the query runner and the correctness cross-checks all
+operate on :class:`TspgAlgorithm` implementations, so VUG and the baselines
+are interchangeable and directly comparable.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.result import PathGraph
+from ..graph.edge import Vertex
+from ..graph.temporal_graph import TemporalGraph
+
+
+@dataclass
+class AlgorithmResult:
+    """Outcome of running one algorithm on one query."""
+
+    algorithm: str
+    result: PathGraph
+    elapsed_seconds: float
+    space_cost: int = 0
+    timed_out: bool = False
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def tspg(self) -> PathGraph:
+        """Alias for :attr:`result`."""
+        return self.result
+
+
+class QueryTimeout(RuntimeError):
+    """Raised internally when an algorithm exceeds its time budget."""
+
+
+class TspgAlgorithm(abc.ABC):
+    """Abstract base class of every temporal-simple-path-graph algorithm."""
+
+    #: Human-readable name matching the paper's nomenclature (e.g. ``"VUG"``).
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def compute(
+        self,
+        graph: TemporalGraph,
+        source: Vertex,
+        target: Vertex,
+        interval,
+    ) -> AlgorithmResult:
+        """Compute the ``tspG`` for one query; implementations fill the extras."""
+
+    def run(
+        self,
+        graph: TemporalGraph,
+        source: Vertex,
+        target: Vertex,
+        interval,
+    ) -> AlgorithmResult:
+        """Timed wrapper around :meth:`compute` (records wall-clock seconds)."""
+        started = time.perf_counter()
+        outcome = self.compute(graph, source, target, interval)
+        outcome.elapsed_seconds = time.perf_counter() - started
+        return outcome
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,39 @@
+"""Benchmark harness: experiment drivers and plain-text reporting."""
+
+from .reporting import ExperimentReport, render_series, render_table
+from .experiments import (
+    DEFAULT_NUM_QUERIES,
+    DEFAULT_TIME_BUDGET_SECONDS,
+    EXPERIMENTS,
+    exp1_response_time,
+    exp2_vary_theta,
+    exp3_space,
+    exp4_phases,
+    exp5_quick_vs_tgtsg,
+    exp5_upper_bound,
+    exp5_vary_theta,
+    exp6_eev_vs_enum,
+    exp7_edges_vs_paths,
+    exp8_case_study,
+    table1_datasets,
+)
+
+__all__ = [
+    "ExperimentReport",
+    "render_table",
+    "render_series",
+    "DEFAULT_NUM_QUERIES",
+    "DEFAULT_TIME_BUDGET_SECONDS",
+    "EXPERIMENTS",
+    "table1_datasets",
+    "exp1_response_time",
+    "exp2_vary_theta",
+    "exp3_space",
+    "exp4_phases",
+    "exp5_upper_bound",
+    "exp5_quick_vs_tgtsg",
+    "exp5_vary_theta",
+    "exp6_eev_vs_enum",
+    "exp7_edges_vs_paths",
+    "exp8_case_study",
+]

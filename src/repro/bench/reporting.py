@@ -1,0 +1,114 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows and series the paper reports in its
+tables and figures.  Rendering is deliberately dependency-free (monospace
+tables) so results show up directly in ``pytest --benchmark-only`` output and
+in CI logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats to 4 significant digits, None as ``-``."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "INF"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dict rows as an aligned monospace table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [[format_value(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(row[idx]) for row in rendered_rows))
+        for idx, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Mapping[object, object]],
+    x_label: str = "x",
+    title: Optional[str] = None,
+) -> str:
+    """Render ``{series name: {x: y}}`` as a table with one column per series.
+
+    This is the textual equivalent of the paper's line plots (Figs. 6, 10, 11,
+    12): the x values become rows and each named series a column.
+    """
+    x_values: List[object] = []
+    for values in series.values():
+        for x in values:
+            if x not in x_values:
+                x_values.append(x)
+    rows = []
+    for x in x_values:
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values.get(x)
+        rows.append(row)
+    return render_table(rows, columns=[x_label, *series.keys()], title=title)
+
+
+@dataclass
+class ExperimentReport:
+    """A named experiment outcome: structured rows/series plus rendered text."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    series: Dict[str, Dict[object, object]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        """Append one table row."""
+        self.rows.append(dict(values))
+
+    def add_point(self, series_name: str, x: object, y: object) -> None:
+        """Append one point to a named series."""
+        self.series.setdefault(series_name, {})[x] = y
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-text note (e.g. substitutions, cut-offs)."""
+        self.notes.append(note)
+
+    def render(self, x_label: str = "x") -> str:
+        """Full textual rendering (table, then series, then notes)."""
+        parts: List[str] = [f"== {self.experiment}: {self.description} =="]
+        if self.rows:
+            parts.append(render_table(self.rows))
+        if self.series:
+            parts.append(render_series(self.series, x_label=x_label))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+``python -m repro.cli`` (or the ``tspg`` console script) exposes the library's
+main operations:
+
+* ``query``       — run one tspG query on an edge-list file or a built-in dataset;
+* ``datasets``    — list the synthetic dataset analogues and their statistics;
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp8);
+* ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .algorithms import available_algorithms, get_algorithm
+from .bench import experiments as bench_experiments
+from .bench.reporting import render_table
+from .datasets.registry import dataset_keys, get_dataset
+from .datasets.transit import CASE_STUDY_QUERY, describe_transfer_options, generate_transit_network
+from .graph.io import load_edge_list
+from .graph.statistics import compute_statistics
+from .core.vug import generate_tspg_report
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tspg",
+        description="Temporal simple path graph generation (VUG reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="run a single tspG query")
+    source_group = query.add_mutually_exclusive_group(required=True)
+    source_group.add_argument("--edge-list", help="path to a 'u v t' edge-list file")
+    source_group.add_argument("--dataset", choices=dataset_keys(), help="built-in dataset key")
+    query.add_argument("--source", required=True, help="source vertex s")
+    query.add_argument("--target", required=True, help="target vertex t")
+    query.add_argument("--begin", type=int, required=True, help="interval begin τb")
+    query.add_argument("--end", type=int, required=True, help="interval end τe")
+    query.add_argument(
+        "--algorithm", default="VUG", choices=available_algorithms(), help="algorithm to use"
+    )
+    query.add_argument("--show-edges", action="store_true", help="print every result edge")
+
+    sub.add_parser("datasets", help="list the synthetic dataset analogues")
+
+    experiment = sub.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name", choices=sorted(bench_experiments.EXPERIMENTS))
+    experiment.add_argument("--dataset", default="D1", help="dataset key for θ-sweep experiments")
+    experiment.add_argument("--datasets", nargs="*", default=None, help="dataset keys for multi-dataset experiments")
+    experiment.add_argument("--queries", type=int, default=bench_experiments.DEFAULT_NUM_QUERIES)
+    experiment.add_argument("--thetas", type=int, nargs="*", default=[6, 8, 10, 12])
+
+    sub.add_parser("case-study", help="reproduce the SFMTA transit case study")
+
+    return parser
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    if args.edge_list:
+        graph = load_edge_list(args.edge_list)
+    else:
+        graph = get_dataset(args.dataset).load()
+    source = _coerce_vertex(args.source, graph)
+    target = _coerce_vertex(args.target, graph)
+    algorithm = get_algorithm(args.algorithm)
+    outcome = algorithm.run(graph, source, target, (args.begin, args.end))
+    result = outcome.result
+    print(
+        f"{args.algorithm}: tspG has {result.num_vertices} vertices and "
+        f"{result.num_edges} edges ({outcome.elapsed_seconds:.4f}s)"
+    )
+    if args.show_edges:
+        for u, v, t in sorted(result.edges, key=lambda edge: edge[2]):
+            print(f"  {u} -> {v} @ {t}")
+    return 0
+
+
+def _coerce_vertex(label: str, graph) -> object:
+    """Interpret a CLI vertex label as int when the graph uses integer ids."""
+    if graph.has_vertex(label):
+        return label
+    try:
+        as_int = int(label)
+    except ValueError:
+        return label
+    return as_int if graph.has_vertex(as_int) else label
+
+
+def _command_datasets(_: argparse.Namespace) -> int:
+    rows = []
+    for key in dataset_keys():
+        spec = get_dataset(key)
+        stats = compute_statistics(spec.load())
+        rows.append(
+            {
+                "dataset": key,
+                "paper_name": spec.paper_name,
+                "theta": spec.default_theta,
+                **stats.as_row(),
+            }
+        )
+    print(render_table(rows, title="Synthetic dataset analogues (see DESIGN.md)"))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    driver = bench_experiments.EXPERIMENTS[name]
+    if name in {"exp2", "exp5-fig10", "exp6", "exp7"}:
+        report = driver(args.dataset, args.thetas, num_queries=args.queries)
+    elif name in {"table1", "exp8"}:
+        report = driver()
+    else:
+        report = driver(keys=args.datasets, num_queries=args.queries)
+    print(report.render(x_label="theta" if name in {"exp2", "exp5-fig10", "exp6", "exp7"} else "dataset"))
+    return 0
+
+
+def _command_case_study(_: argparse.Namespace) -> int:
+    source, target, interval = CASE_STUDY_QUERY
+    network = generate_transit_network()
+    report = generate_tspg_report(network, source, target, interval)
+    result = report.result
+    print(
+        f"tspG from {source!r} to {target!r} within {interval}: "
+        f"{result.num_vertices} stops, {result.num_edges} scheduled trips"
+    )
+    for line in describe_transfer_options(result):
+        print(f"  {line}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "query": _command_query,
+        "datasets": _command_datasets,
+        "experiment": _command_experiment,
+        "case-study": _command_case_study,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

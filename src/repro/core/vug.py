@@ -1,0 +1,176 @@
+"""The VUG framework (Algorithm 1): Verification in Upper-bound Graph.
+
+``VUG`` chains the three phases of the paper —
+
+1. :func:`~repro.core.quick_ubg.quick_upper_bound_graph` (QuickUBG, Alg. 2+3),
+2. :func:`~repro.core.tight_ubg.tight_upper_bound_graph` (TightUBG, Alg. 4+5),
+3. :func:`~repro.core.eev.escaped_edges_verification` (EEV, Alg. 6+7),
+
+and returns the exact temporal simple path graph together with the
+intermediate upper-bound graphs and per-phase wall-clock timings (the raw
+material of Exp-4, Exp-5 and Exp-6).
+
+:func:`generate_tspg` is the one-call public entry point most users want.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graph.edge import Vertex, as_interval
+from ..graph.temporal_graph import TemporalGraph
+from .eev import EEVStatistics, escaped_edges_verification
+from .polarity import compute_polarity_times
+from .quick_ubg import quick_upper_bound_graph
+from .result import PathGraph, PhaseTimings, VUGReport
+from .tcv import compute_time_stream_common_vertices
+from .tight_ubg import tight_upper_bound_graph
+
+
+@dataclass
+class VUG:
+    """Configurable VUG query engine.
+
+    Parameters
+    ----------
+    use_tight_upper_bound:
+        When ``False`` the TightUBG phase is skipped and EEV runs directly on
+        ``Gq`` — the ablation used to quantify how much the simple-path
+        pruning contributes.
+    use_lemma10:
+        Forwarded to :func:`escaped_edges_verification`; disabling it forces a
+        bidirectional search for every escaped edge.
+    collect_eev_statistics:
+        Attach an :class:`EEVStatistics` to the report.
+    """
+
+    use_tight_upper_bound: bool = True
+    use_lemma10: bool = True
+    collect_eev_statistics: bool = False
+
+    def run(
+        self,
+        graph: TemporalGraph,
+        source: Vertex,
+        target: Vertex,
+        interval,
+    ) -> VUGReport:
+        """Execute the full pipeline and return a :class:`VUGReport`."""
+        window = as_interval(interval)
+        timings = PhaseTimings()
+
+        # Phase 1: quick upper-bound graph (temporal constraint).
+        started = time.perf_counter()
+        polarity = compute_polarity_times(graph, source, target, window)
+        quick = quick_upper_bound_graph(graph, source, target, window, polarity=polarity)
+        timings.quick_ubg = time.perf_counter() - started
+
+        # Phase 2: tight upper-bound graph (simple-path constraint).
+        started = time.perf_counter()
+        if self.use_tight_upper_bound:
+            tcv = compute_time_stream_common_vertices(quick, source, target, window)
+            tight = tight_upper_bound_graph(quick, source, target, window, tcv=tcv)
+            tcv_space = tcv.space_cost()
+        else:
+            tight = quick
+            tcv_space = 0
+        timings.tight_ubg = time.perf_counter() - started
+
+        # Phase 3: escaped edges verification (exact result).
+        started = time.perf_counter()
+        eev_output = escaped_edges_verification(
+            tight,
+            source,
+            target,
+            window,
+            use_lemma10=self.use_lemma10 and self.use_tight_upper_bound,
+            collect_statistics=self.collect_eev_statistics,
+        )
+        timings.eev = time.perf_counter() - started
+
+        statistics: Optional[EEVStatistics] = None
+        if self.collect_eev_statistics:
+            result, statistics = eev_output
+        else:
+            result = eev_output
+
+        # Linear-space accounting used by the space-consumption experiment
+        # (Exp-3): the intermediate graphs plus the TCV entries and the result.
+        space_cost = (
+            quick.num_vertices
+            + quick.num_edges
+            + tight.num_vertices
+            + tight.num_edges
+            + tcv_space
+            + result.num_vertices
+            + result.num_edges
+        )
+
+        return VUGReport(
+            result=result,
+            upper_bound_quick=quick,
+            upper_bound_tight=tight,
+            timings=timings,
+            space_cost=space_cost,
+            eev_statistics=statistics,
+        )
+
+    # Alias matching the paper's "query" phrasing.
+    query = run
+
+
+def generate_tspg(
+    graph: TemporalGraph,
+    source: Vertex,
+    target: Vertex,
+    interval,
+) -> PathGraph:
+    """Generate the temporal simple path graph ``tspG[τb, τe](s, t)``.
+
+    This is the library's primary public entry point — the problem statement
+    of the paper solved with the full VUG pipeline.
+
+    Parameters
+    ----------
+    graph:
+        The directed temporal graph ``G``.
+    source, target:
+        Query endpoints ``s`` and ``t`` (must be different vertices).
+    interval:
+        ``(τb, τe)`` pair or :class:`~repro.graph.TimeInterval`.
+
+    Returns
+    -------
+    PathGraph
+        The subgraph of ``graph`` containing exactly the vertices and edges of
+        all temporal simple paths from ``source`` to ``target`` within the
+        interval; empty when no such path exists.
+
+    Examples
+    --------
+    >>> from repro import TemporalGraph, generate_tspg
+    >>> g = TemporalGraph(edges=[("s", "b", 2), ("b", "t", 6), ("b", "c", 3),
+    ...                          ("c", "t", 7), ("s", "a", 3)])
+    >>> tspg = generate_tspg(g, "s", "t", (2, 7))
+    >>> sorted(tspg.vertices)
+    ['b', 'c', 's', 't']
+    """
+    if source == target:
+        raise ValueError("source and target must be different vertices")
+    report = VUG().run(graph, source, target, interval)
+    return report.result
+
+
+def generate_tspg_report(
+    graph: TemporalGraph,
+    source: Vertex,
+    target: Vertex,
+    interval,
+    **options,
+) -> VUGReport:
+    """Like :func:`generate_tspg` but returns the full :class:`VUGReport`."""
+    if source == target:
+        raise ValueError("source and target must be different vertices")
+    return VUG(**options).run(graph, source, target, interval)

@@ -1,0 +1,41 @@
+"""Dataset registry: synthetic analogues of D1–D10 and the transit case study."""
+
+from .registry import (
+    DATASETS,
+    DatasetSpec,
+    PaperStatistics,
+    dataset_keys,
+    get_dataset,
+    load_dataset,
+    small_dataset_keys,
+)
+from .transit import (
+    CASE_STUDY_QUERY,
+    CASE_STUDY_STOPS,
+    ScheduledTrip,
+    case_study_graph,
+    case_study_trips,
+    describe_transfer_options,
+    generate_transit_network,
+    hhmm,
+    minute,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "PaperStatistics",
+    "dataset_keys",
+    "get_dataset",
+    "load_dataset",
+    "small_dataset_keys",
+    "CASE_STUDY_QUERY",
+    "CASE_STUDY_STOPS",
+    "ScheduledTrip",
+    "case_study_graph",
+    "case_study_trips",
+    "describe_transfer_options",
+    "generate_transit_network",
+    "minute",
+    "hhmm",
+]

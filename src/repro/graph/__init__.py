@@ -1,0 +1,59 @@
+"""Temporal graph substrate: data structures, IO, validation and generators."""
+
+from .edge import TemporalEdge, TimeInterval, as_edge, as_interval
+from .temporal_graph import TemporalGraph
+from .builder import TemporalGraphBuilder, graph_from_edges, graph_from_temporal_edges
+from .validation import (
+    ValidationError,
+    assert_edges_within_interval,
+    assert_subgraph,
+    edges_within_interval,
+    is_subgraph,
+    validate_graph,
+)
+from .statistics import GraphStatistics, compute_statistics, degree_histogram, timestamp_histogram
+from .io import (
+    EdgeListFormatError,
+    edge_list_lines,
+    iter_edge_list,
+    load_edge_list,
+    load_json,
+    save_edge_list,
+    save_json,
+)
+from .export import to_ascii, to_dot, to_graphml, write_dot, write_graphml
+from . import generators
+
+__all__ = [
+    "TemporalEdge",
+    "TimeInterval",
+    "TemporalGraph",
+    "TemporalGraphBuilder",
+    "GraphStatistics",
+    "ValidationError",
+    "EdgeListFormatError",
+    "as_edge",
+    "as_interval",
+    "graph_from_edges",
+    "graph_from_temporal_edges",
+    "validate_graph",
+    "is_subgraph",
+    "assert_subgraph",
+    "edges_within_interval",
+    "assert_edges_within_interval",
+    "compute_statistics",
+    "degree_histogram",
+    "timestamp_histogram",
+    "load_edge_list",
+    "iter_edge_list",
+    "save_edge_list",
+    "save_json",
+    "load_json",
+    "edge_list_lines",
+    "to_dot",
+    "to_graphml",
+    "to_ascii",
+    "write_dot",
+    "write_graphml",
+    "generators",
+]

@@ -1,0 +1,130 @@
+"""Incremental construction helpers for :class:`~repro.graph.TemporalGraph`.
+
+The builder exists for two reasons:
+
+* ergonomic bulk construction from heterogeneous sources (tuples, labelled
+  events, pandas-like records) with optional vertex relabelling;
+* deterministic construction order so graphs built from the same event stream
+  compare equal regardless of the source container.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from .edge import TemporalEdge, Timestamp, Vertex
+from .temporal_graph import TemporalGraph
+
+
+class TemporalGraphBuilder:
+    """Accumulates interaction events and materialises a :class:`TemporalGraph`.
+
+    Parameters
+    ----------
+    relabel:
+        When ``True`` vertices are relabelled to consecutive integers in first
+        seen order; the original labels remain available through
+        :meth:`label_of` / :meth:`id_of`.
+    allow_self_loops:
+        Self loops are dropped silently when ``False`` (the default) because a
+        simple path can never traverse them; when ``True`` they raise the same
+        :class:`ValueError` as :meth:`TemporalGraph.add_edge` would.
+    """
+
+    def __init__(self, relabel: bool = False, allow_self_loops: bool = False) -> None:
+        self._relabel = relabel
+        self._allow_self_loops = allow_self_loops
+        self._events: List[Tuple[Vertex, Vertex, Timestamp]] = []
+        self._label_to_id: Dict[Hashable, int] = {}
+        self._id_to_label: List[Hashable] = []
+        self._dropped_self_loops = 0
+
+    # ------------------------------------------------------------------
+    def add_interaction(self, source: Vertex, target: Vertex, timestamp: Timestamp) -> "TemporalGraphBuilder":
+        """Record a single interaction event ``(source, target, timestamp)``."""
+        if source == target and not self._allow_self_loops:
+            self._dropped_self_loops += 1
+            return self
+        self._events.append((source, target, int(timestamp)))
+        return self
+
+    def add_interactions(self, events: Iterable[Tuple[Vertex, Vertex, Timestamp]]) -> "TemporalGraphBuilder":
+        """Record many interaction events."""
+        for source, target, timestamp in events:
+            self.add_interaction(source, target, timestamp)
+        return self
+
+    def add_record(
+        self,
+        record: dict,
+        source_key: str = "source",
+        target_key: str = "target",
+        time_key: str = "timestamp",
+        time_parser: Optional[Callable[[object], Timestamp]] = None,
+    ) -> "TemporalGraphBuilder":
+        """Record an interaction expressed as a mapping (e.g. a CSV row)."""
+        timestamp = record[time_key]
+        if time_parser is not None:
+            timestamp = time_parser(timestamp)
+        return self.add_interaction(record[source_key], record[target_key], timestamp)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_events(self) -> int:
+        """Number of recorded (non-dropped) interaction events."""
+        return len(self._events)
+
+    @property
+    def dropped_self_loops(self) -> int:
+        """Number of self-loop events silently discarded."""
+        return self._dropped_self_loops
+
+    def _intern(self, label: Hashable) -> Vertex:
+        if not self._relabel:
+            return label
+        vid = self._label_to_id.get(label)
+        if vid is None:
+            vid = len(self._id_to_label)
+            self._label_to_id[label] = vid
+            self._id_to_label.append(label)
+        return vid
+
+    def label_of(self, vertex_id: int) -> Hashable:
+        """Original label of a relabelled vertex id."""
+        if not self._relabel:
+            raise ValueError("builder was created with relabel=False")
+        return self._id_to_label[vertex_id]
+
+    def id_of(self, label: Hashable) -> int:
+        """Relabelled id of an original vertex label."""
+        if not self._relabel:
+            raise ValueError("builder was created with relabel=False")
+        return self._label_to_id[label]
+
+    def vertex_labels(self) -> List[Hashable]:
+        """All original labels in first-seen order (relabel mode only)."""
+        if not self._relabel:
+            raise ValueError("builder was created with relabel=False")
+        return list(self._id_to_label)
+
+    # ------------------------------------------------------------------
+    def build(self) -> TemporalGraph:
+        """Materialise the accumulated events into a :class:`TemporalGraph`.
+
+        Duplicate events (same endpoints and timestamp) collapse into a single
+        edge, matching the multigraph semantics of :class:`TemporalGraph`.
+        """
+        graph = TemporalGraph()
+        for source, target, timestamp in self._events:
+            graph.add_edge(self._intern(source), self._intern(target), timestamp)
+        return graph
+
+
+def graph_from_edges(edges: Iterable, vertices: Optional[Iterable[Vertex]] = None) -> TemporalGraph:
+    """One-shot construction of a :class:`TemporalGraph` from ``(u, v, τ)`` triples."""
+    return TemporalGraph(edges=edges, vertices=vertices)
+
+
+def graph_from_temporal_edges(edges: Iterable[TemporalEdge]) -> TemporalGraph:
+    """One-shot construction from :class:`TemporalEdge` objects."""
+    return TemporalGraph(edges=edges)

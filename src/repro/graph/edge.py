@@ -1,0 +1,160 @@
+"""Primitive value objects of the temporal-graph substrate.
+
+The paper models interactions as directed temporal edges ``e(u, v, τ)`` with an
+integer timestamp ``τ`` and queries restricted to a closed time interval
+``[τb, τe]``.  This module provides the two small immutable value objects that
+the rest of the library builds upon:
+
+* :class:`TemporalEdge` — a single directed timestamped edge.
+* :class:`TimeInterval` — a closed integer interval ``[begin, end]`` with the
+  span helper ``θ = end - begin + 1`` used throughout the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Tuple
+
+Vertex = Hashable
+Timestamp = int
+
+
+@dataclass(frozen=True, order=True)
+class TemporalEdge:
+    """A directed temporal edge ``e(u, v, τ)``.
+
+    The ordering of edges is lexicographic on ``(timestamp, source, target)``
+    wherever sources and targets are comparable; algorithms that need a strict
+    temporal ordering (Algorithms 4–6 of the paper) sort on ``timestamp`` only,
+    which is always well defined.
+
+    Attributes
+    ----------
+    source:
+        Tail vertex ``u``.
+    target:
+        Head vertex ``v``.
+    timestamp:
+        Integer interaction time ``τ``.
+    """
+
+    # ``order=True`` compares fields in declaration order; timestamp first so
+    # that sorting a list of edges yields the non-descending temporal order
+    # required by the streaming algorithms.
+    timestamp: Timestamp
+    source: Vertex
+    target: Vertex
+
+    def __init__(self, source: Vertex, target: Vertex, timestamp: Timestamp):
+        # Custom ``__init__`` so the natural call order is (u, v, τ) like the
+        # paper while keeping ``timestamp`` first for ordering purposes.
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "timestamp", int(timestamp))
+
+    def __iter__(self) -> Iterator:
+        """Iterate as ``(source, target, timestamp)`` for easy unpacking."""
+        yield self.source
+        yield self.target
+        yield self.timestamp
+
+    def as_tuple(self) -> Tuple[Vertex, Vertex, Timestamp]:
+        """Return the edge as a plain ``(u, v, τ)`` tuple."""
+        return (self.source, self.target, self.timestamp)
+
+    def reversed(self) -> "TemporalEdge":
+        """Return the edge with source and target swapped (same timestamp)."""
+        return TemporalEdge(self.target, self.source, self.timestamp)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"e({self.source!r}, {self.target!r}, {self.timestamp})"
+
+
+@dataclass(frozen=True)
+class TimeInterval:
+    """A closed integer time interval ``[begin, end]``.
+
+    ``begin`` and ``end`` correspond to the paper's ``τb`` and ``τe``.  The
+    interval is inclusive on both ends and ``begin <= end`` is enforced.
+    """
+
+    begin: Timestamp
+    end: Timestamp
+
+    def __post_init__(self) -> None:
+        if self.begin > self.end:
+            raise ValueError(
+                f"invalid time interval: begin ({self.begin}) > end ({self.end})"
+            )
+
+    @property
+    def span(self) -> int:
+        """The span ``θ = τe - τb + 1`` (Remark 1 bounds path length by θ)."""
+        return self.end - self.begin + 1
+
+    def __contains__(self, timestamp: object) -> bool:
+        if not isinstance(timestamp, int):
+            return False
+        return self.begin <= timestamp <= self.end
+
+    def contains(self, timestamp: Timestamp) -> bool:
+        """Return ``True`` iff ``begin <= timestamp <= end``."""
+        return self.begin <= timestamp <= self.end
+
+    def intersect(self, other: "TimeInterval") -> "TimeInterval | None":
+        """Return the intersection with ``other`` or ``None`` if disjoint."""
+        lo = max(self.begin, other.begin)
+        hi = min(self.end, other.end)
+        if lo > hi:
+            return None
+        return TimeInterval(lo, hi)
+
+    def shift(self, delta: int) -> "TimeInterval":
+        """Return the interval translated by ``delta``."""
+        return TimeInterval(self.begin + delta, self.end + delta)
+
+    def as_tuple(self) -> Tuple[Timestamp, Timestamp]:
+        """Return ``(begin, end)``."""
+        return (self.begin, self.end)
+
+    def __iter__(self) -> Iterator[Timestamp]:
+        yield self.begin
+        yield self.end
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.begin}, {self.end}]"
+
+
+def as_interval(interval) -> TimeInterval:
+    """Coerce ``interval`` into a :class:`TimeInterval`.
+
+    Accepts an existing :class:`TimeInterval` or any 2-sequence
+    ``(begin, end)``.  This is the normalisation helper used by every public
+    query entry point so callers can simply pass tuples.
+    """
+    if isinstance(interval, TimeInterval):
+        return interval
+    try:
+        begin, end = interval
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            "interval must be a TimeInterval or a (begin, end) pair"
+        ) from exc
+    return TimeInterval(int(begin), int(end))
+
+
+def as_edge(edge) -> TemporalEdge:
+    """Coerce ``edge`` into a :class:`TemporalEdge`.
+
+    Accepts an existing :class:`TemporalEdge` or any 3-sequence
+    ``(source, target, timestamp)``.
+    """
+    if isinstance(edge, TemporalEdge):
+        return edge
+    try:
+        source, target, timestamp = edge
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            "edge must be a TemporalEdge or a (source, target, timestamp) triple"
+        ) from exc
+    return TemporalEdge(source, target, timestamp)

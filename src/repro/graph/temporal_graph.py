@@ -1,0 +1,346 @@
+"""The directed temporal multigraph used by every algorithm in the library.
+
+The representation mirrors the access patterns of the paper's algorithms:
+
+* per-vertex *out* and *in* neighbour lists ``N_out(u)`` / ``N_in(u)`` holding
+  ``(neighbour, timestamp)`` pairs sorted by timestamp ascending (Algorithm 3
+  maintains per-vertex pointers over these sorted lists);
+* a flat edge list sorted in non-descending temporal order (Algorithms 4–6 scan
+  edges forward/backward in temporal order);
+* the distinct-timestamp views ``T_out(u)`` / ``T_in(u)`` needed by the
+  time-stream-common-vertices machinery (Lemma 5 / Lemma 8).
+
+The graph is a *multigraph*: several edges may connect the same ordered vertex
+pair at different timestamps, which is exactly what Lemma 11's "replacement
+edges" batching exploits.  Exact duplicate edges (same endpoints and same
+timestamp) are stored once.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .edge import TemporalEdge, TimeInterval, Timestamp, Vertex, as_edge, as_interval
+
+NeighborEntry = Tuple[Vertex, Timestamp]
+
+
+class TemporalGraph:
+    """A directed temporal multigraph ``G = (V, E)``.
+
+    Parameters
+    ----------
+    edges:
+        Optional iterable of edges; each may be a :class:`TemporalEdge` or a
+        ``(u, v, τ)`` triple.
+    vertices:
+        Optional iterable of vertices to add up front (isolated vertices are
+        legal and are preserved by :meth:`copy`).
+
+    Notes
+    -----
+    Vertices may be any hashable value (integers, strings such as transit stop
+    names, tuples, ...).  All neighbour lists are kept sorted by timestamp so
+    lookups of the form "neighbours with timestamp below/above τ" are binary
+    searches.
+    """
+
+    __slots__ = ("_out", "_in", "_edge_set", "_sorted_edges_cache", "_ts_cache")
+
+    def __init__(
+        self,
+        edges: Optional[Iterable] = None,
+        vertices: Optional[Iterable[Vertex]] = None,
+    ) -> None:
+        self._out: Dict[Vertex, List[NeighborEntry]] = {}
+        self._in: Dict[Vertex, List[NeighborEntry]] = {}
+        self._edge_set: Set[Tuple[Vertex, Vertex, Timestamp]] = set()
+        self._sorted_edges_cache: Optional[List[TemporalEdge]] = None
+        self._ts_cache: Optional[List[Timestamp]] = None
+        if vertices is not None:
+            for vertex in vertices:
+                self.add_vertex(vertex)
+        if edges is not None:
+            self.add_edges(edges)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Add ``vertex`` (a no-op if it already exists)."""
+        if vertex not in self._out:
+            self._out[vertex] = []
+            self._in[vertex] = []
+
+    def add_edge(self, source: Vertex, target: Vertex, timestamp: Timestamp) -> bool:
+        """Add the directed temporal edge ``e(source, target, timestamp)``.
+
+        Returns ``True`` if the edge was new, ``False`` if an identical edge
+        (same endpoints and timestamp) was already present.  Self loops are
+        rejected because no simple path can ever use them.
+        """
+        if source == target:
+            raise ValueError(f"self loops are not allowed: {source!r}")
+        timestamp = int(timestamp)
+        key = (source, target, timestamp)
+        if key in self._edge_set:
+            return False
+        self.add_vertex(source)
+        self.add_vertex(target)
+        self._edge_set.add(key)
+        self._insert_sorted(self._out[source], (target, timestamp))
+        self._insert_sorted(self._in[target], (source, timestamp))
+        self._invalidate_caches()
+        return True
+
+    def add_edges(self, edges: Iterable) -> int:
+        """Add many edges; returns the number of *new* edges inserted."""
+        added = 0
+        for edge in edges:
+            e = as_edge(edge)
+            if self.add_edge(e.source, e.target, e.timestamp):
+                added += 1
+        return added
+
+    @staticmethod
+    def _insert_sorted(entries: List[NeighborEntry], entry: NeighborEntry) -> None:
+        """Insert ``entry`` keeping ``entries`` sorted by timestamp."""
+        timestamp = entry[1]
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid][1] <= timestamp:
+                lo = mid + 1
+            else:
+                hi = mid
+        entries.insert(lo, entry)
+
+    def _invalidate_caches(self) -> None:
+        self._sorted_edges_cache = None
+        self._ts_cache = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """``n = |V|``."""
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        """``m = |E|``."""
+        return len(self._edge_set)
+
+    def vertices(self) -> Iterator[Vertex]:
+        """Iterate over all vertices."""
+        return iter(self._out)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Return ``True`` iff ``vertex`` is in the graph."""
+        return vertex in self._out
+
+    def has_edge(self, source: Vertex, target: Vertex, timestamp: Timestamp) -> bool:
+        """Return ``True`` iff the exact edge ``e(source, target, timestamp)`` exists."""
+        return (source, target, int(timestamp)) in self._edge_set
+
+    def edges(self) -> Iterator[TemporalEdge]:
+        """Iterate over all edges in no particular order."""
+        for source, target, timestamp in self._edge_set:
+            yield TemporalEdge(source, target, timestamp)
+
+    def edge_tuples(self) -> Set[Tuple[Vertex, Vertex, Timestamp]]:
+        """Return a copy of the edge set as plain tuples."""
+        return set(self._edge_set)
+
+    def sorted_edges(self, reverse: bool = False) -> List[TemporalEdge]:
+        """All edges sorted in non-descending temporal order.
+
+        The forward order is the scan order of Algorithms 4–6; ``reverse=True``
+        yields non-ascending order (used when computing ``TCV(·, t)``).
+        The ascending list is cached because the streaming algorithms consume
+        it repeatedly.
+        """
+        if self._sorted_edges_cache is None:
+            self._sorted_edges_cache = sorted(
+                (TemporalEdge(u, v, t) for (u, v, t) in self._edge_set),
+                key=lambda e: e.timestamp,
+            )
+        if reverse:
+            return list(reversed(self._sorted_edges_cache))
+        return list(self._sorted_edges_cache)
+
+    def timestamps(self) -> List[Timestamp]:
+        """The sorted set ``T`` of distinct timestamps appearing in the graph."""
+        if self._ts_cache is None:
+            self._ts_cache = sorted({t for (_, _, t) in self._edge_set})
+        return list(self._ts_cache)
+
+    @property
+    def min_timestamp(self) -> Optional[Timestamp]:
+        """Smallest timestamp in the graph (``None`` when edgeless)."""
+        ts = self.timestamps()
+        return ts[0] if ts else None
+
+    @property
+    def max_timestamp(self) -> Optional[Timestamp]:
+        """Largest timestamp in the graph (``None`` when edgeless)."""
+        ts = self.timestamps()
+        return ts[-1] if ts else None
+
+    # ------------------------------------------------------------------
+    # neighbourhoods
+    # ------------------------------------------------------------------
+    def out_neighbors(self, vertex: Vertex) -> List[NeighborEntry]:
+        """``N_out(u)``: list of ``(v, τ)`` sorted by timestamp ascending."""
+        return list(self._out.get(vertex, ()))
+
+    def in_neighbors(self, vertex: Vertex) -> List[NeighborEntry]:
+        """``N_in(u)``: list of ``(v, τ)`` sorted by timestamp ascending."""
+        return list(self._in.get(vertex, ()))
+
+    def out_neighbors_view(self, vertex: Vertex) -> Sequence[NeighborEntry]:
+        """Internal sorted out-adjacency list (do not mutate)."""
+        return self._out.get(vertex, ())
+
+    def in_neighbors_view(self, vertex: Vertex) -> Sequence[NeighborEntry]:
+        """Internal sorted in-adjacency list (do not mutate)."""
+        return self._in.get(vertex, ())
+
+    def out_degree(self, vertex: Vertex) -> int:
+        """Number of out-going temporal edges of ``vertex``."""
+        return len(self._out.get(vertex, ()))
+
+    def in_degree(self, vertex: Vertex) -> int:
+        """Number of in-coming temporal edges of ``vertex``."""
+        return len(self._in.get(vertex, ()))
+
+    def degree(self, vertex: Vertex) -> int:
+        """Total temporal degree (in + out)."""
+        return self.in_degree(vertex) + self.out_degree(vertex)
+
+    def max_degree(self) -> int:
+        """``d = max_u max(|N_in(u)|, |N_out(u)|)`` as defined in Section III."""
+        best = 0
+        for vertex in self._out:
+            best = max(best, self.out_degree(vertex), self.in_degree(vertex))
+        return best
+
+    def out_timestamps(self, vertex: Vertex) -> List[Timestamp]:
+        """``T_out(u)``: sorted distinct timestamps of out-going edges."""
+        return sorted({t for _, t in self._out.get(vertex, ())})
+
+    def in_timestamps(self, vertex: Vertex) -> List[Timestamp]:
+        """``T_in(u)``: sorted distinct timestamps of in-coming edges."""
+        return sorted({t for _, t in self._in.get(vertex, ())})
+
+    # Range queries over the sorted adjacency lists -----------------------
+    def out_neighbors_after(
+        self, vertex: Vertex, timestamp: Timestamp, strict: bool = True
+    ) -> List[NeighborEntry]:
+        """Out-neighbours reachable by an edge with timestamp ``> τ`` (or ``>=``)."""
+        entries = self._out.get(vertex, ())
+        idx = self._first_index_above(entries, timestamp, strict)
+        return list(entries[idx:])
+
+    def in_neighbors_before(
+        self, vertex: Vertex, timestamp: Timestamp, strict: bool = True
+    ) -> List[NeighborEntry]:
+        """In-neighbours with an edge whose timestamp is ``< τ`` (or ``<=``)."""
+        entries = self._in.get(vertex, ())
+        idx = self._last_index_below(entries, timestamp, strict)
+        return list(entries[:idx])
+
+    @staticmethod
+    def _first_index_above(
+        entries: Sequence[NeighborEntry], timestamp: Timestamp, strict: bool
+    ) -> int:
+        times = [t for _, t in entries]
+        if strict:
+            return bisect_right(times, timestamp)
+        return bisect_left(times, timestamp)
+
+    @staticmethod
+    def _last_index_below(
+        entries: Sequence[NeighborEntry], timestamp: Timestamp, strict: bool
+    ) -> int:
+        times = [t for _, t in entries]
+        if strict:
+            return bisect_left(times, timestamp)
+        return bisect_right(times, timestamp)
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def copy(self) -> "TemporalGraph":
+        """Return a deep copy of the graph (vertices, including isolated ones)."""
+        clone = TemporalGraph(vertices=self._out.keys())
+        clone.add_edges(TemporalEdge(u, v, t) for (u, v, t) in self._edge_set)
+        return clone
+
+    def project(self, interval) -> "TemporalGraph":
+        """The projected graph ``G[τb, τe]`` (Section II).
+
+        Keeps exactly the edges with timestamp in the closed interval and the
+        vertices incident to at least one such edge.
+        """
+        window = as_interval(interval)
+        projected = TemporalGraph()
+        for (u, v, t) in self._edge_set:
+            if window.contains(t):
+                projected.add_edge(u, v, t)
+        return projected
+
+    def edge_induced_subgraph(self, edges: Iterable) -> "TemporalGraph":
+        """Subgraph induced by ``edges`` (must all exist in this graph)."""
+        sub = TemporalGraph()
+        for edge in edges:
+            e = as_edge(edge)
+            if not self.has_edge(e.source, e.target, e.timestamp):
+                raise KeyError(f"edge {e!r} is not part of the graph")
+            sub.add_edge(e.source, e.target, e.timestamp)
+        return sub
+
+    def reverse(self) -> "TemporalGraph":
+        """Return the graph with every edge direction flipped (timestamps kept)."""
+        rev = TemporalGraph(vertices=self._out.keys())
+        rev.add_edges(TemporalEdge(v, u, t) for (u, v, t) in self._edge_set)
+        return rev
+
+    def time_interval(self) -> Optional[TimeInterval]:
+        """The interval spanned by all timestamps (``None`` for an edgeless graph)."""
+        ts = self.timestamps()
+        if not ts:
+            return None
+        return TimeInterval(ts[0], ts[-1])
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, TemporalEdge):
+            return self.has_edge(item.source, item.target, item.timestamp)
+        if isinstance(item, tuple) and len(item) == 3:
+            return (item[0], item[1], int(item[2])) in self._edge_set
+        return item in self._out
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TemporalGraph):
+            return NotImplemented
+        return (
+            set(self._out.keys()) == set(other._out.keys())
+            and self._edge_set == other._edge_set
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("TemporalGraph objects are mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TemporalGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"|T|={len(self.timestamps())})"
+        )

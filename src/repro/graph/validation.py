@@ -1,0 +1,98 @@
+"""Structural consistency checks for temporal graphs and path graphs.
+
+These checks are used by the test-suite (property-based invariants) and by the
+benchmark harness to assert that all algorithms under comparison return valid,
+mutually consistent structures before any timing is reported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .edge import TemporalEdge, TimeInterval, as_interval
+from .temporal_graph import TemporalGraph
+
+
+class ValidationError(AssertionError):
+    """Raised when a structural invariant of a temporal graph is violated."""
+
+
+def validate_graph(graph: TemporalGraph) -> None:
+    """Validate internal consistency of a :class:`TemporalGraph`.
+
+    Checks performed:
+
+    * out/in adjacency lists are timestamp-sorted;
+    * every adjacency entry corresponds to an edge in the edge set and vice
+      versa (out and in views agree);
+    * no self loops are present.
+    """
+    edge_set = graph.edge_tuples()
+    seen_out = set()
+    for u in graph.vertices():
+        entries = graph.out_neighbors(u)
+        _check_sorted(entries, f"out-neighbours of {u!r}")
+        for v, t in entries:
+            if u == v:
+                raise ValidationError(f"self loop stored at vertex {u!r}")
+            if (u, v, t) not in edge_set:
+                raise ValidationError(f"out entry ({u!r},{v!r},{t}) missing from edge set")
+            seen_out.add((u, v, t))
+    seen_in = set()
+    for v in graph.vertices():
+        entries = graph.in_neighbors(v)
+        _check_sorted(entries, f"in-neighbours of {v!r}")
+        for u, t in entries:
+            if (u, v, t) not in edge_set:
+                raise ValidationError(f"in entry ({u!r},{v!r},{t}) missing from edge set")
+            seen_in.add((u, v, t))
+    if seen_out != edge_set:
+        raise ValidationError("edge set and out-adjacency lists disagree")
+    if seen_in != edge_set:
+        raise ValidationError("edge set and in-adjacency lists disagree")
+
+
+def _check_sorted(entries: List, what: str) -> None:
+    times = [t for _, t in entries]
+    if any(a > b for a, b in zip(times, times[1:])):
+        raise ValidationError(f"{what} are not sorted by timestamp: {times}")
+
+
+def is_subgraph(sub: TemporalGraph, graph: TemporalGraph) -> bool:
+    """Return ``True`` iff every vertex and edge of ``sub`` appears in ``graph``."""
+    for vertex in sub.vertices():
+        if not graph.has_vertex(vertex):
+            return False
+    return sub.edge_tuples() <= graph.edge_tuples()
+
+
+def assert_subgraph(sub: TemporalGraph, graph: TemporalGraph, what: str = "subgraph") -> None:
+    """Raise :class:`ValidationError` unless ``sub`` ⊆ ``graph``."""
+    if not is_subgraph(sub, graph):
+        missing = sub.edge_tuples() - graph.edge_tuples()
+        raise ValidationError(f"{what} is not contained in the host graph; extra edges: {sorted(missing)[:5]}")
+
+
+def edges_within_interval(graph: TemporalGraph, interval) -> bool:
+    """Return ``True`` iff every edge timestamp lies inside ``interval``."""
+    window = as_interval(interval)
+    return all(window.contains(t) for (_, _, t) in graph.edge_tuples())
+
+
+def assert_edges_within_interval(graph: TemporalGraph, interval, what: str = "graph") -> None:
+    """Raise unless every edge of ``graph`` has a timestamp inside ``interval``."""
+    window = as_interval(interval)
+    outside = [(u, v, t) for (u, v, t) in graph.edge_tuples() if not window.contains(t)]
+    if outside:
+        raise ValidationError(f"{what} has edges outside {window}: {sorted(outside)[:5]}")
+
+
+def validate_temporal_edges(edges: Iterable[TemporalEdge]) -> None:
+    """Validate that an iterable contains well-formed temporal edges."""
+    for edge in edges:
+        if not isinstance(edge, TemporalEdge):
+            raise ValidationError(f"not a TemporalEdge: {edge!r}")
+        if edge.source == edge.target:
+            raise ValidationError(f"self loop edge: {edge!r}")
+        if not isinstance(edge.timestamp, int):
+            raise ValidationError(f"non-integer timestamp: {edge!r}")

@@ -1,0 +1,57 @@
+"""Temporal path substrate: path model, enumeration, reachability, counting."""
+
+from .temporal_path import (
+    InvalidPathError,
+    TemporalPath,
+    is_temporal_path,
+    is_temporal_simple_path,
+    path_from_vertices,
+)
+from .enumerate import (
+    EnumerationLimitExceeded,
+    collect_path_graph_members,
+    enumerate_temporal_paths,
+    enumerate_temporal_simple_paths,
+    exists_temporal_path,
+    exists_temporal_simple_path,
+)
+from .reachability import (
+    INFINITY,
+    NEG_INFINITY,
+    can_reach,
+    co_reachable_set,
+    earliest_arrival_times,
+    latest_departure_times,
+    reachable_set,
+)
+from .counting import (
+    PathCount,
+    count_temporal_paths,
+    count_temporal_simple_paths,
+    count_temporal_simple_paths_capped,
+)
+
+__all__ = [
+    "TemporalPath",
+    "InvalidPathError",
+    "EnumerationLimitExceeded",
+    "PathCount",
+    "is_temporal_path",
+    "is_temporal_simple_path",
+    "path_from_vertices",
+    "enumerate_temporal_simple_paths",
+    "enumerate_temporal_paths",
+    "exists_temporal_simple_path",
+    "exists_temporal_path",
+    "collect_path_graph_members",
+    "earliest_arrival_times",
+    "latest_departure_times",
+    "can_reach",
+    "reachable_set",
+    "co_reachable_set",
+    "count_temporal_simple_paths",
+    "count_temporal_simple_paths_capped",
+    "count_temporal_paths",
+    "INFINITY",
+    "NEG_INFINITY",
+]

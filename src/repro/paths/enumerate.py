@@ -1,0 +1,178 @@
+"""Enumeration of temporal (simple) paths by depth-first search.
+
+This is the reference machinery for the baselines of Section III-A and the
+oracle for the test-suite: every optimised algorithm must agree with the graph
+assembled from an explicit enumeration.  The enumerators are generators, so
+callers can stop early (e.g. existence checks and capped counting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..graph.edge import TemporalEdge, Timestamp, Vertex, as_interval
+from ..graph.temporal_graph import TemporalGraph
+from .temporal_path import TemporalPath
+
+
+class EnumerationLimitExceeded(RuntimeError):
+    """Raised when an enumeration exceeds the caller-supplied path budget."""
+
+
+def enumerate_temporal_simple_paths(
+    graph: TemporalGraph,
+    source: Vertex,
+    target: Vertex,
+    interval,
+    max_paths: Optional[int] = None,
+    max_length: Optional[int] = None,
+) -> Iterator[TemporalPath]:
+    """Yield every temporal simple path from ``source`` to ``target`` in ``interval``.
+
+    Paths are produced by a DFS that explores out-neighbours in ascending
+    timestamp order, maintaining the strictly ascending timestamp constraint
+    and a visited-vertex set for the simple-path constraint.
+
+    Parameters
+    ----------
+    max_paths:
+        If given, raise :class:`EnumerationLimitExceeded` once more than this
+        many paths would be produced (protects tests and benchmarks against
+        exponential blow-ups).
+    max_length:
+        Optional hop limit; by Remark 1 the length never exceeds the interval
+        span, which is also used as the implicit bound.
+    """
+    window = as_interval(interval)
+    if source == target:
+        return
+    if not graph.has_vertex(source) or not graph.has_vertex(target):
+        return
+    hop_limit = window.span if max_length is None else min(max_length, window.span)
+
+    produced = 0
+    # Each stack frame is (vertex, iterator over remaining out-neighbour
+    # entries, timestamp of the edge that entered the vertex).
+    path_edges: List[TemporalEdge] = []
+    visited: Set[Vertex] = {source}
+
+    def neighbor_entries(vertex: Vertex, after: Timestamp) -> List[Tuple[Vertex, Timestamp]]:
+        entries = graph.out_neighbors_after(vertex, after, strict=True)
+        return [(v, t) for (v, t) in entries if t <= window.end]
+
+    stack: List[List[Tuple[Vertex, Timestamp]]] = [
+        neighbor_entries(source, window.begin - 1)
+    ]
+    current_vertices: List[Vertex] = [source]
+
+    while stack:
+        frontier = stack[-1]
+        if not frontier:
+            stack.pop()
+            current_vertices.pop()
+            if path_edges:
+                removed = path_edges.pop()
+                visited.discard(removed.target)
+            continue
+        next_vertex, timestamp = frontier.pop(0)
+        if len(path_edges) + 1 > hop_limit:
+            continue
+        if next_vertex == target:
+            produced += 1
+            if max_paths is not None and produced > max_paths:
+                raise EnumerationLimitExceeded(
+                    f"more than {max_paths} temporal simple paths"
+                )
+            yield TemporalPath(
+                path_edges + [TemporalEdge(current_vertices[-1], target, timestamp)]
+            )
+            continue
+        if next_vertex in visited:
+            continue
+        edge = TemporalEdge(current_vertices[-1], next_vertex, timestamp)
+        path_edges.append(edge)
+        visited.add(next_vertex)
+        current_vertices.append(next_vertex)
+        stack.append(neighbor_entries(next_vertex, timestamp))
+
+
+def enumerate_temporal_paths(
+    graph: TemporalGraph,
+    source: Vertex,
+    target: Vertex,
+    interval,
+    max_paths: Optional[int] = None,
+) -> Iterator[TemporalPath]:
+    """Yield every temporal path (vertex repetitions allowed) from ``source`` to ``target``.
+
+    Because timestamps strictly ascend along a temporal path, the recursion is
+    still finite (bounded by the interval span) even though vertices may
+    repeat.  Used by the tests of Lemma 6 (intersections over temporal paths
+    equal intersections over temporal simple paths).
+    """
+    window = as_interval(interval)
+    if source == target or not graph.has_vertex(source) or not graph.has_vertex(target):
+        return
+
+    produced = 0
+    path_edges: List[TemporalEdge] = []
+
+    def recurse(vertex: Vertex, last_time: Timestamp) -> Iterator[TemporalPath]:
+        nonlocal produced
+        for next_vertex, timestamp in graph.out_neighbors_after(vertex, last_time, strict=True):
+            if timestamp > window.end:
+                break
+            edge = TemporalEdge(vertex, next_vertex, timestamp)
+            path_edges.append(edge)
+            if next_vertex == target:
+                produced += 1
+                if max_paths is not None and produced > max_paths:
+                    raise EnumerationLimitExceeded(
+                        f"more than {max_paths} temporal paths"
+                    )
+                yield TemporalPath(list(path_edges))
+            else:
+                yield from recurse(next_vertex, timestamp)
+            path_edges.pop()
+
+    yield from recurse(source, window.begin - 1)
+
+
+def exists_temporal_simple_path(
+    graph: TemporalGraph, source: Vertex, target: Vertex, interval
+) -> bool:
+    """``True`` iff at least one temporal simple path exists."""
+    for _ in enumerate_temporal_simple_paths(graph, source, target, interval):
+        return True
+    return False
+
+
+def exists_temporal_path(
+    graph: TemporalGraph, source: Vertex, target: Vertex, interval
+) -> bool:
+    """``True`` iff at least one temporal path (not necessarily simple) exists."""
+    for _ in enumerate_temporal_paths(graph, source, target, interval):
+        return True
+    return False
+
+
+def collect_path_graph_members(
+    graph: TemporalGraph,
+    source: Vertex,
+    target: Vertex,
+    interval,
+    max_paths: Optional[int] = None,
+) -> Tuple[Set[Vertex], Set[Tuple[Vertex, Vertex, Timestamp]], int]:
+    """Union the vertices and edges of every temporal simple path.
+
+    Returns ``(vertex_set, edge_set, num_paths)``; the building block of the
+    enumeration-based baselines and of the brute-force oracle used in tests.
+    """
+    vertices: Set[Vertex] = set()
+    edges: Set[Tuple[Vertex, Vertex, Timestamp]] = set()
+    count = 0
+    for path in enumerate_temporal_simple_paths(graph, source, target, interval, max_paths=max_paths):
+        count += 1
+        vertices.update(path.vertices())
+        edges.update(edge.as_tuple() for edge in path.edges)
+    return vertices, edges, count

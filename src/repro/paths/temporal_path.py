@@ -1,0 +1,190 @@
+"""Temporal path model and validity checks.
+
+A *temporal path* within ``[τb, τe]`` is a sequence of edges whose timestamps
+are strictly ascending and all lie in the interval (Section II of the paper).
+A *temporal simple path* additionally never repeats a vertex (Definition 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..graph.edge import TemporalEdge, TimeInterval, Timestamp, Vertex, as_edge, as_interval
+from ..graph.temporal_graph import TemporalGraph
+
+
+class InvalidPathError(ValueError):
+    """Raised when a sequence of edges does not form a valid temporal path."""
+
+
+@dataclass(frozen=True)
+class TemporalPath:
+    """An immutable temporal path (a tuple of :class:`TemporalEdge`).
+
+    Construction validates connectivity (the head of every edge is the tail of
+    the next) and the strictly ascending timestamp constraint.  Use
+    :meth:`is_simple` to additionally check vertex distinctness.
+    """
+
+    edges: Tuple[TemporalEdge, ...]
+
+    def __init__(self, edges: Sequence) -> None:
+        normalized = tuple(as_edge(edge) for edge in edges)
+        if not normalized:
+            raise InvalidPathError("a temporal path must contain at least one edge")
+        for left, right in zip(normalized, normalized[1:]):
+            if left.target != right.source:
+                raise InvalidPathError(
+                    f"edges are not contiguous: {left!r} then {right!r}"
+                )
+            if left.timestamp >= right.timestamp:
+                raise InvalidPathError(
+                    "timestamps must be strictly ascending: "
+                    f"{left.timestamp} then {right.timestamp}"
+                )
+        object.__setattr__(self, "edges", normalized)
+
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> Vertex:
+        """First vertex of the path."""
+        return self.edges[0].source
+
+    @property
+    def target(self) -> Vertex:
+        """Last vertex of the path."""
+        return self.edges[-1].target
+
+    @property
+    def length(self) -> int:
+        """Number of edges ``l = |E(p)|``."""
+        return len(self.edges)
+
+    @property
+    def departure_time(self) -> Timestamp:
+        """Timestamp of the first edge (``d(p, ·)`` in Definition 3)."""
+        return self.edges[0].timestamp
+
+    @property
+    def arrival_time(self) -> Timestamp:
+        """Timestamp of the last edge (``a(p, ·)`` in Definition 3)."""
+        return self.edges[-1].timestamp
+
+    @property
+    def duration(self) -> int:
+        """``arrival_time - departure_time``."""
+        return self.arrival_time - self.departure_time
+
+    def vertices(self) -> List[Vertex]:
+        """The vertex sequence ``v0, v1, ..., vl`` (with repetitions if any)."""
+        sequence = [self.edges[0].source]
+        sequence.extend(edge.target for edge in self.edges)
+        return sequence
+
+    def vertex_set(self) -> frozenset:
+        """``V(p)``: the set of distinct vertices on the path."""
+        return frozenset(self.vertices())
+
+    def edge_set(self) -> frozenset:
+        """``E(p)``: the set of edges on the path."""
+        return frozenset(self.edges)
+
+    def timestamps(self) -> List[Timestamp]:
+        """The ascending timestamp sequence of the path."""
+        return [edge.timestamp for edge in self.edges]
+
+    def is_simple(self) -> bool:
+        """``True`` iff no vertex repeats (Definition 1)."""
+        seq = self.vertices()
+        return len(seq) == len(set(seq))
+
+    def within(self, interval) -> bool:
+        """``True`` iff every edge timestamp lies in ``interval``."""
+        window = as_interval(interval)
+        return window.contains(self.departure_time) and window.contains(self.arrival_time)
+
+    def contains_vertex(self, vertex: Vertex) -> bool:
+        """``True`` iff ``vertex`` appears anywhere on the path."""
+        return vertex in self.vertex_set()
+
+    def contains_edge(self, edge) -> bool:
+        """``True`` iff ``edge`` is one of the path's edges."""
+        return as_edge(edge) in self.edge_set()
+
+    def prefix(self, num_edges: int) -> "TemporalPath":
+        """The path formed by the first ``num_edges`` edges."""
+        if not 1 <= num_edges <= self.length:
+            raise ValueError("num_edges out of range")
+        return TemporalPath(self.edges[:num_edges])
+
+    def suffix(self, num_edges: int) -> "TemporalPath":
+        """The path formed by the last ``num_edges`` edges."""
+        if not 1 <= num_edges <= self.length:
+            raise ValueError("num_edges out of range")
+        return TemporalPath(self.edges[-num_edges:])
+
+    def concatenate(self, other: "TemporalPath") -> "TemporalPath":
+        """Join two paths (``self`` then ``other``); validity is re-checked."""
+        return TemporalPath(self.edges + other.edges)
+
+    def exists_in(self, graph: TemporalGraph) -> bool:
+        """``True`` iff every edge of the path exists in ``graph``."""
+        return all(
+            graph.has_edge(edge.source, edge.target, edge.timestamp)
+            for edge in self.edges
+        )
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[TemporalEdge]:
+        return iter(self.edges)
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        hops = " -> ".join(
+            f"{edge.source!r}@{edge.timestamp}" for edge in self.edges
+        )
+        return f"TemporalPath({hops} -> {self.target!r})"
+
+
+def is_temporal_path(edges: Sequence, interval=None) -> bool:
+    """Check whether ``edges`` forms a valid temporal path (optionally within ``interval``)."""
+    try:
+        path = TemporalPath(edges)
+    except InvalidPathError:
+        return False
+    if interval is not None and not path.within(interval):
+        return False
+    return True
+
+
+def is_temporal_simple_path(edges: Sequence, interval=None) -> bool:
+    """Check whether ``edges`` forms a valid temporal *simple* path."""
+    try:
+        path = TemporalPath(edges)
+    except InvalidPathError:
+        return False
+    if interval is not None and not path.within(interval):
+        return False
+    return path.is_simple()
+
+
+def path_from_vertices(
+    graph: TemporalGraph, vertices: Sequence[Vertex], timestamps: Sequence[Timestamp]
+) -> TemporalPath:
+    """Build a path from a vertex sequence plus per-hop timestamps.
+
+    Every hop must exist in ``graph``; raises :class:`InvalidPathError`
+    otherwise.
+    """
+    if len(vertices) != len(timestamps) + 1:
+        raise InvalidPathError("need exactly one timestamp per hop")
+    edges = []
+    for index, timestamp in enumerate(timestamps):
+        u, v = vertices[index], vertices[index + 1]
+        if not graph.has_edge(u, v, timestamp):
+            raise InvalidPathError(f"edge ({u!r}, {v!r}, {timestamp}) not in graph")
+        edges.append(TemporalEdge(u, v, timestamp))
+    return TemporalPath(edges)

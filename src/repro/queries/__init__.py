@@ -1,0 +1,20 @@
+"""Query objects, random workload generation and the workload runner."""
+
+from .query import QueryWorkload, TspgQuery
+from .workload import (
+    WorkloadGenerationError,
+    generate_workload,
+    workload_for_theta_sweep,
+)
+from .runner import INF, QueryRunner, WorkloadResult
+
+__all__ = [
+    "TspgQuery",
+    "QueryWorkload",
+    "WorkloadGenerationError",
+    "generate_workload",
+    "workload_for_theta_sweep",
+    "QueryRunner",
+    "WorkloadResult",
+    "INF",
+]

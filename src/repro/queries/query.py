@@ -1,0 +1,71 @@
+"""Query value objects.
+
+A ``tspG`` query is fully described by the source, the target and the time
+interval; :class:`TspgQuery` bundles the three and a :class:`QueryWorkload`
+is a named list of queries over one dataset (the paper runs 1000 random
+queries per dataset and reports their total time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from ..graph.edge import TimeInterval, Vertex, as_interval
+
+
+@dataclass(frozen=True)
+class TspgQuery:
+    """One temporal-simple-path-graph query ``(s, t, [τb, τe])``."""
+
+    source: Vertex
+    target: Vertex
+    interval: TimeInterval
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "interval", as_interval(self.interval))
+        if self.source == self.target:
+            raise ValueError("source and target of a query must differ")
+
+    @property
+    def theta(self) -> int:
+        """The interval span ``θ`` the paper's parameter sweeps vary."""
+        return self.interval.span
+
+    def as_tuple(self):
+        """``(source, target, (τb, τe))`` — handy for logging and golden files."""
+        return (self.source, self.target, self.interval.as_tuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Query({self.source!r} -> {self.target!r}, {self.interval})"
+
+
+@dataclass
+class QueryWorkload:
+    """A named collection of queries against one dataset."""
+
+    name: str
+    queries: List[TspgQuery] = field(default_factory=list)
+
+    def add(self, query: TspgQuery) -> None:
+        """Append one query."""
+        self.queries.append(query)
+
+    def extend(self, queries: Sequence[TspgQuery]) -> None:
+        """Append many queries."""
+        self.queries.extend(queries)
+
+    def __iter__(self) -> Iterator[TspgQuery]:
+        return iter(self.queries)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def average_theta(self) -> float:
+        """Mean interval span across the workload (sanity metric)."""
+        if not self.queries:
+            return 0.0
+        return sum(q.theta for q in self.queries) / len(self.queries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryWorkload({self.name!r}, {len(self.queries)} queries)"

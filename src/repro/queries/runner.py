@@ -1,0 +1,130 @@
+"""Executing query workloads against one or more algorithms.
+
+The runner mirrors the paper's measurement protocol: it executes every query
+of a workload with each algorithm, accumulates total response time and
+max/min space cost per algorithm, and supports a per-workload time budget so
+slow baselines can be cut off and reported as "INF" (the paper's 12-hour
+cut-off, scaled down to seconds for the synthetic datasets).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.interface import AlgorithmResult, TspgAlgorithm
+from ..core.result import PathGraph
+from ..graph.temporal_graph import TemporalGraph
+from .query import QueryWorkload, TspgQuery
+
+INF = float("inf")
+
+
+@dataclass
+class WorkloadResult:
+    """Aggregated outcome of one algorithm over one workload."""
+
+    algorithm: str
+    workload: str
+    total_seconds: float = 0.0
+    num_queries: int = 0
+    num_completed: int = 0
+    timed_out: bool = False
+    max_space: int = 0
+    min_space: int = 0
+    per_query_seconds: List[float] = field(default_factory=list)
+    results: List[PathGraph] = field(default_factory=list)
+
+    @property
+    def is_inf(self) -> bool:
+        """``True`` when the workload was cut off (the paper's "INF" marker)."""
+        return self.timed_out
+
+    @property
+    def reported_seconds(self) -> float:
+        """Total seconds, or ``inf`` when cut off."""
+        return INF if self.timed_out else self.total_seconds
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "algorithm": self.algorithm,
+            "workload": self.workload,
+            "time_s": "INF" if self.timed_out else round(self.total_seconds, 4),
+            "queries": f"{self.num_completed}/{self.num_queries}",
+            "max_space": self.max_space,
+            "min_space": self.min_space,
+        }
+
+
+@dataclass
+class QueryRunner:
+    """Runs workloads against algorithms with an optional per-workload budget.
+
+    Parameters
+    ----------
+    time_budget_seconds:
+        Wall-clock budget per (algorithm, workload) pair.  Once exceeded the
+        remaining queries are skipped and the result is flagged ``timed_out``
+        — the down-scaled analogue of the paper's 12-hour limit.
+    keep_results:
+        Store every query's :class:`PathGraph` (needed by correctness
+        cross-checks, wasteful for pure timing runs).
+    """
+
+    time_budget_seconds: Optional[float] = None
+    keep_results: bool = False
+
+    def run_workload(
+        self,
+        algorithm: TspgAlgorithm,
+        graph: TemporalGraph,
+        workload: QueryWorkload,
+    ) -> WorkloadResult:
+        """Execute every query of ``workload`` with ``algorithm``."""
+        outcome = WorkloadResult(
+            algorithm=algorithm.name,
+            workload=workload.name,
+            num_queries=len(workload),
+        )
+        space_values: List[int] = []
+        started = time.perf_counter()
+        for query in workload:
+            if (
+                self.time_budget_seconds is not None
+                and time.perf_counter() - started > self.time_budget_seconds
+            ):
+                outcome.timed_out = True
+                break
+            result = algorithm.run(graph, query.source, query.target, query.interval)
+            outcome.total_seconds += result.elapsed_seconds
+            outcome.per_query_seconds.append(result.elapsed_seconds)
+            outcome.num_completed += 1
+            space_values.append(result.space_cost)
+            if result.timed_out:
+                outcome.timed_out = True
+            if self.keep_results:
+                outcome.results.append(result.result)
+        if space_values:
+            outcome.max_space = max(space_values)
+            outcome.min_space = min(space_values)
+        return outcome
+
+    def run_all(
+        self,
+        algorithms: Sequence[TspgAlgorithm],
+        graph: TemporalGraph,
+        workload: QueryWorkload,
+    ) -> List[WorkloadResult]:
+        """Run every algorithm over the same workload (the Fig. 5 protocol)."""
+        return [self.run_workload(algorithm, graph, workload) for algorithm in algorithms]
+
+    def run_single(
+        self,
+        algorithm: TspgAlgorithm,
+        graph: TemporalGraph,
+        query: TspgQuery,
+    ) -> AlgorithmResult:
+        """Run a single query (used by the CLI and the examples)."""
+        return algorithm.run(graph, query.source, query.target, query.interval)

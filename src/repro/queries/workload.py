@@ -1,0 +1,133 @@
+"""Random query-workload generation.
+
+The paper's workloads are "1000 random queries with different source vertices
+``s``, target vertices ``t`` and time intervals ``[τb, τe]`` where ``s`` can
+temporally reach ``t`` within ``[τb, τe]``", with the interval span ``θ``
+fixed per dataset.  :func:`generate_workload` reproduces that recipe on any
+temporal graph: it samples a source, an interval anchored at a random edge
+timestamp, and then a target among the vertices temporally reachable from the
+source within that interval.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..graph.edge import TimeInterval, Vertex
+from ..graph.temporal_graph import TemporalGraph
+from ..paths.reachability import INFINITY, earliest_arrival_times
+from .query import QueryWorkload, TspgQuery
+
+
+class WorkloadGenerationError(RuntimeError):
+    """Raised when no reachable query could be sampled within the attempt budget."""
+
+
+def generate_workload(
+    graph: TemporalGraph,
+    num_queries: int,
+    theta: int,
+    seed: Optional[int] = None,
+    name: str = "workload",
+    max_attempts_per_query: int = 200,
+) -> QueryWorkload:
+    """Sample ``num_queries`` reachable queries with interval span ``theta``.
+
+    Parameters
+    ----------
+    graph:
+        The dataset graph.
+    theta:
+        Interval span ``θ = τe - τb + 1``; intervals are anchored so that they
+        intersect the graph's timestamp range.
+    seed:
+        Seed for reproducible workloads (the benchmark harness fixes it).
+    max_attempts_per_query:
+        Sampling attempts before giving up on one query slot.
+
+    Raises
+    ------
+    WorkloadGenerationError
+        If a query slot cannot be filled; this indicates the graph is too
+        sparse for the requested ``theta``.
+    """
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    if theta <= 1:
+        raise ValueError("theta must be at least 2 (a path needs two timestamps)")
+    timestamps = graph.timestamps()
+    if not timestamps:
+        raise WorkloadGenerationError("the graph has no edges to build queries from")
+
+    rng = random.Random(seed)
+    vertices = [v for v in graph.vertices() if graph.out_degree(v) > 0]
+    if not vertices:
+        raise WorkloadGenerationError("the graph has no vertex with out-going edges")
+
+    workload = QueryWorkload(name=name)
+    for _ in range(num_queries):
+        query = _sample_reachable_query(
+            graph, rng, vertices, timestamps, theta, max_attempts_per_query
+        )
+        if query is None:
+            raise WorkloadGenerationError(
+                f"could not sample a reachable query with theta={theta} after "
+                f"{max_attempts_per_query} attempts"
+            )
+        workload.add(query)
+    return workload
+
+
+def _sample_reachable_query(
+    graph: TemporalGraph,
+    rng: random.Random,
+    candidate_sources: List[Vertex],
+    timestamps: List[int],
+    theta: int,
+    max_attempts: int,
+) -> Optional[TspgQuery]:
+    """Sample one query whose target is temporally reachable from its source."""
+    for _ in range(max_attempts):
+        source = rng.choice(candidate_sources)
+        # Anchor the interval at the timestamp of one of the source's
+        # out-edges so the source has a chance to act within the window.
+        out_entries = graph.out_neighbors_view(source)
+        if not out_entries:
+            continue
+        _, anchor = out_entries[rng.randrange(len(out_entries))]
+        begin = anchor - rng.randrange(theta)
+        interval = TimeInterval(begin, begin + theta - 1)
+        arrival = earliest_arrival_times(graph, source, interval, strict=True)
+        reachable = [
+            v
+            for v, time in arrival.items()
+            if time != INFINITY and v != source
+        ]
+        if not reachable:
+            continue
+        target = rng.choice(reachable)
+        return TspgQuery(source=source, target=target, interval=interval)
+    return None
+
+
+def workload_for_theta_sweep(
+    graph: TemporalGraph,
+    thetas: List[int],
+    num_queries: int,
+    seed: Optional[int] = None,
+    name: str = "sweep",
+) -> List[QueryWorkload]:
+    """One workload per ``θ`` value, sharing the seed (the Fig. 6 / Fig. 10 sweeps)."""
+    workloads = []
+    for theta in thetas:
+        workloads.append(
+            generate_workload(
+                graph,
+                num_queries=num_queries,
+                theta=theta,
+                seed=seed,
+                name=f"{name}-theta{theta}",
+            )
+        )
+    return workloads

@@ -1,0 +1,96 @@
+"""Shared fixtures: the paper's running example and assorted small graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.edge import TimeInterval
+from repro.graph.generators import paper_running_example
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@pytest.fixture
+def paper_graph() -> TemporalGraph:
+    """The directed temporal graph of Fig. 1(a)."""
+    return paper_running_example()
+
+
+@pytest.fixture
+def paper_interval() -> TimeInterval:
+    """The query interval [2, 7] used throughout the paper's running example."""
+    return TimeInterval(2, 7)
+
+
+@pytest.fixture
+def paper_query(paper_graph, paper_interval):
+    """(graph, source, target, interval) of the running example."""
+    return paper_graph, "s", "t", paper_interval
+
+
+#: Expected members of the running example's intermediate/final artifacts.
+PAPER_GQ_EDGES = {
+    ("s", "b", 2),
+    ("b", "c", 3),
+    ("c", "f", 4),
+    ("f", "e", 5),
+    ("f", "b", 5),
+    ("e", "c", 6),
+    ("b", "t", 6),
+    ("c", "t", 7),
+}
+
+PAPER_GT_EDGES = {
+    ("s", "b", 2),
+    ("b", "c", 3),
+    ("c", "f", 4),
+    ("b", "t", 6),
+    ("c", "t", 7),
+}
+
+PAPER_TSPG_EDGES = {
+    ("s", "b", 2),
+    ("b", "c", 3),
+    ("b", "t", 6),
+    ("c", "t", 7),
+}
+
+PAPER_TSPG_VERTICES = {"s", "b", "c", "t"}
+
+
+@pytest.fixture
+def diamond_graph() -> TemporalGraph:
+    """A small diamond with two disjoint temporal simple paths s→t."""
+    return TemporalGraph(
+        edges=[
+            ("s", "a", 1),
+            ("a", "t", 3),
+            ("s", "b", 2),
+            ("b", "t", 4),
+            ("a", "b", 2),
+        ]
+    )
+
+
+@pytest.fixture
+def chain_graph() -> TemporalGraph:
+    """A simple temporal chain s → v1 → v2 → v3 → t with ascending timestamps."""
+    return TemporalGraph(
+        edges=[
+            ("s", "v1", 1),
+            ("v1", "v2", 2),
+            ("v2", "v3", 3),
+            ("v3", "t", 4),
+        ]
+    )
+
+
+@pytest.fixture
+def unreachable_graph() -> TemporalGraph:
+    """A graph where t is unreachable from s under the temporal constraint."""
+    return TemporalGraph(
+        edges=[
+            ("s", "a", 5),
+            ("a", "t", 3),  # timestamp decreases, so no temporal path exists
+            ("b", "t", 9),
+        ]
+    )

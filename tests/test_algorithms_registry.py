@@ -1,0 +1,62 @@
+"""Tests for the algorithm registry and the VUG adapter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import (
+    ALGORITHM_CLASSES,
+    PAPER_ALGORITHMS,
+    VUGAlgorithm,
+    available_algorithms,
+    get_algorithm,
+)
+from repro.baselines.interface import TspgAlgorithm
+
+from conftest import PAPER_TSPG_EDGES
+
+
+class TestRegistry:
+    def test_paper_algorithms_registered(self):
+        assert set(PAPER_ALGORITHMS) <= set(ALGORITHM_CLASSES)
+        assert PAPER_ALGORITHMS == ["EPdtTSG", "EPesTSG", "EPtgTSG", "VUG"]
+
+    def test_available_algorithms_sorted(self):
+        names = available_algorithms()
+        assert names == sorted(names)
+        assert "VUG" in names
+
+    def test_get_algorithm_instantiates(self):
+        for name in available_algorithms():
+            algorithm = get_algorithm(name)
+            assert isinstance(algorithm, TspgAlgorithm)
+            assert algorithm.name == name
+
+    def test_get_algorithm_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_algorithm("does-not-exist")
+
+    def test_constructor_options_forwarded(self):
+        algorithm = get_algorithm("EPdtTSG", max_paths=5)
+        assert algorithm.max_paths == 5
+
+
+class TestVUGAdapter:
+    def test_adapter_matches_paper_example(self, paper_query):
+        graph, source, target, interval = paper_query
+        outcome = VUGAlgorithm().run(graph, source, target, interval)
+        assert set(outcome.result.edges) == PAPER_TSPG_EDGES
+        assert outcome.extras["quick_ubg_edges"] == 8
+        assert outcome.extras["tight_ubg_edges"] == 5
+        assert "phase_timings" in outcome.extras
+        assert outcome.space_cost > 0
+
+    def test_all_registered_algorithms_agree_on_paper_example(self, paper_query):
+        graph, source, target, interval = paper_query
+        results = {
+            name: get_algorithm(name).run(graph, source, target, interval).result
+            for name in available_algorithms()
+        }
+        reference = results["VUG"]
+        for name, result in results.items():
+            assert result.same_members(reference), name

@@ -1,0 +1,143 @@
+"""Tests for the analysis utilities (ratios, comparison, memory, oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.analysis.comparison import (
+    ResultMismatchError,
+    assert_same_result,
+    compare_algorithms,
+    describe_difference,
+    verify_containment_chain,
+)
+from repro.analysis.memory import SpaceProfile, collect_space_profiles, measure_deep_size
+from repro.analysis.oracle import brute_force_tspg
+from repro.analysis.upper_bound_ratio import (
+    UPPER_BOUND_METHODS,
+    UpperBoundObservation,
+    upper_bound_ratio_for_query,
+    upper_bound_ratios_for_workload,
+)
+from repro.baselines.interface import AlgorithmResult
+from repro.core.result import PathGraph
+from repro.graph.generators import uniform_random_temporal_graph
+from repro.graph.temporal_graph import TemporalGraph
+from repro.queries.query import QueryWorkload, TspgQuery
+
+from conftest import PAPER_TSPG_EDGES
+
+
+class TestOracle:
+    def test_paper_example(self, paper_query):
+        graph, source, target, interval = paper_query
+        oracle = brute_force_tspg(graph, source, target, interval)
+        assert set(oracle.edges) == PAPER_TSPG_EDGES
+
+    def test_empty_when_unreachable(self, unreachable_graph):
+        assert brute_force_tspg(unreachable_graph, "s", "t", (1, 10)).is_empty
+
+
+class TestUpperBoundRatios:
+    def test_methods_registered(self):
+        assert set(UPPER_BOUND_METHODS) == {"dtTSG", "esTSG", "tgTSG", "QuickUBG", "TightUBG"}
+
+    def test_single_query_ordering(self, paper_query):
+        graph, source, target, interval = paper_query
+        observations = upper_bound_ratio_for_query(graph, source, target, interval)
+        ratios = {name: obs.ratio for name, obs in observations.items()}
+        # Tighter bounds have higher ratios; tgTSG and QuickUBG coincide.
+        assert ratios["dtTSG"] <= ratios["esTSG"] <= ratios["tgTSG"] <= ratios["TightUBG"]
+        assert ratios["tgTSG"] == pytest.approx(ratios["QuickUBG"])
+        assert ratios["TightUBG"] == pytest.approx(100 * 4 / 5)
+        assert ratios["dtTSG"] == pytest.approx(100 * 4 / 14)
+
+    def test_workload_average(self, paper_query):
+        graph, source, target, interval = paper_query
+        workload = QueryWorkload("paper", [TspgQuery(source, target, interval)])
+        summaries = upper_bound_ratios_for_workload(graph, workload)
+        assert summaries["TightUBG"].average_ratio == pytest.approx(80.0)
+        row = summaries["TightUBG"].as_row()
+        assert row["queries"] == 1
+
+    def test_empty_bound_handled(self):
+        observation = UpperBoundObservation(method="dtTSG", tspg_edges=0, upper_bound_edges=0)
+        assert observation.ratio is None
+
+
+class TestComparison:
+    def test_assert_same_result_passes_and_fails(self, paper_query):
+        graph, source, target, interval = paper_query
+        a = brute_force_tspg(graph, source, target, interval)
+        b = brute_force_tspg(graph, source, target, interval)
+        assert_same_result("a", a, "b", b)
+        smaller = PathGraph.from_edges(source, target, interval, [("s", "b", 2)])
+        with pytest.raises(ResultMismatchError):
+            assert_same_result("a", a, "smaller", smaller)
+        text = describe_difference("a", a, "smaller", smaller)
+        assert "edges only in a" in text
+
+    def test_compare_algorithms_agree(self, paper_query):
+        graph, source, target, interval = paper_query
+        queries = [TspgQuery(source, target, interval)]
+        report = compare_algorithms(
+            [get_algorithm("VUG"), get_algorithm("EPdtTSG"), get_algorithm("EPtgTSG")],
+            graph,
+            queries,
+        )
+        assert report.all_agree
+        assert report.num_queries == 1
+        assert report.num_agreements == 1
+        assert report.as_dict()["mismatches"] == []
+
+    def test_compare_algorithms_requires_input(self, paper_graph):
+        with pytest.raises(ValueError):
+            compare_algorithms([], paper_graph, [])
+
+    def test_verify_containment_chain_reports_violation(self):
+        small = TemporalGraph(edges=[("a", "b", 1)])
+        big = TemporalGraph(edges=[("a", "b", 1), ("b", "c", 2)])
+        assert verify_containment_chain([small, big]) == []
+        violations = verify_containment_chain([big, small], names=["big", "small"])
+        assert len(violations) == 1
+        assert "big" in violations[0]
+
+
+class TestMemory:
+    def test_space_profile(self):
+        profile = SpaceProfile("VUG")
+        for cost in (10, 50, 20):
+            profile.add(cost)
+        assert profile.max_cost == 50
+        assert profile.min_cost == 10
+        assert profile.spread == 5.0
+        assert profile.as_row()["algorithm"] == "VUG"
+
+    def test_empty_profile(self):
+        profile = SpaceProfile("X")
+        assert profile.max_cost == 0
+        assert profile.spread == 1.0
+
+    def test_collect_space_profiles(self, paper_query):
+        graph, source, target, interval = paper_query
+        results = [
+            AlgorithmResult("VUG", PathGraph.empty(source, target, interval), 0.0, space_cost=5),
+            AlgorithmResult("VUG", PathGraph.empty(source, target, interval), 0.0, space_cost=9),
+            AlgorithmResult("EPdtTSG", PathGraph.empty(source, target, interval), 0.0, space_cost=100),
+        ]
+        profiles = collect_space_profiles(results)
+        assert profiles["VUG"].max_cost == 9
+        assert profiles["EPdtTSG"].min_cost == 100
+
+    def test_measure_deep_size_grows_with_content(self):
+        small = {"a": [1, 2, 3]}
+        large = {"a": list(range(1000)), "b": {"nested": tuple(range(100))}}
+        assert measure_deep_size(large) > measure_deep_size(small) > 0
+
+    def test_measure_deep_size_handles_objects_and_cycles(self, paper_graph):
+        size = measure_deep_size(paper_graph)
+        assert size > 0
+        cyclic = []
+        cyclic.append(cyclic)
+        assert measure_deep_size(cyclic) > 0

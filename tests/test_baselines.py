@@ -1,0 +1,135 @@
+"""Tests for the baseline reductions and enumeration-based algorithms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.oracle import brute_force_tspg
+from repro.baselines.enumeration import EnumerationBudgetExceeded, tspg_by_enumeration
+from repro.baselines.ep_algorithms import EPdtTSG, EPesTSG, EPtgTSG, NaiveEnumeration
+from repro.baselines.reductions import (
+    dt_tsg_reduction,
+    es_tsg_reduction,
+    tg_tsg_reduction,
+)
+from repro.core.quick_ubg import quick_upper_bound_graph
+from repro.core.tight_ubg import tight_upper_bound_graph
+from repro.graph.generators import uniform_random_temporal_graph
+from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.validation import is_subgraph
+
+from conftest import PAPER_GQ_EDGES, PAPER_TSPG_EDGES
+
+
+class TestReductionsOnPaperExample:
+    def test_dt_tsg_is_the_projected_graph(self, paper_query):
+        graph, source, target, interval = paper_query
+        reduced = dt_tsg_reduction(graph, source, target, interval)
+        expected = graph.project(interval)
+        assert reduced == expected
+        # The edge with timestamp outside [2, 7] would be pruned; the running
+        # example has none, so the projection keeps all 14 edges.
+        assert reduced.num_edges == graph.num_edges
+
+    def test_es_tsg_prunes_dead_edges(self, paper_query):
+        graph, source, target, interval = paper_query
+        reduced = es_tsg_reduction(graph, source, target, interval)
+        # Fig. 2(b): s->a and d's incident edges are gone, cycle edges remain.
+        assert not reduced.has_edge("s", "a", 3)
+        assert not reduced.has_edge("d", "t", 2)
+        assert reduced.has_edge("e", "c", 6)
+        assert is_subgraph(reduced, graph)
+
+    def test_tg_tsg_equals_quick_ubg(self, paper_query):
+        graph, source, target, interval = paper_query
+        reduced = tg_tsg_reduction(graph, source, target, interval)
+        assert reduced.edge_tuples() == PAPER_GQ_EDGES
+
+    def test_containment_chain(self, paper_query):
+        graph, source, target, interval = paper_query
+        dt = dt_tsg_reduction(graph, source, target, interval)
+        es = es_tsg_reduction(graph, source, target, interval)
+        tg = tg_tsg_reduction(graph, source, target, interval)
+        quick = quick_upper_bound_graph(graph, source, target, interval)
+        tight = tight_upper_bound_graph(quick, source, target, interval)
+        assert is_subgraph(tight, quick)
+        assert is_subgraph(quick, tg) and is_subgraph(tg, quick)
+        assert is_subgraph(tg, es)
+        assert is_subgraph(es, dt)
+        assert is_subgraph(dt, graph)
+
+
+class TestReductionsOnRandomGraphs:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_containment_chain_random(self, seed):
+        graph = uniform_random_temporal_graph(15, 90, num_timestamps=12, seed=seed)
+        source, target, interval = 0, 7, (2, 11)
+        dt = dt_tsg_reduction(graph, source, target, interval)
+        es = es_tsg_reduction(graph, source, target, interval)
+        tg = tg_tsg_reduction(graph, source, target, interval)
+        quick = quick_upper_bound_graph(graph, source, target, interval)
+        tight = tight_upper_bound_graph(quick, source, target, interval)
+        tspg = brute_force_tspg(graph, source, target, interval)
+        assert set(tspg.edges) <= tight.edge_tuples()
+        assert is_subgraph(tight, quick)
+        assert quick.edge_tuples() == tg.edge_tuples()
+        assert is_subgraph(tg, es)
+        assert is_subgraph(es, dt)
+
+
+class TestEnumeration:
+    def test_enumeration_on_projected_graph_matches_oracle(self, paper_query):
+        graph, source, target, interval = paper_query
+        outcome = tspg_by_enumeration(graph.project(interval), source, target, interval)
+        assert set(outcome.result.edges) == PAPER_TSPG_EDGES
+        assert outcome.num_paths == 2
+        assert outcome.total_path_edges == 5  # one 3-hop path plus one 2-hop path
+
+    def test_budget_exceeded(self, paper_query):
+        graph, source, target, interval = paper_query
+        with pytest.raises(EnumerationBudgetExceeded):
+            tspg_by_enumeration(graph, source, target, interval, max_paths=1)
+
+    def test_unreachable_returns_empty(self, unreachable_graph):
+        outcome = tspg_by_enumeration(unreachable_graph, "s", "t", (1, 10))
+        assert outcome.result.is_empty
+        assert outcome.num_paths == 0
+
+    def test_space_cost_grows_with_paths(self):
+        graph = TemporalGraph(
+            edges=[("s", "a", 1), ("s", "b", 1), ("a", "t", 2), ("b", "t", 2), ("s", "t", 3)]
+        )
+        outcome = tspg_by_enumeration(graph, "s", "t", (1, 3))
+        assert outcome.num_paths == 3
+        assert outcome.space_cost >= outcome.total_path_edges
+
+
+class TestEPAlgorithms:
+    @pytest.mark.parametrize("algorithm_cls", [NaiveEnumeration, EPdtTSG, EPesTSG, EPtgTSG])
+    def test_paper_example_agreement(self, algorithm_cls, paper_query):
+        graph, source, target, interval = paper_query
+        outcome = algorithm_cls().run(graph, source, target, interval)
+        assert set(outcome.result.edges) == PAPER_TSPG_EDGES
+        assert outcome.elapsed_seconds >= 0.0
+        assert outcome.space_cost > 0
+
+    @pytest.mark.parametrize("algorithm_cls", [EPdtTSG, EPesTSG, EPtgTSG])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_graph_agreement_with_oracle(self, algorithm_cls, seed):
+        graph = uniform_random_temporal_graph(12, 70, num_timestamps=10, seed=seed)
+        source, target, interval = 1, 8, (1, 9)
+        expected = brute_force_tspg(graph, source, target, interval)
+        outcome = algorithm_cls().run(graph, source, target, interval)
+        assert outcome.result.same_members(expected)
+
+    def test_max_paths_marks_timeout(self, paper_query):
+        graph, source, target, interval = paper_query
+        outcome = EPdtTSG(max_paths=1).run(graph, source, target, interval)
+        assert outcome.timed_out
+        assert outcome.result.is_empty
+
+    def test_upper_bound_sizes_recorded(self, paper_query):
+        graph, source, target, interval = paper_query
+        dt = EPdtTSG().run(graph, source, target, interval)
+        tg = EPtgTSG().run(graph, source, target, interval)
+        assert dt.extras["upper_bound_edges"] >= tg.extras["upper_bound_edges"]

@@ -1,0 +1,50 @@
+"""Tests for the benchmark reporting helpers."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentReport, format_value, render_series, render_table
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(float("inf")) == "INF"
+        assert format_value(0.0) == "0"
+        assert format_value(3.14159) == "3.142"
+        assert format_value(0.0000123) == "1.230e-05"
+        assert format_value(123456.0) == "1.235e+05"
+        assert format_value("text") == "text"
+        assert format_value(42) == "42"
+
+    def test_render_table(self):
+        rows = [{"name": "VUG", "time": 0.5}, {"name": "EPdtTSG", "time": 12.0}]
+        text = render_table(rows, title="demo")
+        assert "demo" in text
+        assert "VUG" in text and "EPdtTSG" in text
+        assert text.splitlines()[1].startswith("name")
+
+    def test_render_table_empty(self):
+        assert "(no rows)" in render_table([], title="empty")
+        assert render_table([]) == "(no rows)"
+
+    def test_render_series(self):
+        series = {"VUG": {8: 0.1, 10: 0.2}, "EPdtTSG": {8: 1.0}}
+        text = render_series(series, x_label="theta")
+        assert "theta" in text
+        assert "VUG" in text
+        # Missing points render as '-'.
+        assert "-" in text
+
+
+class TestExperimentReport:
+    def test_rows_series_notes(self):
+        report = ExperimentReport(experiment="Exp-X", description="demo experiment")
+        report.add_row(dataset="D1", VUG=0.2)
+        report.add_point("VUG", "D1", 0.2)
+        report.add_note("substitution applied")
+        text = report.render(x_label="dataset")
+        assert "Exp-X" in text
+        assert "demo experiment" in text
+        assert "substitution applied" in text
+        assert "D1" in text
+        assert str(report)

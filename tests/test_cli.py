@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.io import save_edge_list
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_query_requires_input_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--source", "a", "--target", "b",
+                                       "--begin", "1", "--end", "2"])
+
+
+class TestQueryCommand:
+    def test_query_on_edge_list(self, tmp_path, capsys):
+        graph = TemporalGraph(edges=[("s", "b", 2), ("b", "t", 6), ("b", "c", 3), ("c", "t", 7)])
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        exit_code = main([
+            "query", "--edge-list", str(path),
+            "--source", "s", "--target", "t",
+            "--begin", "2", "--end", "7", "--show-edges",
+        ])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "4 edges" in captured
+        assert "s -> b @ 2" in captured
+
+    def test_query_on_builtin_dataset_with_integer_vertices(self, capsys):
+        exit_code = main([
+            "query", "--dataset", "D1",
+            "--source", "0", "--target", "1",
+            "--begin", "1", "--end", "40",
+        ])
+        assert exit_code == 0
+        assert "tspG has" in capsys.readouterr().out
+
+    def test_query_with_alternative_algorithm(self, tmp_path, capsys):
+        graph = TemporalGraph(edges=[("s", "t", 3)])
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        exit_code = main([
+            "query", "--edge-list", str(path),
+            "--source", "s", "--target", "t",
+            "--begin", "1", "--end", "5",
+            "--algorithm", "EPdtTSG",
+        ])
+        assert exit_code == 0
+        assert "EPdtTSG" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "D1" in out and "D10" in out
+        assert "email-Eu-core" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_experiment_theta_sweep(self, capsys):
+        assert main([
+            "experiment", "exp2", "--dataset", "D1", "--queries", "2",
+            "--thetas", "4", "5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Exp-2" in out
+
+    def test_experiment_multi_dataset(self, capsys):
+        assert main([
+            "experiment", "exp4", "--datasets", "D1", "--queries", "2",
+        ]) == 0
+        assert "Exp-4" in capsys.readouterr().out
+
+    def test_case_study(self, capsys):
+        assert main(["case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "Silver Ave" in out
+        assert "30th St" in out

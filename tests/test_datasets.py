@@ -1,0 +1,123 @@
+"""Tests for the dataset registry and the transit case study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generate_tspg
+from repro.analysis.oracle import brute_force_tspg
+from repro.datasets.registry import (
+    DATASETS,
+    dataset_keys,
+    get_dataset,
+    load_dataset,
+    small_dataset_keys,
+)
+from repro.datasets.transit import (
+    CASE_STUDY_QUERY,
+    CASE_STUDY_STOPS,
+    case_study_graph,
+    case_study_trips,
+    describe_transfer_options,
+    generate_transit_network,
+    hhmm,
+    minute,
+)
+from repro.graph.validation import validate_graph
+from repro.queries.workload import generate_workload
+
+
+class TestRegistry:
+    def test_ten_datasets_registered(self):
+        assert dataset_keys() == [f"D{i}" for i in range(1, 11)]
+        assert set(dataset_keys()) == set(DATASETS)
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("D99")
+
+    def test_small_keys_subset(self):
+        assert set(small_dataset_keys()) <= set(dataset_keys())
+
+    @pytest.mark.parametrize("key", ["D1", "D2", "D5", "D8"])
+    def test_load_is_deterministic_and_valid(self, key):
+        first = load_dataset(key)
+        second = load_dataset(key)
+        assert first == second
+        validate_graph(first)
+        assert first.num_edges > 100
+
+    def test_sizes_roughly_increase_with_index(self):
+        small = load_dataset("D1").num_edges
+        large = load_dataset("D9").num_edges
+        assert large > small
+
+    def test_paper_statistics_present(self):
+        spec = get_dataset("D9")
+        assert spec.paper_name == "sx-stackoverflow"
+        assert spec.paper_statistics.num_edges == 63_497_050
+        assert spec.default_theta == 20
+
+    @pytest.mark.parametrize("key", ["D1", "D3"])
+    def test_workloads_can_be_generated(self, key):
+        spec = get_dataset(key)
+        graph = spec.load()
+        workload = generate_workload(graph, num_queries=3, theta=spec.default_theta, seed=1)
+        assert len(workload) == 3
+
+    def test_statistics_helper(self):
+        stats = get_dataset("D1").statistics()
+        assert stats.num_vertices > 0
+        assert stats.num_edges > 0
+
+
+class TestTransitCaseStudy:
+    def test_minute_and_hhmm_roundtrip(self):
+        assert minute("09:23") == 563
+        assert hhmm(563) == "09:23"
+        assert hhmm(minute("00:05")) == "00:05"
+
+    def test_case_study_graph_matches_figure13(self):
+        graph = case_study_graph()
+        assert graph.num_vertices == 8
+        assert graph.num_edges == 17
+        assert set(graph.vertices()) == set(CASE_STUDY_STOPS)
+
+    def test_case_study_trips_all_within_window(self):
+        source, target, interval = CASE_STUDY_QUERY
+        for trip in case_study_trips():
+            assert interval[0] <= trip.departure <= interval[1]
+
+    def test_tspg_on_bare_case_study_uses_all_stops(self):
+        source, target, interval = CASE_STUDY_QUERY
+        graph = case_study_graph()
+        tspg = generate_tspg(graph, source, target, interval)
+        assert set(tspg.vertices) == set(CASE_STUDY_STOPS)
+        assert tspg.num_edges >= 15
+        oracle = brute_force_tspg(graph, source, target, interval)
+        assert tspg.same_members(oracle)
+
+    def test_transfer_option_rendering(self):
+        source, target, interval = CASE_STUDY_QUERY
+        tspg = generate_tspg(case_study_graph(), source, target, interval)
+        lines = describe_transfer_options(tspg)
+        assert len(lines) == tspg.num_edges
+        assert any("Silver Ave" in line for line in lines)
+        assert lines == sorted(lines, key=lambda line: line.split()[0])
+
+    def test_full_network_embeds_case_study(self):
+        network = generate_transit_network(seed=1)
+        assert network.num_vertices > len(CASE_STUDY_STOPS)
+        for trip in case_study_trips():
+            assert network.has_edge(trip.from_stop, trip.to_stop, trip.departure)
+
+    def test_full_network_query_contains_corridor(self):
+        source, target, interval = CASE_STUDY_QUERY
+        network = generate_transit_network(seed=1)
+        tspg = generate_tspg(network, source, target, interval)
+        assert set(CASE_STUDY_STOPS) <= set(tspg.vertices)
+        oracle = brute_force_tspg(network, source, target, interval)
+        assert tspg.same_members(oracle)
+
+    def test_full_network_is_deterministic(self):
+        assert generate_transit_network(seed=9) == generate_transit_network(seed=9)

@@ -1,0 +1,168 @@
+"""Unit tests for escaped edges verification (Algorithms 6 and 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.oracle import brute_force_tspg
+from repro.core.eev import BidirectionalSearcher, escaped_edges_verification
+from repro.core.quick_ubg import quick_upper_bound_graph
+from repro.core.tight_ubg import tight_upper_bound_graph
+from repro.graph.edge import TemporalEdge, TimeInterval
+from repro.graph.temporal_graph import TemporalGraph
+
+from conftest import PAPER_TSPG_EDGES, PAPER_TSPG_VERTICES
+
+
+@pytest.fixture
+def paper_tight(paper_query):
+    graph, source, target, interval = paper_query
+    quick = quick_upper_bound_graph(graph, source, target, interval)
+    return tight_upper_bound_graph(quick, source, target, interval)
+
+
+class TestPaperExample:
+    def test_exact_tspg(self, paper_query, paper_tight):
+        _, source, target, interval = paper_query
+        result = escaped_edges_verification(paper_tight, source, target, interval)
+        assert set(result.edges) == PAPER_TSPG_EDGES
+        assert set(result.vertices) == PAPER_TSPG_VERTICES
+
+    def test_statistics_account_for_every_edge(self, paper_query, paper_tight):
+        _, source, target, interval = paper_query
+        result, stats = escaped_edges_verification(
+            paper_tight, source, target, interval, collect_statistics=True
+        )
+        assert set(result.edges) == PAPER_TSPG_EDGES
+        assert stats.edges_total == paper_tight.num_edges
+        # s->b, b->t, c->t are confirmed by Lemma 2, b->c by Lemma 10 and
+        # c->f is rejected by the bidirectional search.
+        assert stats.confirmed_by_lemma2 == 3
+        assert stats.confirmed_by_lemma10 == 1
+        assert stats.rejected_by_search == 1
+        assert stats.searches_performed == 1
+
+    def test_without_lemma10_same_result(self, paper_query, paper_tight):
+        _, source, target, interval = paper_query
+        result = escaped_edges_verification(
+            paper_tight, source, target, interval, use_lemma10=False
+        )
+        assert set(result.edges) == PAPER_TSPG_EDGES
+
+    def test_eev_on_quick_bound_matches_oracle(self, paper_query):
+        graph, source, target, interval = paper_query
+        quick = quick_upper_bound_graph(graph, source, target, interval)
+        result = escaped_edges_verification(
+            quick, source, target, interval, use_lemma10=False
+        )
+        oracle = brute_force_tspg(graph, source, target, interval)
+        assert result.same_members(oracle)
+
+
+class TestReplacementEdges:
+    def test_parallel_edges_confirmed_in_one_batch(self):
+        # Two parallel edges a->b at timestamps 3 and 4 both complete a simple
+        # path; Lemma 11 confirms them from a single witness search.
+        graph = TemporalGraph(
+            edges=[("s", "a", 1), ("a", "b", 3), ("a", "b", 4), ("b", "c", 5), ("c", "t", 6)]
+        )
+        interval = (1, 6)
+        quick = quick_upper_bound_graph(graph, "s", "t", interval)
+        tight = tight_upper_bound_graph(quick, "s", "t", interval)
+        result, stats = escaped_edges_verification(
+            tight, "s", "t", interval, collect_statistics=True
+        )
+        oracle = brute_force_tspg(graph, "s", "t", interval)
+        assert result.same_members(oracle)
+        assert ("a", "b", 3) in result.edges
+        assert ("a", "b", 4) in result.edges
+        # The cheap rules plus batch confirmation keep the search count low.
+        assert stats.searches_performed <= 1
+
+    def test_replacement_edge_outside_window_not_confirmed(self):
+        graph = TemporalGraph(
+            edges=[("s", "a", 2), ("a", "b", 3), ("a", "b", 9), ("b", "c", 4), ("c", "t", 5)]
+        )
+        interval = (1, 6)
+        quick = quick_upper_bound_graph(graph, "s", "t", interval)
+        tight = tight_upper_bound_graph(quick, "s", "t", interval)
+        result = escaped_edges_verification(tight, "s", "t", interval)
+        assert ("a", "b", 3) in result.edges
+        assert ("a", "b", 9) not in result.edges
+
+
+class TestBidirectionalSearcher:
+    def test_witness_found_for_tspg_edge(self, paper_query, paper_tight):
+        _, source, target, interval = paper_query
+        searcher = BidirectionalSearcher(paper_tight, source, target, interval)
+        witness = searcher.find_witness_path(TemporalEdge("b", "c", 3))
+        assert witness is not None
+        assert witness.source == source
+        assert witness.target == target
+        assert witness.is_simple()
+        assert witness.contains_edge(TemporalEdge("b", "c", 3))
+
+    def test_no_witness_for_pruned_edge(self, paper_query, paper_tight):
+        _, source, target, interval = paper_query
+        searcher = BidirectionalSearcher(paper_tight, source, target, interval)
+        assert searcher.find_witness_path(TemporalEdge("c", "f", 4)) is None
+
+    def test_direct_edge_between_endpoints(self):
+        graph = TemporalGraph(edges=[("s", "t", 3)])
+        searcher = BidirectionalSearcher(graph, "s", "t", TimeInterval(1, 5))
+        witness = searcher.find_witness_path(TemporalEdge("s", "t", 3))
+        assert witness is not None
+        assert witness.length == 1
+
+    def test_edge_outside_interval_has_no_witness(self):
+        graph = TemporalGraph(edges=[("s", "t", 30)])
+        searcher = BidirectionalSearcher(graph, "s", "t", TimeInterval(1, 5))
+        assert searcher.find_witness_path(TemporalEdge("s", "t", 30)) is None
+
+    def test_vertex_disjointness_is_enforced(self):
+        # The only continuation from b to t revisits a, so the edge (a, b, 2)
+        # admits no simple witness.
+        graph = TemporalGraph(
+            edges=[("s", "a", 1), ("a", "b", 2), ("b", "a", 3), ("a", "t", 4)]
+        )
+        searcher = BidirectionalSearcher(graph, "s", "t", TimeInterval(1, 5))
+        witness = searcher.find_witness_path(TemporalEdge("b", "a", 3))
+        assert witness is None
+
+    def test_search_direction_heuristic_does_not_change_result(self):
+        graph = TemporalGraph(
+            edges=[
+                ("s", "a", 1),
+                ("a", "m", 2),
+                ("m", "b", 8),
+                ("b", "t", 9),
+                ("s", "m", 7),
+                ("m", "t", 8),
+            ]
+        )
+        searcher = BidirectionalSearcher(graph, "s", "t", TimeInterval(1, 9))
+        # τ - τb > τe - τ  → forward first.
+        late = searcher.find_witness_path(TemporalEdge("m", "b", 8))
+        # τ - τb < τe - τ  → backward first.
+        early = searcher.find_witness_path(TemporalEdge("a", "m", 2))
+        assert late is not None and late.is_simple()
+        assert early is not None and early.is_simple()
+
+
+class TestEdgeCases:
+    def test_empty_tight_graph(self):
+        empty = TemporalGraph()
+        result = escaped_edges_verification(empty, "s", "t", (1, 5))
+        assert result.is_empty
+
+    def test_result_is_symmetric_under_parallel_source_edges(self):
+        graph = TemporalGraph(
+            edges=[("s", "a", 1), ("s", "a", 2), ("a", "t", 3), ("a", "t", 4)]
+        )
+        interval = (1, 4)
+        quick = quick_upper_bound_graph(graph, "s", "t", interval)
+        tight = tight_upper_bound_graph(quick, "s", "t", interval)
+        result = escaped_edges_verification(tight, "s", "t", interval)
+        oracle = brute_force_tspg(graph, "s", "t", interval)
+        assert result.same_members(oracle)
+        assert len(result.edges) == 4

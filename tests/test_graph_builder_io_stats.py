@@ -1,0 +1,165 @@
+"""Tests for the builder, edge-list IO, validation and statistics modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.builder import TemporalGraphBuilder, graph_from_edges
+from repro.graph.edge import TemporalEdge
+from repro.graph.io import (
+    EdgeListFormatError,
+    edge_list_lines,
+    load_edge_list,
+    load_json,
+    parse_edge_line,
+    save_edge_list,
+    save_json,
+)
+from repro.graph.statistics import compute_statistics, degree_histogram, timestamp_histogram
+from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.validation import (
+    ValidationError,
+    assert_edges_within_interval,
+    assert_subgraph,
+    is_subgraph,
+    validate_graph,
+)
+
+
+class TestBuilder:
+    def test_basic_building(self):
+        builder = TemporalGraphBuilder()
+        builder.add_interaction("a", "b", 1).add_interaction("b", "c", 2)
+        graph = builder.build()
+        assert graph.num_edges == 2
+        assert builder.num_events == 2
+
+    def test_self_loops_dropped_silently(self):
+        builder = TemporalGraphBuilder()
+        builder.add_interaction("a", "a", 1)
+        assert builder.num_events == 0
+        assert builder.dropped_self_loops == 1
+
+    def test_records_with_custom_parser(self):
+        builder = TemporalGraphBuilder()
+        builder.add_record(
+            {"source": "a", "target": "b", "timestamp": "07"}, time_parser=int
+        )
+        assert builder.build().has_edge("a", "b", 7)
+
+    def test_relabelling(self):
+        builder = TemporalGraphBuilder(relabel=True)
+        builder.add_interactions([("alice", "bob", 1), ("bob", "carol", 2)])
+        graph = builder.build()
+        assert set(graph.vertices()) == {0, 1, 2}
+        assert builder.id_of("alice") == 0
+        assert builder.label_of(2) == "carol"
+        assert builder.vertex_labels() == ["alice", "bob", "carol"]
+
+    def test_relabel_helpers_require_relabel_mode(self):
+        builder = TemporalGraphBuilder()
+        with pytest.raises(ValueError):
+            builder.label_of(0)
+        with pytest.raises(ValueError):
+            builder.id_of("x")
+
+    def test_graph_from_edges(self):
+        graph = graph_from_edges([("a", "b", 1)], vertices=["lonely"])
+        assert graph.has_vertex("lonely")
+        assert graph.num_edges == 1
+
+
+class TestEdgeListIO:
+    def test_parse_edge_line_variants(self):
+        assert parse_edge_line("1 2 30") == ("1", "2", 30)
+        assert parse_edge_line("1 2 1.0 30") == ("1", "2", 30)
+        assert parse_edge_line("# comment") is None
+        assert parse_edge_line("% comment") is None
+        assert parse_edge_line("   ") is None
+        with pytest.raises(EdgeListFormatError):
+            parse_edge_line("1 2")
+        with pytest.raises(EdgeListFormatError):
+            parse_edge_line("1 2 not-a-number")
+
+    def test_round_trip(self, tmp_path):
+        graph = TemporalGraph(edges=[(1, 2, 5), (2, 3, 7)])
+        path = tmp_path / "edges.txt"
+        written = save_edge_list(graph, path, header="demo graph")
+        assert written == 2
+        loaded = load_edge_list(path)
+        assert loaded == graph
+
+    def test_self_loops_skipped_on_load(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("1 1 5\n1 2 6\n")
+        graph = load_edge_list(path)
+        assert graph.num_edges == 1
+
+    def test_string_vertices_preserved(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("alice bob 3\n")
+        graph = load_edge_list(path)
+        assert graph.has_edge("alice", "bob", 3)
+
+    def test_json_round_trip(self, tmp_path):
+        graph = TemporalGraph(edges=[("stop a", "stop b", 550)], vertices=["lonely stop"])
+        path = tmp_path / "graph.json"
+        save_json(graph, path)
+        loaded = load_json(path)
+        assert loaded.has_edge("stop a", "stop b", 550)
+        assert loaded.has_vertex("lonely stop")
+
+    def test_edge_list_lines(self):
+        graph = TemporalGraph(edges=[("a", "b", 2), ("b", "c", 1)])
+        assert edge_list_lines(graph) == ["b c 1", "a b 2"]
+
+
+class TestValidation:
+    def test_validate_graph_accepts_well_formed_graphs(self, paper_graph):
+        validate_graph(paper_graph)
+
+    def test_is_subgraph(self, paper_graph):
+        sub = paper_graph.edge_induced_subgraph([("s", "b", 2)])
+        assert is_subgraph(sub, paper_graph)
+        assert not is_subgraph(paper_graph, sub)
+        assert_subgraph(sub, paper_graph)
+        with pytest.raises(ValidationError):
+            assert_subgraph(paper_graph, sub)
+
+    def test_edges_within_interval(self, paper_graph):
+        assert_edges_within_interval(paper_graph, (2, 7))
+        with pytest.raises(ValidationError):
+            assert_edges_within_interval(paper_graph, (2, 6))
+
+
+class TestStatistics:
+    def test_paper_graph_statistics(self, paper_graph):
+        stats = compute_statistics(paper_graph)
+        assert stats.num_vertices == 8
+        assert stats.num_edges == 14
+        assert stats.num_timestamps == 6
+        assert stats.max_degree == 4  # b has 4 out-going temporal edges
+        assert stats.min_timestamp == 2
+        assert stats.max_timestamp == 7
+        assert stats.timestamp_span == 6
+        row = stats.as_row()
+        assert row["|V|"] == 8 and row["|E|"] == 14
+
+    def test_empty_graph_statistics(self):
+        stats = compute_statistics(TemporalGraph())
+        assert stats.num_vertices == 0
+        assert stats.timestamp_span == 0
+        assert stats.density == 0.0
+
+    def test_degree_histogram(self, paper_graph):
+        histogram = degree_histogram(paper_graph, direction="out")
+        assert sum(histogram.values()) == paper_graph.num_vertices
+        with pytest.raises(ValueError):
+            degree_histogram(paper_graph, direction="sideways")
+
+    def test_timestamp_histogram(self, paper_graph):
+        bins = timestamp_histogram(paper_graph, num_bins=3)
+        assert len(bins) == 3
+        assert sum(bins) == paper_graph.num_edges
+        with pytest.raises(ValueError):
+            timestamp_histogram(paper_graph, num_bins=0)

@@ -1,0 +1,90 @@
+"""Unit tests for TemporalEdge, TimeInterval and the coercion helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.edge import TemporalEdge, TimeInterval, as_edge, as_interval
+
+
+class TestTemporalEdge:
+    def test_construction_and_fields(self):
+        edge = TemporalEdge("u", "v", 5)
+        assert edge.source == "u"
+        assert edge.target == "v"
+        assert edge.timestamp == 5
+
+    def test_timestamp_is_coerced_to_int(self):
+        edge = TemporalEdge("u", "v", 5.0)
+        assert edge.timestamp == 5
+        assert isinstance(edge.timestamp, int)
+
+    def test_unpacking_order_is_u_v_t(self):
+        u, v, t = TemporalEdge("a", "b", 3)
+        assert (u, v, t) == ("a", "b", 3)
+
+    def test_as_tuple_and_reversed(self):
+        edge = TemporalEdge("a", "b", 3)
+        assert edge.as_tuple() == ("a", "b", 3)
+        assert edge.reversed() == TemporalEdge("b", "a", 3)
+
+    def test_equality_and_hash(self):
+        assert TemporalEdge("a", "b", 3) == TemporalEdge("a", "b", 3)
+        assert TemporalEdge("a", "b", 3) != TemporalEdge("a", "b", 4)
+        assert len({TemporalEdge("a", "b", 3), TemporalEdge("a", "b", 3)}) == 1
+
+    def test_sorting_is_by_timestamp_first(self):
+        edges = [TemporalEdge("z", "a", 2), TemporalEdge("a", "z", 1)]
+        assert sorted(edges)[0].timestamp == 1
+
+
+class TestTimeInterval:
+    def test_span(self):
+        assert TimeInterval(2, 7).span == 6
+        assert TimeInterval(5, 5).span == 1
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            TimeInterval(7, 2)
+
+    def test_contains(self):
+        window = TimeInterval(2, 7)
+        assert 2 in window and 7 in window and 5 in window
+        assert 1 not in window and 8 not in window
+        assert "3" not in window
+        assert window.contains(4)
+
+    def test_intersect(self):
+        assert TimeInterval(1, 5).intersect(TimeInterval(3, 9)) == TimeInterval(3, 5)
+        assert TimeInterval(1, 2).intersect(TimeInterval(5, 9)) is None
+
+    def test_shift_and_tuple(self):
+        assert TimeInterval(1, 5).shift(10) == TimeInterval(11, 15)
+        assert TimeInterval(1, 5).as_tuple() == (1, 5)
+        begin, end = TimeInterval(1, 5)
+        assert (begin, end) == (1, 5)
+
+
+class TestCoercions:
+    def test_as_interval_accepts_tuples_and_lists(self):
+        assert as_interval((2, 7)) == TimeInterval(2, 7)
+        assert as_interval([2, 7]) == TimeInterval(2, 7)
+        window = TimeInterval(2, 7)
+        assert as_interval(window) is window
+
+    def test_as_interval_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_interval(5)
+        with pytest.raises(TypeError):
+            as_interval((1, 2, 3))
+
+    def test_as_edge_accepts_tuples(self):
+        assert as_edge(("u", "v", 3)) == TemporalEdge("u", "v", 3)
+        edge = TemporalEdge("u", "v", 3)
+        assert as_edge(edge) is edge
+
+    def test_as_edge_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_edge(42)
+        with pytest.raises(TypeError):
+            as_edge(("u", "v"))

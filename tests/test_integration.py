@@ -1,0 +1,53 @@
+"""End-to-end integration tests: all algorithms agree on realistic workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import PAPER_ALGORITHMS, get_algorithm
+from repro.analysis.comparison import compare_algorithms
+from repro.datasets.registry import get_dataset
+from repro.graph.generators import (
+    bursty_email_graph,
+    community_temporal_graph,
+    layered_temporal_graph,
+    preferential_attachment_temporal_graph,
+)
+from repro.queries.workload import generate_workload
+
+
+class TestCrossAlgorithmAgreement:
+    @pytest.mark.parametrize(
+        "graph_factory, theta",
+        [
+            (lambda: bursty_email_graph(num_vertices=40, num_bursts=6, edges_per_burst=30, seed=1), 6),
+            (lambda: community_temporal_graph(num_communities=3, community_size=8,
+                                              intra_edges_per_community=40, inter_edges=15,
+                                              num_timestamps=30, seed=2), 8),
+            (lambda: preferential_attachment_temporal_graph(60, 300, num_timestamps=40, seed=3), 8),
+        ],
+    )
+    def test_all_paper_algorithms_agree(self, graph_factory, theta):
+        graph = graph_factory()
+        workload = generate_workload(graph, num_queries=5, theta=theta, seed=9)
+        algorithms = [get_algorithm(name) for name in PAPER_ALGORITHMS]
+        report = compare_algorithms(algorithms, graph, list(workload))
+        assert report.all_agree, "\n".join(report.mismatches)
+
+    def test_dataset_d1_small_workload_agreement(self):
+        spec = get_dataset("D1")
+        graph = spec.load()
+        workload = generate_workload(graph, num_queries=4, theta=6, seed=3)
+        algorithms = [get_algorithm("VUG"), get_algorithm("EPtgTSG"), get_algorithm("VUG-noTight")]
+        report = compare_algorithms(algorithms, graph, list(workload))
+        assert report.all_agree, "\n".join(report.mismatches)
+
+    def test_layered_graph_with_many_paths(self):
+        graph = layered_temporal_graph(num_layers=5, layer_size=4,
+                                       edges_per_layer_pair=10, timestamps_per_layer=2, seed=7)
+        interval = graph.time_interval().as_tuple()
+        vug = get_algorithm("VUG").run(graph, "S", "T", interval)
+        baseline = get_algorithm("EPtgTSG").run(graph, "S", "T", interval)
+        assert vug.result.same_members(baseline.result)
+        # The layered construction guarantees a rich path graph.
+        assert vug.result.num_edges > 20

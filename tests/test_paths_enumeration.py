@@ -1,0 +1,149 @@
+"""Tests for path enumeration, reachability and counting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.paths.counting import (
+    count_temporal_paths,
+    count_temporal_simple_paths,
+    count_temporal_simple_paths_capped,
+)
+from repro.paths.enumerate import (
+    EnumerationLimitExceeded,
+    collect_path_graph_members,
+    enumerate_temporal_paths,
+    enumerate_temporal_simple_paths,
+    exists_temporal_path,
+    exists_temporal_simple_path,
+)
+from repro.paths.reachability import (
+    INFINITY,
+    NEG_INFINITY,
+    can_reach,
+    co_reachable_set,
+    earliest_arrival_times,
+    latest_departure_times,
+    reachable_set,
+)
+
+
+class TestEnumeration:
+    def test_paper_example_has_two_paths(self, paper_query):
+        graph, source, target, interval = paper_query
+        paths = list(enumerate_temporal_simple_paths(graph, source, target, interval))
+        assert len(paths) == 2
+        rendered = {tuple(edge.as_tuple() for edge in path.edges) for path in paths}
+        assert (("s", "b", 2), ("b", "t", 6)) in rendered
+        assert (("s", "b", 2), ("b", "c", 3), ("c", "t", 7)) in rendered
+
+    def test_all_paths_are_simple_and_within_interval(self, paper_query):
+        graph, source, target, interval = paper_query
+        for path in enumerate_temporal_simple_paths(graph, source, target, interval):
+            assert path.is_simple()
+            assert path.within(interval)
+            assert path.source == source and path.target == target
+
+    def test_interval_restricts_results(self, paper_graph):
+        paths = list(enumerate_temporal_simple_paths(paper_graph, "s", "t", (2, 6)))
+        assert len(paths) == 1  # only s->b->t fits into [2, 6]
+
+    def test_same_source_target_yields_nothing(self, paper_graph):
+        assert list(enumerate_temporal_simple_paths(paper_graph, "s", "s", (2, 7))) == []
+
+    def test_missing_vertices_yield_nothing(self, paper_graph):
+        assert list(enumerate_temporal_simple_paths(paper_graph, "zz", "t", (2, 7))) == []
+        assert list(enumerate_temporal_simple_paths(paper_graph, "s", "zz", (2, 7))) == []
+
+    def test_max_paths_limit(self, paper_query):
+        graph, source, target, interval = paper_query
+        with pytest.raises(EnumerationLimitExceeded):
+            list(enumerate_temporal_simple_paths(graph, source, target, interval, max_paths=1))
+
+    def test_max_length_limit(self, paper_query):
+        graph, source, target, interval = paper_query
+        short = list(
+            enumerate_temporal_simple_paths(graph, source, target, interval, max_length=2)
+        )
+        assert len(short) == 1
+
+    def test_temporal_paths_include_non_simple_walks(self):
+        graph = TemporalGraph(
+            edges=[("s", "a", 1), ("a", "b", 2), ("b", "a", 3), ("a", "t", 4), ("a", "t", 2)]
+        )
+        simple = list(enumerate_temporal_simple_paths(graph, "s", "t", (1, 4)))
+        walks = list(enumerate_temporal_paths(graph, "s", "t", (1, 4)))
+        assert len(walks) > len(simple)
+        assert any(not walk.is_simple() for walk in walks)
+
+    def test_collect_path_graph_members(self, paper_query):
+        graph, source, target, interval = paper_query
+        vertices, edges, count = collect_path_graph_members(graph, source, target, interval)
+        assert count == 2
+        assert vertices == {"s", "b", "c", "t"}
+        assert edges == {("s", "b", 2), ("b", "c", 3), ("b", "t", 6), ("c", "t", 7)}
+
+    def test_existence_helpers(self, paper_query, unreachable_graph):
+        graph, source, target, interval = paper_query
+        assert exists_temporal_simple_path(graph, source, target, interval)
+        assert exists_temporal_path(graph, source, target, interval)
+        assert not exists_temporal_simple_path(unreachable_graph, "s", "t", (1, 10))
+
+
+class TestReachability:
+    def test_earliest_arrival_strict_vs_nonstrict(self):
+        graph = TemporalGraph(edges=[("s", "a", 3), ("a", "b", 3), ("b", "t", 4)])
+        strict = earliest_arrival_times(graph, "s", (1, 5), strict=True)
+        relaxed = earliest_arrival_times(graph, "s", (1, 5), strict=False)
+        assert strict["b"] == INFINITY
+        assert relaxed["b"] == 3
+
+    def test_latest_departure_strict_vs_nonstrict(self):
+        graph = TemporalGraph(edges=[("s", "a", 3), ("a", "t", 3)])
+        strict = latest_departure_times(graph, "t", (1, 5), strict=True)
+        relaxed = latest_departure_times(graph, "t", (1, 5), strict=False)
+        assert strict["s"] == NEG_INFINITY
+        assert relaxed["s"] == 3
+
+    def test_forbidden_vertex_blocks_paths(self):
+        graph = TemporalGraph(edges=[("s", "x", 1), ("x", "b", 2)])
+        blocked = earliest_arrival_times(graph, "s", (1, 5), forbidden="x")
+        assert blocked["b"] == INFINITY
+
+    def test_can_reach_and_sets(self, paper_query):
+        graph, source, target, interval = paper_query
+        assert can_reach(graph, source, target, interval)
+        assert not can_reach(graph, source, source, interval)
+        assert target in reachable_set(graph, source, interval)
+        assert source in co_reachable_set(graph, target, interval)
+
+    def test_interval_bounds_respected(self, paper_graph):
+        assert not can_reach(paper_graph, "s", "t", (7, 7))
+        assert can_reach(paper_graph, "s", "t", (2, 6))
+
+
+class TestCounting:
+    def test_counts_match_enumeration(self, paper_query):
+        graph, source, target, interval = paper_query
+        expected = len(list(enumerate_temporal_simple_paths(graph, source, target, interval)))
+        assert count_temporal_simple_paths(graph, source, target, interval) == expected
+
+    def test_cap_saturation(self, paper_query):
+        graph, source, target, interval = paper_query
+        capped = count_temporal_simple_paths_capped(graph, source, target, interval, cap=1)
+        assert capped.count == 1
+        assert capped.capped
+        assert int(capped) == 1
+
+    def test_count_temporal_paths_at_least_simple_count(self):
+        graph = TemporalGraph(
+            edges=[("s", "a", 1), ("a", "b", 2), ("b", "a", 3), ("a", "t", 4)]
+        )
+        simple = count_temporal_simple_paths(graph, "s", "t", (1, 4))
+        walks = count_temporal_paths(graph, "s", "t", (1, 4))
+        assert walks.count >= simple
+
+    def test_zero_for_unreachable(self, unreachable_graph):
+        assert count_temporal_simple_paths(unreachable_graph, "s", "t", (1, 10)) == 0
+        assert count_temporal_paths(unreachable_graph, "s", "t", (1, 10)).count == 0

@@ -1,0 +1,89 @@
+"""Unit tests for polarity-time computation (Algorithm 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.polarity import INFINITY, NEG_INFINITY, compute_polarity_times
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestPaperExample:
+    """The running example's A(·)/D(·) tables of Fig. 3(a)-(b)."""
+
+    def test_earliest_arrival_matches_figure(self, paper_query):
+        graph, source, target, interval = paper_query
+        polarity = compute_polarity_times(graph, source, target, interval)
+        expected = {"s": 1, "a": 3, "b": 2, "c": 3, "d": 3, "e": 5, "f": 4}
+        for vertex, value in expected.items():
+            assert polarity.earliest_arrival(vertex) == value
+        assert polarity.earliest_arrival(target) == INFINITY
+
+    def test_latest_departure_matches_figure(self, paper_query):
+        graph, source, target, interval = paper_query
+        polarity = compute_polarity_times(graph, source, target, interval)
+        expected = {"t": 8, "b": 6, "c": 7, "d": 2, "e": 6, "f": 5}
+        for vertex, value in expected.items():
+            assert polarity.latest_departure(vertex) == value
+        assert polarity.latest_departure("s") == NEG_INFINITY
+        assert polarity.latest_departure("a") == NEG_INFINITY
+
+    def test_source_and_target_conventions(self, paper_query):
+        graph, source, target, interval = paper_query
+        polarity = compute_polarity_times(graph, source, target, interval)
+        assert polarity.earliest_arrival(source) == interval.begin - 1
+        assert polarity.latest_departure(target) == interval.end + 1
+
+    def test_admits_edge_matches_lemma1(self, paper_query):
+        graph, source, target, interval = paper_query
+        polarity = compute_polarity_times(graph, source, target, interval)
+        assert polarity.admits_edge("s", "b", 2)
+        assert polarity.admits_edge("b", "t", 6)
+        # Excluded in Example 4: A(d) = 3 > 2 and D(a) = -inf.
+        assert not polarity.admits_edge("d", "t", 2)
+        assert not polarity.admits_edge("s", "a", 3)
+        assert not polarity.admits_edge("b", "f", 5)
+
+
+class TestEdgeCases:
+    def test_unknown_vertices_return_defaults(self, paper_graph, paper_interval):
+        polarity = compute_polarity_times(paper_graph, "s", "t", paper_interval)
+        assert polarity.earliest_arrival("nope") == INFINITY
+        assert polarity.latest_departure("nope") == NEG_INFINITY
+
+    def test_source_missing_from_graph(self, paper_graph, paper_interval):
+        polarity = compute_polarity_times(paper_graph, "ghost", "t", paper_interval)
+        assert all(value == INFINITY for value in polarity.arrival.values())
+
+    def test_target_missing_from_graph(self, paper_graph, paper_interval):
+        polarity = compute_polarity_times(paper_graph, "s", "ghost", paper_interval)
+        assert all(value == NEG_INFINITY for value in polarity.departure.values())
+
+    def test_interval_excludes_all_edges(self, chain_graph):
+        polarity = compute_polarity_times(chain_graph, "s", "t", (100, 110))
+        assert polarity.earliest_arrival("v1") == INFINITY
+        assert polarity.latest_departure("v3") == NEG_INFINITY
+
+    def test_paths_through_target_are_ignored(self):
+        # The only way from s to b passes through t, so A(b) must remain +inf.
+        graph = TemporalGraph(edges=[("s", "t", 1), ("t", "b", 2), ("b", "t", 3)])
+        polarity = compute_polarity_times(graph, "s", "t", (1, 5))
+        assert polarity.earliest_arrival("b") == INFINITY
+
+    def test_paths_through_source_are_ignored_backwards(self):
+        # The only way from b to t passes through s, so D(b) must remain -inf.
+        graph = TemporalGraph(edges=[("b", "s", 1), ("s", "t", 2)])
+        polarity = compute_polarity_times(graph, "s", "t", (1, 5))
+        assert polarity.latest_departure("b") == NEG_INFINITY
+
+    def test_multiple_paths_keep_earliest_arrival(self, diamond_graph):
+        polarity = compute_polarity_times(diamond_graph, "s", "t", (1, 4))
+        # b is reachable directly at 2 and via a at 2; earliest arrival is 2.
+        assert polarity.earliest_arrival("b") == 2
+        assert polarity.earliest_arrival("a") == 1
+
+    def test_strictness_of_timestamps(self):
+        # Equal consecutive timestamps cannot be chained (strict model).
+        graph = TemporalGraph(edges=[("s", "a", 2), ("a", "b", 2), ("b", "t", 3)])
+        polarity = compute_polarity_times(graph, "s", "t", (1, 5))
+        assert polarity.earliest_arrival("b") == INFINITY

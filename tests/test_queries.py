@@ -1,0 +1,123 @@
+"""Tests for query objects, workload generation and the query runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.graph.generators import uniform_random_temporal_graph
+from repro.graph.temporal_graph import TemporalGraph
+from repro.paths.reachability import can_reach
+from repro.queries.query import QueryWorkload, TspgQuery
+from repro.queries.runner import QueryRunner
+from repro.queries.workload import (
+    WorkloadGenerationError,
+    generate_workload,
+    workload_for_theta_sweep,
+)
+
+
+class TestTspgQuery:
+    def test_fields_and_theta(self):
+        query = TspgQuery("a", "b", (3, 9))
+        assert query.theta == 7
+        assert query.interval.begin == 3
+        assert query.as_tuple() == ("a", "b", (3, 9))
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            TspgQuery("a", "a", (1, 2))
+
+    def test_workload_container(self):
+        workload = QueryWorkload("demo")
+        workload.add(TspgQuery("a", "b", (1, 4)))
+        workload.extend([TspgQuery("b", "c", (1, 8))])
+        assert len(workload) == 2
+        assert workload.average_theta() == pytest.approx(6.0)
+        assert list(workload)[0].source == "a"
+
+    def test_empty_workload_average(self):
+        assert QueryWorkload("empty").average_theta() == 0.0
+
+
+class TestWorkloadGeneration:
+    @pytest.fixture
+    def graph(self):
+        return uniform_random_temporal_graph(30, 260, num_timestamps=40, seed=13)
+
+    def test_all_queries_are_reachable(self, graph):
+        workload = generate_workload(graph, num_queries=12, theta=8, seed=3)
+        assert len(workload) == 12
+        for query in workload:
+            assert query.theta == 8
+            assert can_reach(graph, query.source, query.target, query.interval)
+
+    def test_reproducible_with_seed(self, graph):
+        first = generate_workload(graph, num_queries=5, theta=6, seed=11)
+        second = generate_workload(graph, num_queries=5, theta=6, seed=11)
+        assert [q.as_tuple() for q in first] == [q.as_tuple() for q in second]
+
+    def test_invalid_parameters(self, graph):
+        with pytest.raises(ValueError):
+            generate_workload(graph, num_queries=0, theta=5)
+        with pytest.raises(ValueError):
+            generate_workload(graph, num_queries=1, theta=1)
+
+    def test_empty_graph_raises(self):
+        with pytest.raises(WorkloadGenerationError):
+            generate_workload(TemporalGraph(), num_queries=1, theta=5)
+
+    def test_single_edge_graph_yields_that_query(self):
+        graph = TemporalGraph(edges=[("a", "b", 5)])
+        workload = generate_workload(graph, num_queries=3, theta=4, seed=0)
+        for query in workload:
+            assert (query.source, query.target) == ("a", "b")
+            assert query.interval.contains(5)
+
+    def test_theta_sweep(self, graph):
+        workloads = workload_for_theta_sweep(graph, [4, 6], num_queries=3, seed=1)
+        assert [w.average_theta() for w in workloads] == [4.0, 6.0]
+        assert workloads[0].name.endswith("theta4")
+
+
+class TestQueryRunner:
+    @pytest.fixture
+    def graph(self):
+        return uniform_random_temporal_graph(25, 200, num_timestamps=30, seed=5)
+
+    def test_run_workload_aggregates(self, graph):
+        workload = generate_workload(graph, num_queries=6, theta=6, seed=2)
+        runner = QueryRunner(keep_results=True)
+        outcome = runner.run_workload(get_algorithm("VUG"), graph, workload)
+        assert outcome.num_completed == 6
+        assert outcome.total_seconds >= 0.0
+        assert len(outcome.per_query_seconds) == 6
+        assert len(outcome.results) == 6
+        assert outcome.max_space >= outcome.min_space > 0
+        assert not outcome.is_inf
+        row = outcome.as_row()
+        assert row["algorithm"] == "VUG"
+
+    def test_run_all_compares_algorithms(self, graph):
+        workload = generate_workload(graph, num_queries=3, theta=5, seed=2)
+        runner = QueryRunner(keep_results=True)
+        outcomes = runner.run_all(
+            [get_algorithm("VUG"), get_algorithm("EPdtTSG")], graph, workload
+        )
+        assert {o.algorithm for o in outcomes} == {"VUG", "EPdtTSG"}
+        for left, right in zip(outcomes[0].results, outcomes[1].results):
+            assert left.same_members(right)
+
+    def test_time_budget_marks_timeout(self, graph):
+        workload = generate_workload(graph, num_queries=10, theta=6, seed=2)
+        runner = QueryRunner(time_budget_seconds=0.0)
+        outcome = runner.run_workload(get_algorithm("VUG"), graph, workload)
+        assert outcome.timed_out
+        assert outcome.reported_seconds == float("inf")
+        assert outcome.as_row()["time_s"] == "INF"
+
+    def test_run_single(self, graph):
+        workload = generate_workload(graph, num_queries=1, theta=6, seed=4)
+        runner = QueryRunner()
+        result = runner.run_single(get_algorithm("VUG"), graph, workload.queries[0])
+        assert result.algorithm == "VUG"

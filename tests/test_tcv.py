@@ -1,0 +1,127 @@
+"""Unit tests for time-stream common vertices (Algorithm 4, Definition 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.quick_ubg import quick_upper_bound_graph
+from repro.core.tcv import compute_time_stream_common_vertices
+from repro.graph.temporal_graph import TemporalGraph
+from repro.paths.enumerate import enumerate_temporal_simple_paths
+
+
+@pytest.fixture
+def paper_tcv(paper_query):
+    graph, source, target, interval = paper_query
+    quick = quick_upper_bound_graph(graph, source, target, interval)
+    return compute_time_stream_common_vertices(quick, source, target, interval)
+
+
+class TestPaperExample:
+    """The TCV tables of Fig. 4(a)-(b)."""
+
+    def test_source_side_entries(self, paper_tcv):
+        assert paper_tcv.from_source("b", 2) == {"b"}
+        assert paper_tcv.from_source("c", 3) == {"b", "c"}
+        assert paper_tcv.from_source("c", 6) == {"b", "c"}
+        assert paper_tcv.from_source("f", 4) == {"b", "c", "f"}
+        assert paper_tcv.from_source("e", 5) == {"b", "c", "f", "e"}
+
+    def test_target_side_entries(self, paper_tcv):
+        assert paper_tcv.to_target("b", 6) == {"b"}
+        assert paper_tcv.to_target("c", 7) == {"c"}
+        assert paper_tcv.to_target("e", 6) == {"c", "e"}
+        # Example 7: the entry for f is first {c, e, f} then refined to {f}.
+        assert paper_tcv.to_target("f", 5) == {"f"}
+
+    def test_lemma5_lookup_between_entries(self, paper_tcv):
+        # TCV_4(s, c) falls back to the entry at timestamp 3 (Lemma 5).
+        assert paper_tcv.from_source("c", 4) == {"b", "c"}
+        # TCV_5(c, t) falls forward to the entry at timestamp 7.
+        assert paper_tcv.to_target("c", 5) == {"c"}
+
+    def test_anchor_vertices_map_to_empty_set(self, paper_tcv):
+        assert paper_tcv.from_source("s", 3) == frozenset()
+        assert paper_tcv.to_target("t", 3) == frozenset()
+
+    def test_lookup_before_first_entry_is_undefined(self, paper_tcv):
+        assert paper_tcv.from_source("c", 2) is None
+        assert paper_tcv.to_target("b", 7) is None
+        # ... and the Algorithm 5 default kicks in.
+        assert paper_tcv.from_source_or_default("c", 2) == {"c"}
+        assert paper_tcv.to_target_or_default("b", 7) == {"b"}
+
+    def test_space_cost_is_positive(self, paper_tcv):
+        assert paper_tcv.space_cost() > 0
+        assert paper_tcv.source_index.num_entries() >= 4
+        assert paper_tcv.target_index.num_entries() >= 4
+
+
+def definition_tcv_source(graph, source, target, interval, vertex, timestamp):
+    """Brute-force TCV_τ(s, u) straight from Definition 5."""
+    common = None
+    for path in enumerate_temporal_simple_paths(graph, source, vertex, (interval[0], timestamp)):
+        if target in path.vertex_set():
+            continue
+        members = path.vertex_set() - {source}
+        common = members if common is None else (common & members)
+    return common
+
+
+def definition_tcv_target(graph, source, target, interval, vertex, timestamp):
+    """Brute-force TCV_τ(u, t) straight from Definition 5."""
+    common = None
+    for path in enumerate_temporal_simple_paths(graph, vertex, target, (timestamp, interval[1])):
+        if source in path.vertex_set():
+            continue
+        members = path.vertex_set() - {target}
+        common = members if common is None else (common & members)
+    return common
+
+
+class TestAgainstDefinition:
+    """The streaming computation agrees with the brute-force definition."""
+
+    def test_paper_example_source_side(self, paper_query, paper_tcv):
+        graph, source, target, interval = paper_query
+        quick = quick_upper_bound_graph(graph, source, target, interval)
+        for vertex in ("b", "c", "e", "f"):
+            for timestamp in quick.in_timestamps(vertex):
+                expected = definition_tcv_source(
+                    quick, source, target, interval.as_tuple(), vertex, timestamp
+                )
+                assert paper_tcv.from_source(vertex, timestamp) == expected
+
+    def test_paper_example_target_side(self, paper_query, paper_tcv):
+        graph, source, target, interval = paper_query
+        quick = quick_upper_bound_graph(graph, source, target, interval)
+        for vertex in ("b", "c", "e", "f"):
+            for timestamp in quick.out_timestamps(vertex):
+                expected = definition_tcv_target(
+                    quick, source, target, interval.as_tuple(), vertex, timestamp
+                )
+                assert paper_tcv.to_target(vertex, timestamp) == expected
+
+    def test_diamond_graph(self, diamond_graph):
+        source, target, interval = "s", "t", (1, 4)
+        quick = quick_upper_bound_graph(diamond_graph, source, target, interval)
+        tcv = compute_time_stream_common_vertices(quick, source, target, interval)
+        for vertex in quick.vertices():
+            if vertex in (source, target):
+                continue
+            for timestamp in quick.in_timestamps(vertex):
+                expected = definition_tcv_source(quick, source, target, interval, vertex, timestamp)
+                assert tcv.from_source(vertex, timestamp) == expected
+
+
+class TestLemma7Pruning:
+    def test_completed_vertex_keeps_singleton_for_later_timestamps(self):
+        # b gets TCV = {b} at its first in-timestamp; later lookups stay {b}.
+        graph = TemporalGraph(
+            edges=[("s", "b", 1), ("a", "b", 5), ("s", "a", 4), ("b", "t", 6), ("b", "t", 7)]
+        )
+        quick = quick_upper_bound_graph(graph, "s", "t", (1, 7))
+        tcv = compute_time_stream_common_vertices(quick, "s", "t", (1, 7))
+        assert tcv.from_source("b", 1) == {"b"}
+        assert tcv.from_source("b", 5) == {"b"}
+        assert tcv.from_source("b", 7) == {"b"}

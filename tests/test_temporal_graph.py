@@ -1,0 +1,138 @@
+"""Unit tests for the TemporalGraph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.edge import TemporalEdge, TimeInterval
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = TemporalGraph()
+        assert graph.num_vertices == 0
+        assert graph.num_edges == 0
+        assert graph.timestamps() == []
+        assert graph.time_interval() is None
+
+    def test_add_edges_and_vertices(self):
+        graph = TemporalGraph(edges=[("a", "b", 1)], vertices=["isolated"])
+        assert graph.num_vertices == 3
+        assert graph.has_vertex("isolated")
+        assert graph.has_edge("a", "b", 1)
+
+    def test_duplicate_edges_collapse(self):
+        graph = TemporalGraph()
+        assert graph.add_edge("a", "b", 1) is True
+        assert graph.add_edge("a", "b", 1) is False
+        assert graph.num_edges == 1
+
+    def test_parallel_edges_with_different_timestamps(self):
+        graph = TemporalGraph(edges=[("a", "b", 1), ("a", "b", 2)])
+        assert graph.num_edges == 2
+        assert graph.out_degree("a") == 2
+
+    def test_self_loops_rejected(self):
+        graph = TemporalGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge("a", "a", 1)
+
+    def test_add_edges_returns_new_count(self):
+        graph = TemporalGraph()
+        added = graph.add_edges([("a", "b", 1), ("a", "b", 1), ("b", "c", 2)])
+        assert added == 2
+
+
+class TestAccessors:
+    @pytest.fixture
+    def graph(self) -> TemporalGraph:
+        return TemporalGraph(
+            edges=[("a", "b", 5), ("a", "b", 1), ("a", "c", 3), ("c", "b", 2), ("b", "a", 4)]
+        )
+
+    def test_neighbor_lists_sorted_by_timestamp(self, graph):
+        assert graph.out_neighbors("a") == [("b", 1), ("c", 3), ("b", 5)]
+        assert graph.in_neighbors("b") == [("a", 1), ("c", 2), ("a", 5)]
+
+    def test_degrees(self, graph):
+        assert graph.out_degree("a") == 3
+        assert graph.in_degree("a") == 1
+        assert graph.degree("a") == 4
+        assert graph.max_degree() == 3
+        assert graph.out_degree("missing") == 0
+
+    def test_timestamps(self, graph):
+        assert graph.timestamps() == [1, 2, 3, 4, 5]
+        assert graph.min_timestamp == 1
+        assert graph.max_timestamp == 5
+        assert graph.out_timestamps("a") == [1, 3, 5]
+        assert graph.in_timestamps("b") == [1, 2, 5]
+
+    def test_sorted_edges(self, graph):
+        forward = graph.sorted_edges()
+        assert [e.timestamp for e in forward] == [1, 2, 3, 4, 5]
+        backward = graph.sorted_edges(reverse=True)
+        assert [e.timestamp for e in backward] == [5, 4, 3, 2, 1]
+
+    def test_range_queries(self, graph):
+        assert graph.out_neighbors_after("a", 1) == [("c", 3), ("b", 5)]
+        assert graph.out_neighbors_after("a", 1, strict=False) == [("b", 1), ("c", 3), ("b", 5)]
+        assert graph.in_neighbors_before("b", 5) == [("a", 1), ("c", 2)]
+        assert graph.in_neighbors_before("b", 5, strict=False) == [("a", 1), ("c", 2), ("a", 5)]
+
+    def test_contains_protocol(self, graph):
+        assert "a" in graph
+        assert ("a", "b", 1) in graph
+        assert TemporalEdge("a", "b", 1) in graph
+        assert ("a", "b", 99) not in graph
+        assert "zz" not in graph
+
+    def test_len_and_repr(self, graph):
+        assert len(graph) == 3
+        assert "TemporalGraph" in repr(graph)
+
+
+class TestDerivedGraphs:
+    @pytest.fixture
+    def graph(self) -> TemporalGraph:
+        return TemporalGraph(edges=[("a", "b", 1), ("b", "c", 5), ("c", "a", 9)])
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        assert clone == graph
+        clone.add_edge("a", "c", 2)
+        assert clone != graph
+
+    def test_project(self, graph):
+        projected = graph.project((1, 5))
+        assert projected.edge_tuples() == {("a", "b", 1), ("b", "c", 5)}
+        assert not projected.has_vertex("c") or projected.has_vertex("c")
+        # Vertices are induced by the surviving edges only.
+        assert set(projected.vertices()) == {"a", "b", "c"}
+
+    def test_edge_induced_subgraph(self, graph):
+        sub = graph.edge_induced_subgraph([("a", "b", 1)])
+        assert sub.edge_tuples() == {("a", "b", 1)}
+        with pytest.raises(KeyError):
+            graph.edge_induced_subgraph([("a", "b", 99)])
+
+    def test_reverse(self, graph):
+        reverse = graph.reverse()
+        assert reverse.has_edge("b", "a", 1)
+        assert reverse.num_edges == graph.num_edges
+        assert set(reverse.vertices()) == set(graph.vertices())
+
+    def test_time_interval(self, graph):
+        assert graph.time_interval() == TimeInterval(1, 9)
+
+    def test_equality_ignores_insertion_order(self):
+        left = TemporalGraph(edges=[("a", "b", 1), ("b", "c", 2)])
+        right = TemporalGraph(edges=[("b", "c", 2), ("a", "b", 1)])
+        assert left == right
+        assert left != TemporalGraph(edges=[("a", "b", 1)])
+        assert left.__eq__(42) is NotImplemented
+
+    def test_graphs_are_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(TemporalGraph())

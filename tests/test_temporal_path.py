@@ -1,0 +1,114 @@
+"""Unit tests for the TemporalPath model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.edge import TemporalEdge
+from repro.graph.temporal_graph import TemporalGraph
+from repro.paths.temporal_path import (
+    InvalidPathError,
+    TemporalPath,
+    is_temporal_path,
+    is_temporal_simple_path,
+    path_from_vertices,
+)
+
+
+class TestConstruction:
+    def test_valid_path(self):
+        path = TemporalPath([("s", "a", 1), ("a", "t", 3)])
+        assert path.source == "s"
+        assert path.target == "t"
+        assert path.length == 2
+        assert path.departure_time == 1
+        assert path.arrival_time == 3
+        assert path.duration == 2
+        assert path.timestamps() == [1, 3]
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(InvalidPathError):
+            TemporalPath([])
+
+    def test_disconnected_edges_rejected(self):
+        with pytest.raises(InvalidPathError):
+            TemporalPath([("s", "a", 1), ("b", "t", 2)])
+
+    def test_non_ascending_timestamps_rejected(self):
+        with pytest.raises(InvalidPathError):
+            TemporalPath([("s", "a", 3), ("a", "t", 3)])
+        with pytest.raises(InvalidPathError):
+            TemporalPath([("s", "a", 3), ("a", "t", 2)])
+
+    def test_accepts_temporal_edge_objects(self):
+        path = TemporalPath([TemporalEdge("s", "t", 1)])
+        assert path.length == 1
+
+
+class TestProperties:
+    def test_vertices_and_sets(self):
+        path = TemporalPath([("s", "a", 1), ("a", "b", 2), ("b", "t", 4)])
+        assert path.vertices() == ["s", "a", "b", "t"]
+        assert path.vertex_set() == {"s", "a", "b", "t"}
+        assert len(path.edge_set()) == 3
+        assert path.contains_vertex("a")
+        assert path.contains_edge(("a", "b", 2))
+        assert not path.contains_edge(("a", "b", 3))
+
+    def test_is_simple(self):
+        simple = TemporalPath([("s", "a", 1), ("a", "t", 2)])
+        assert simple.is_simple()
+        looping = TemporalPath([("s", "a", 1), ("a", "s", 2), ("s", "t", 3)])
+        assert not looping.is_simple()
+
+    def test_within_interval(self):
+        path = TemporalPath([("s", "a", 2), ("a", "t", 5)])
+        assert path.within((2, 5))
+        assert path.within((1, 9))
+        assert not path.within((3, 9))
+        assert not path.within((1, 4))
+
+    def test_prefix_suffix_concatenate(self):
+        path = TemporalPath([("s", "a", 1), ("a", "b", 2), ("b", "t", 4)])
+        assert path.prefix(1).target == "a"
+        assert path.suffix(1).source == "b"
+        combined = path.prefix(2).concatenate(path.suffix(1))
+        assert combined.edges == path.edges
+        with pytest.raises(ValueError):
+            path.prefix(0)
+        with pytest.raises(ValueError):
+            path.suffix(9)
+
+    def test_concatenate_validates(self):
+        front = TemporalPath([("s", "a", 5)])
+        back = TemporalPath([("a", "t", 3)])
+        with pytest.raises(InvalidPathError):
+            front.concatenate(back)
+
+    def test_exists_in(self, paper_graph):
+        path = TemporalPath([("s", "b", 2), ("b", "t", 6)])
+        assert path.exists_in(paper_graph)
+        fake = TemporalPath([("s", "b", 2), ("b", "t", 9)])
+        assert not fake.exists_in(paper_graph)
+
+    def test_iteration_and_len(self):
+        path = TemporalPath([("s", "a", 1), ("a", "t", 2)])
+        assert len(path) == 2
+        assert [e.timestamp for e in path] == [1, 2]
+
+
+class TestHelpers:
+    def test_is_temporal_path_helpers(self):
+        assert is_temporal_path([("s", "a", 1), ("a", "t", 2)])
+        assert not is_temporal_path([("s", "a", 2), ("a", "t", 1)])
+        assert not is_temporal_path([("s", "a", 1)], interval=(5, 9))
+        assert is_temporal_simple_path([("s", "a", 1), ("a", "t", 2)], interval=(1, 2))
+        assert not is_temporal_simple_path([("s", "a", 1), ("a", "s", 2), ("s", "t", 3)])
+
+    def test_path_from_vertices(self, paper_graph):
+        path = path_from_vertices(paper_graph, ["s", "b", "t"], [2, 6])
+        assert path.is_simple()
+        with pytest.raises(InvalidPathError):
+            path_from_vertices(paper_graph, ["s", "b", "t"], [2, 9])
+        with pytest.raises(InvalidPathError):
+            path_from_vertices(paper_graph, ["s", "b", "t"], [2])

@@ -1,0 +1,124 @@
+"""Integration tests for the VUG framework and the public generate_tspg API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import generate_tspg
+from repro.analysis.oracle import brute_force_tspg
+from repro.core.vug import VUG, generate_tspg_report
+from repro.graph.generators import (
+    community_temporal_graph,
+    layered_temporal_graph,
+    temporal_cycle_graph,
+    uniform_random_temporal_graph,
+)
+from repro.graph.temporal_graph import TemporalGraph
+
+from conftest import PAPER_TSPG_EDGES, PAPER_TSPG_VERTICES
+
+
+class TestPaperExample:
+    def test_generate_tspg_matches_figure1c(self, paper_query):
+        graph, source, target, interval = paper_query
+        tspg = generate_tspg(graph, source, target, interval)
+        assert set(tspg.edges) == PAPER_TSPG_EDGES
+        assert set(tspg.vertices) == PAPER_TSPG_VERTICES
+
+    def test_report_exposes_intermediate_graphs(self, paper_query):
+        graph, source, target, interval = paper_query
+        report = generate_tspg_report(graph, source, target, interval)
+        assert report.upper_bound_quick.num_edges == 8
+        assert report.upper_bound_tight.num_edges == 5
+        assert report.result.num_edges == 4
+        assert report.timings.total >= 0.0
+        assert report.space_cost > 0
+
+    def test_same_source_and_target_rejected(self, paper_graph):
+        with pytest.raises(ValueError):
+            generate_tspg(paper_graph, "s", "s", (2, 7))
+
+    def test_statistics_collection_option(self, paper_query):
+        graph, source, target, interval = paper_query
+        report = generate_tspg_report(
+            graph, source, target, interval, collect_eev_statistics=True
+        )
+        assert report.eev_statistics is not None
+        assert report.eev_statistics.edges_total == report.upper_bound_tight.num_edges
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_uniform_random_graphs(self, seed):
+        graph = uniform_random_temporal_graph(14, 70, num_timestamps=12, seed=seed)
+        interval = (1, 10)
+        for source, target in [(0, 1), (2, 9), (5, 3)]:
+            expected = brute_force_tspg(graph, source, target, interval)
+            actual = generate_tspg(graph, source, target, interval)
+            assert actual.same_members(expected), f"seed={seed} query={source}->{target}"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cycle_heavy_graphs(self, seed):
+        graph = temporal_cycle_graph(
+            num_vertices=12, num_cycles=8, cycle_length=4, num_timestamps=15,
+            chord_edges=12, seed=seed,
+        )
+        interval = (1, 12)
+        for source, target in [(0, 5), (3, 7)]:
+            expected = brute_force_tspg(graph, source, target, interval)
+            actual = generate_tspg(graph, source, target, interval)
+            assert actual.same_members(expected)
+
+    def test_community_graph(self):
+        graph = community_temporal_graph(
+            num_communities=3, community_size=6, intra_edges_per_community=25,
+            inter_edges=10, num_timestamps=20, seed=11,
+        )
+        interval = (1, 15)
+        expected = brute_force_tspg(graph, 0, 13, interval)
+        actual = generate_tspg(graph, 0, 13, interval)
+        assert actual.same_members(expected)
+
+    def test_layered_graph_many_paths(self):
+        graph = layered_temporal_graph(
+            num_layers=4, layer_size=3, edges_per_layer_pair=8,
+            timestamps_per_layer=2, seed=5,
+        )
+        interval = graph.time_interval().as_tuple()
+        expected = brute_force_tspg(graph, "S", "T", interval)
+        actual = generate_tspg(graph, "S", "T", interval)
+        assert actual.same_members(expected)
+
+    def test_unreachable_query_returns_empty(self, unreachable_graph):
+        tspg = generate_tspg(unreachable_graph, "s", "t", (1, 10))
+        assert tspg.is_empty
+        assert tspg.num_vertices == 0
+
+    def test_direct_edge_only(self):
+        graph = TemporalGraph(edges=[("s", "t", 4), ("s", "t", 9)])
+        tspg = generate_tspg(graph, "s", "t", (1, 5))
+        assert set(tspg.edges) == {("s", "t", 4)}
+
+
+class TestAblations:
+    def test_skipping_tight_bound_preserves_exactness(self, paper_query):
+        graph, source, target, interval = paper_query
+        report = VUG(use_tight_upper_bound=False).run(graph, source, target, interval)
+        assert set(report.result.edges) == PAPER_TSPG_EDGES
+        # Without TightUBG the EEV input is the quick bound itself.
+        assert report.upper_bound_tight.edge_tuples() == report.upper_bound_quick.edge_tuples()
+
+    def test_disabling_lemma10_preserves_exactness(self, paper_query):
+        graph, source, target, interval = paper_query
+        report = VUG(use_lemma10=False).run(graph, source, target, interval)
+        assert set(report.result.edges) == PAPER_TSPG_EDGES
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_ablations_agree_on_random_graphs(self, seed):
+        graph = uniform_random_temporal_graph(12, 60, num_timestamps=10, seed=seed)
+        interval = (1, 9)
+        full = VUG().run(graph, 0, 5, interval).result
+        no_tight = VUG(use_tight_upper_bound=False).run(graph, 0, 5, interval).result
+        no_lemma = VUG(use_lemma10=False).run(graph, 0, 5, interval).result
+        assert full.same_members(no_tight)
+        assert full.same_members(no_lemma)
