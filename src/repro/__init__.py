@@ -43,6 +43,7 @@ from .paths import (
     enumerate_temporal_simple_paths,
 )
 from .queries import QueryRunner, QueryWorkload, TspgQuery, generate_workload
+from .service import BatchReport, TspgService
 from .analysis import brute_force_tspg
 
 __version__ = "1.0.0"
@@ -77,6 +78,8 @@ __all__ = [
     "QueryWorkload",
     "QueryRunner",
     "generate_workload",
+    "TspgService",
+    "BatchReport",
     "brute_force_tspg",
     "__version__",
 ]

@@ -18,6 +18,7 @@ Function                  Paper artifact
 ``exp6_eev_vs_enum``      Fig. 11   — EEV vs enumeration on the tight bound
 ``exp7_edges_vs_paths``   Fig. 12   — #edges vs #paths in the tspG
 ``exp8_case_study``       Fig. 13   — SFMTA transit case study
+``exp9_batch_throughput`` (new)     — batch service: serial vs parallel vs cached
 ========================  =======================================================
 
 All drivers take ``num_queries`` / dataset-key parameters so the pytest
@@ -52,6 +53,7 @@ from ..paths.counting import count_temporal_simple_paths_capped
 from ..queries.query import QueryWorkload
 from ..queries.runner import QueryRunner
 from ..queries.workload import generate_workload
+from ..service import TspgService
 from .reporting import ExperimentReport
 
 #: Default number of queries per workload used by the pytest benches.  The
@@ -478,6 +480,79 @@ def exp8_case_study(use_full_network: bool = True) -> ExperimentReport:
     return report
 
 
+# ----------------------------------------------------------------------
+# Exp-9 (batch service throughput; no paper analogue)
+# ----------------------------------------------------------------------
+def exp9_batch_throughput(
+    dataset_key: str = "D1",
+    num_queries: int = DEFAULT_NUM_QUERIES,
+    algorithm: str = "VUG",
+    workers: Sequence[int] = (1, 4),
+    time_budget_seconds: float = DEFAULT_TIME_BUDGET_SECONDS,
+    seed: int = 7,
+) -> ExperimentReport:
+    """Batch-service throughput: serial vs parallel vs cache-served repeats.
+
+    Runs the same workload through :class:`~repro.service.TspgService` three
+    ways — serially, on a worker pool for each entry of ``workers``, and a
+    second (fully memoized) pass — and reports wall-clock seconds and
+    queries/sec per regime.  The cached row is the service's raison d'être:
+    repeat queries cost a dictionary lookup instead of a VUG run.
+    """
+    report = ExperimentReport(
+        experiment=f"Exp-9 (batch throughput, {dataset_key})",
+        description=(
+            f"TspgService queries/sec for {num_queries} queries "
+            f"({algorithm}): serial vs parallel vs cached"
+        ),
+    )
+    graph = _load(dataset_key)
+    workload = _workload(graph, dataset_key, num_queries, seed=seed)
+    queries = list(workload)
+
+    def add_mode(mode: str, batch) -> None:
+        report.add_row(
+            mode=mode,
+            wall_s=round(batch.wall_seconds, 4),
+            qps=round(batch.queries_per_second, 1),
+            completed=batch.num_completed,
+            cache_hits=batch.num_cache_hits,
+            timed_out=batch.timed_out,
+        )
+        report.add_point("qps", mode, round(batch.queries_per_second, 1))
+
+    service = TspgService(graph, default_algorithm=algorithm)
+    add_mode(
+        "serial",
+        service.run_batch(
+            queries, max_workers=1, use_cache=False,
+            time_budget_seconds=time_budget_seconds,
+        ),
+    )
+    for count in workers:
+        if count <= 1:
+            continue
+        add_mode(
+            f"parallel-{count}",
+            service.run_batch(
+                queries, max_workers=count, use_cache=False,
+                time_budget_seconds=time_budget_seconds,
+            ),
+        )
+    warm = service.run_batch(
+        queries, max_workers=1, use_cache=True,
+        time_budget_seconds=time_budget_seconds,
+    )
+    add_mode("cache-warmup", warm)
+    add_mode("cached", service.run_batch(queries, max_workers=1, use_cache=True))
+    stats = service.cache_stats()
+    report.add_note(
+        f"result cache: {stats.hits} hits / {stats.misses} misses "
+        f"(hit rate {stats.hit_rate:.0%}), indices warmed once: {service.index_stats}"
+    )
+    return report
+
+
 #: Registry used by the CLI ("run experiment by name").
 EXPERIMENTS = {
     "table1": table1_datasets,
@@ -491,4 +566,5 @@ EXPERIMENTS = {
     "exp6": exp6_eev_vs_enum,
     "exp7": exp7_edges_vs_paths,
     "exp8": exp8_case_study,
+    "exp9": exp9_batch_throughput,
 }

@@ -4,8 +4,9 @@
 main operations:
 
 * ``query``       — run one tspG query on an edge-list file or a built-in dataset;
+* ``batch``       — serve many queries through the batch service (worker pool + cache);
 * ``datasets``    — list the synthetic dataset analogues and their statistics;
-* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp8);
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp9);
 * ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
 """
 
@@ -23,6 +24,9 @@ from .datasets.transit import CASE_STUDY_QUERY, describe_transfer_options, gener
 from .graph.io import load_edge_list
 from .graph.statistics import compute_statistics
 from .core.vug import generate_tspg_report
+from .queries.query import TspgQuery
+from .queries.workload import generate_workload
+from .service import TspgService
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +50,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--show-edges", action="store_true", help="print every result edge")
 
+    batch = sub.add_parser("batch", help="serve a batch of queries via TspgService")
+    batch_source = batch.add_mutually_exclusive_group(required=True)
+    batch_source.add_argument("--edge-list", help="path to a 'u v t' edge-list file")
+    batch_source.add_argument("--dataset", choices=dataset_keys(), help="built-in dataset key")
+    batch.add_argument(
+        "--queries-file",
+        help="file with one 'source target begin end' query per line "
+        "(default: a random reachable workload)",
+    )
+    batch.add_argument("--num-queries", type=int, default=50, help="random workload size")
+    batch.add_argument("--theta", type=int, default=None, help="interval span of random queries")
+    batch.add_argument("--seed", type=int, default=7, help="random workload seed")
+    batch.add_argument(
+        "--algorithm", default="VUG", choices=available_algorithms(), help="algorithm to use"
+    )
+    batch.add_argument("--workers", type=int, default=1, help="worker threads (1 = serial)")
+    batch.add_argument("--budget", type=float, default=None, help="batch time budget in seconds")
+    batch.add_argument(
+        "--repeat", type=int, default=1, help="run the batch N times (repeats hit the cache)"
+    )
+    batch.add_argument("--cache-size", type=int, default=1024, help="LRU capacity (0 disables)")
+    batch.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+
     sub.add_parser("datasets", help="list the synthetic dataset analogues")
 
     experiment = sub.add_parser("experiment", help="run a paper experiment")
@@ -54,6 +81,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--datasets", nargs="*", default=None, help="dataset keys for multi-dataset experiments")
     experiment.add_argument("--queries", type=int, default=bench_experiments.DEFAULT_NUM_QUERIES)
     experiment.add_argument("--thetas", type=int, nargs="*", default=[6, 8, 10, 12])
+    experiment.add_argument(
+        "--workers", type=int, default=4, help="worker-pool width for exp9"
+    )
 
     sub.add_parser("case-study", help="reproduce the SFMTA transit case study")
 
@@ -91,6 +121,79 @@ def _coerce_vertex(label: str, graph) -> object:
     return as_int if graph.has_vertex(as_int) else label
 
 
+def _load_batch_queries(args: argparse.Namespace, graph) -> List[TspgQuery]:
+    """Build the batch: parse a queries file or sample a random workload."""
+    if args.queries_file:
+        queries: List[TspgQuery] = []
+        with open(args.queries_file, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, start=1):
+                parts = line.split()
+                if not parts or parts[0].startswith("#"):
+                    continue
+                if len(parts) != 4:
+                    raise SystemExit(
+                        f"{args.queries_file}:{line_no}: expected 'source target begin end'"
+                    )
+                source = _coerce_vertex(parts[0], graph)
+                target = _coerce_vertex(parts[1], graph)
+                try:
+                    queries.append(TspgQuery(source, target, (int(parts[2]), int(parts[3]))))
+                except ValueError as exc:
+                    raise SystemExit(f"{args.queries_file}:{line_no}: {exc}") from None
+        if not queries:
+            raise SystemExit(f"{args.queries_file}: no queries found")
+        return queries
+    if args.theta is not None:
+        theta = args.theta
+    elif args.dataset:
+        theta = get_dataset(args.dataset).default_theta
+    else:
+        span = graph.time_interval()
+        theta = max(2, (span.span if span else 2) // 4)
+    workload = generate_workload(
+        graph, num_queries=args.num_queries, theta=theta, seed=args.seed, name="cli-batch"
+    )
+    return list(workload)
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.cache_size < 0:
+        raise SystemExit("--cache-size must be non-negative")
+    if args.edge_list:
+        graph = load_edge_list(args.edge_list)
+    else:
+        graph = get_dataset(args.dataset).load()
+    queries = _load_batch_queries(args, graph)
+    service = TspgService(
+        graph, default_algorithm=args.algorithm, cache_size=args.cache_size
+    )
+    use_cache = not args.no_cache
+    rows = []
+    for pass_no in range(1, max(1, args.repeat) + 1):
+        report = service.run_batch(
+            queries,
+            max_workers=args.workers,
+            use_cache=use_cache,
+            time_budget_seconds=args.budget,
+        )
+        rows.append({"pass": pass_no, **report.as_row()})
+    print(
+        render_table(
+            rows,
+            title=f"Batch of {len(queries)} queries on "
+            f"{graph.num_vertices} vertices / {graph.num_edges} edges",
+        )
+    )
+    stats = service.cache_stats()
+    print(
+        f"cache: {stats.hits} hits, {stats.misses} misses, {stats.evictions} evictions "
+        f"(hit rate {stats.hit_rate:.0%}); indices warmed once: {service.index_stats}"
+    )
+    return 0
+
+
 def _command_datasets(_: argparse.Namespace) -> int:
     rows = []
     for key in dataset_keys():
@@ -115,9 +218,19 @@ def _command_experiment(args: argparse.Namespace) -> int:
         report = driver(args.dataset, args.thetas, num_queries=args.queries)
     elif name in {"table1", "exp8"}:
         report = driver()
+    elif name == "exp9":
+        report = driver(
+            args.dataset, num_queries=args.queries, workers=(1, args.workers)
+        )
     else:
         report = driver(keys=args.datasets, num_queries=args.queries)
-    print(report.render(x_label="theta" if name in {"exp2", "exp5-fig10", "exp6", "exp7"} else "dataset"))
+    if name in {"exp2", "exp5-fig10", "exp6", "exp7"}:
+        x_label = "theta"
+    elif name == "exp9":
+        x_label = "mode"
+    else:
+        x_label = "dataset"
+    print(report.render(x_label=x_label))
     return 0
 
 
@@ -141,6 +254,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "query": _command_query,
+        "batch": _command_batch,
         "datasets": _command_datasets,
         "experiment": _command_experiment,
         "case-study": _command_case_study,

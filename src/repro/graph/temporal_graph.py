@@ -46,7 +46,15 @@ class TemporalGraph:
     searches.
     """
 
-    __slots__ = ("_out", "_in", "_edge_set", "_sorted_edges_cache", "_ts_cache")
+    __slots__ = (
+        "_out",
+        "_in",
+        "_edge_set",
+        "_sorted_edges_cache",
+        "_ts_cache",
+        "_out_ts_cache",
+        "_in_ts_cache",
+    )
 
     def __init__(
         self,
@@ -58,6 +66,8 @@ class TemporalGraph:
         self._edge_set: Set[Tuple[Vertex, Vertex, Timestamp]] = set()
         self._sorted_edges_cache: Optional[List[TemporalEdge]] = None
         self._ts_cache: Optional[List[Timestamp]] = None
+        self._out_ts_cache: Dict[Vertex, List[Timestamp]] = {}
+        self._in_ts_cache: Dict[Vertex, List[Timestamp]] = {}
         if vertices is not None:
             for vertex in vertices:
                 self.add_vertex(vertex)
@@ -119,6 +129,8 @@ class TemporalGraph:
     def _invalidate_caches(self) -> None:
         self._sorted_edges_cache = None
         self._ts_cache = None
+        self._out_ts_cache.clear()
+        self._in_ts_cache.clear()
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -228,12 +240,48 @@ class TemporalGraph:
         return best
 
     def out_timestamps(self, vertex: Vertex) -> List[Timestamp]:
-        """``T_out(u)``: sorted distinct timestamps of out-going edges."""
-        return sorted({t for _, t in self._out.get(vertex, ())})
+        """``T_out(u)``: sorted distinct timestamps of out-going edges.
+
+        Cached per vertex (and invalidated on mutation) because the
+        time-stream-common-vertices machinery and the batch service consult
+        these views once per query over an unchanging graph.
+        """
+        cached = self._out_ts_cache.get(vertex)
+        if cached is None:
+            cached = sorted({t for _, t in self._out.get(vertex, ())})
+            self._out_ts_cache[vertex] = cached
+        return list(cached)
 
     def in_timestamps(self, vertex: Vertex) -> List[Timestamp]:
         """``T_in(u)``: sorted distinct timestamps of in-coming edges."""
-        return sorted({t for _, t in self._in.get(vertex, ())})
+        cached = self._in_ts_cache.get(vertex)
+        if cached is None:
+            cached = sorted({t for _, t in self._in.get(vertex, ())})
+            self._in_ts_cache[vertex] = cached
+        return list(cached)
+
+    def warm_indices(self) -> Dict[str, int]:
+        """Eagerly build every lazily-cached per-graph index.
+
+        The sorted edge list, the distinct-timestamp set and the per-vertex
+        ``T_out(u)`` / ``T_in(u)`` views are all computed on first use and
+        invalidated by mutation.  A long-lived query service warms them once
+        up front so no query — and in particular no *concurrently executing*
+        query — pays the construction cost or races to build them.
+
+        Returns a small summary dict (counts of warmed entries) used by the
+        service's index report.
+        """
+        sorted_edges = self.sorted_edges()
+        timestamps = self.timestamps()
+        for vertex in self._out:
+            self.out_timestamps(vertex)
+            self.in_timestamps(vertex)
+        return {
+            "sorted_edges": len(sorted_edges),
+            "distinct_timestamps": len(timestamps),
+            "vertex_timestamp_views": len(self._out_ts_cache) + len(self._in_ts_cache),
+        }
 
     # Range queries over the sorted adjacency lists -----------------------
     def out_neighbors_after(

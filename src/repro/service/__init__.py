@@ -1,0 +1,48 @@
+"""Batch query serving for temporal simple path graphs.
+
+This package is the scale layer of the library: where
+:func:`repro.generate_tspg` answers one query, :class:`TspgService` serves
+*many* queries over the *same* graph efficiently by
+
+* warming the per-graph indices once (sorted edge list, distinct-timestamp
+  set, per-vertex ``T_out``/``T_in`` views) instead of letting the first
+  query of every workload rebuild them;
+* memoizing results in a thread-safe LRU cache keyed by
+  ``(source, target, interval, algorithm)`` — repeat queries are answered in
+  dictionary-lookup time;
+* executing batches on a configurable ``concurrent.futures`` worker pool with
+  a per-batch wall-clock budget (the batch analogue of the paper's 12-hour
+  "INF" cut-off).
+
+Quickstart
+----------
+>>> from repro import TemporalGraph
+>>> from repro.service import TspgService
+>>> from repro.queries.query import TspgQuery
+>>> graph = TemporalGraph(edges=[("s", "b", 2), ("b", "c", 3),
+...                              ("b", "t", 6), ("c", "t", 7)])
+>>> service = TspgService(graph, cache_size=256)
+>>> batch = [TspgQuery("s", "t", (2, 7)), TspgQuery("b", "t", (3, 7))]
+>>> report = service.run_batch(batch, max_workers=2)
+>>> report.num_completed
+2
+>>> repeat = service.run_batch(batch)          # served from the cache
+>>> repeat.num_cache_hits
+2
+
+The CLI exposes the same machinery as ``tspg batch`` and the throughput
+benchmark ``benchmarks/bench_exp9_batch_throughput.py`` measures the
+serial / parallel / cached regimes against each other.
+"""
+
+from .cache import CacheStats, ResultCache
+from .service import DEFAULT_CACHE_SIZE, BatchItem, BatchReport, TspgService
+
+__all__ = [
+    "TspgService",
+    "BatchReport",
+    "BatchItem",
+    "ResultCache",
+    "CacheStats",
+    "DEFAULT_CACHE_SIZE",
+]

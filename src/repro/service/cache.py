@@ -1,0 +1,136 @@
+"""Thread-safe LRU cache for query results.
+
+The batch service memoizes :class:`~repro.baselines.interface.AlgorithmResult`
+objects keyed by ``(source, target, (τb, τe), algorithm)``.  Results are
+immutable (:class:`~repro.core.result.PathGraph` is a frozen dataclass over
+frozen sets), so sharing one cached object between callers is safe.
+
+The implementation is a classic ``OrderedDict`` LRU guarded by a lock — the
+executor threads of :class:`~repro.service.service.TspgService` hit the cache
+concurrently — with hit/miss/eviction counters surfaced through
+:class:`CacheStats` for the throughput benchmark and the CLI.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, Tuple, TypeVar
+
+Value = TypeVar("Value")
+
+#: Cache key: ``(source, target, (τb, τe), algorithm name)``.
+CacheKey = Tuple[Hashable, Hashable, Tuple[int, int], str]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing the life of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    max_size: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_row(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "hit_rate": round(self.hit_rate, 3),
+        }
+
+
+class ResultCache(Generic[Value]):
+    """A bounded, thread-safe, least-recently-used mapping.
+
+    Parameters
+    ----------
+    max_size:
+        Maximum number of entries; the least recently *used* entry is evicted
+        first.  ``0`` disables the cache entirely (every lookup misses and
+        stores are dropped), which lets callers keep one code path.
+    """
+
+    def __init__(self, max_size: int = 1024) -> None:
+        if max_size < 0:
+            raise ValueError("max_size must be non-negative")
+        self._max_size = max_size
+        self._entries: "OrderedDict[CacheKey, Value]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    @property
+    def max_size(self) -> int:
+        """Configured capacity (``0`` means disabled)."""
+        return self._max_size
+
+    @property
+    def enabled(self) -> bool:
+        """``True`` when the cache can hold at least one entry."""
+        return self._max_size > 0
+
+    def get(self, key: CacheKey) -> Optional[Value]:
+        """Return the cached value or ``None``, updating recency and counters."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: CacheKey, value: Value) -> None:
+        """Store ``value``, evicting the least recently used entry when full."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            if len(self._entries) > self._max_size:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key: CacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Snapshot of the cache counters."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                max_size=self._max_size,
+            )

@@ -1,0 +1,393 @@
+"""The batch query service: one graph, many queries, reusable work.
+
+:class:`TspgService` is the serving layer over the VUG pipeline.  It owns one
+:class:`~repro.graph.temporal_graph.TemporalGraph`, warms the per-graph
+indices exactly once (sorted edge list, distinct timestamps, per-vertex
+``T_out``/``T_in`` views — previously rebuilt lazily on first use per query),
+memoizes results in a bounded LRU keyed by
+``(source, target, interval, algorithm)``, and executes batches either
+serially or on a ``concurrent.futures`` thread pool with a per-batch
+wall-clock budget (the paper's "INF" cut-off, applied to a batch instead of a
+workload).
+
+Every algorithm registered in :mod:`repro.algorithms` is available by name;
+instances are created once per service and shared across worker threads —
+legal because every :meth:`~repro.baselines.interface.TspgAlgorithm.compute`
+implementation in the library keeps its state on the stack.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..algorithms import get_algorithm
+from ..baselines.interface import AlgorithmResult, TspgAlgorithm
+from ..graph.edge import Vertex
+from ..graph.temporal_graph import TemporalGraph
+from ..queries.query import QueryWorkload, TspgQuery
+from .cache import CacheKey, CacheStats, ResultCache
+
+AlgorithmSpec = Union[str, TspgAlgorithm]
+
+#: Default capacity of the per-service result cache.
+DEFAULT_CACHE_SIZE = 1024
+
+
+@dataclass
+class BatchItem:
+    """Outcome of one query inside a batch."""
+
+    query: TspgQuery
+    outcome: Optional[AlgorithmResult] = None
+    cache_hit: bool = False
+    skipped: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def completed(self) -> bool:
+        """``True`` when the query produced a result within the batch budget.
+
+        An in-flight query that the budget cut off may still populate
+        :attr:`outcome` when its thread finishes (threads cannot be
+        interrupted), but it stays ``skipped`` — and not completed — so the
+        report reflects what the batch delivered on time.
+        """
+        return self.outcome is not None and not self.skipped
+
+
+@dataclass
+class BatchReport:
+    """Aggregated outcome of one :meth:`TspgService.run_batch` call."""
+
+    algorithm: str
+    items: List[BatchItem] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    num_workers: int = 1
+    timed_out: bool = False
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.items)
+
+    @property
+    def num_completed(self) -> int:
+        return sum(1 for item in self.items if item.completed)
+
+    @property
+    def num_cache_hits(self) -> int:
+        return sum(1 for item in self.items if item.cache_hit)
+
+    @property
+    def queries_per_second(self) -> float:
+        """Completed-query throughput over the batch's wall-clock time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.num_completed / self.wall_seconds
+
+    def results(self) -> List[Optional[AlgorithmResult]]:
+        """Per-query outcomes aligned with the submitted order (``None`` = skipped)."""
+        return [item.outcome if item.completed else None for item in self.items]
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "algorithm": self.algorithm,
+            "workers": self.num_workers,
+            "queries": f"{self.num_completed}/{self.num_queries}",
+            "wall_s": round(self.wall_seconds, 4),
+            "qps": round(self.queries_per_second, 1),
+            "cache_hits": self.num_cache_hits,
+            "timed_out": self.timed_out,
+        }
+
+
+class TspgService:
+    """Serve many ``tspG`` queries over one temporal graph.
+
+    Parameters
+    ----------
+    graph:
+        The temporal graph every query runs against.  The service warms the
+        graph's lazy indices on construction, so the first query (and every
+        concurrent query) starts from fully-built sorted views.
+    default_algorithm:
+        Algorithm name used when a call does not specify one.
+    cache_size:
+        Capacity of the LRU result cache (``0`` disables memoization).
+    max_workers:
+        Default worker count for :meth:`run_batch`; ``1`` means serial.
+
+    Examples
+    --------
+    >>> from repro import TemporalGraph
+    >>> from repro.service import TspgService
+    >>> from repro.queries.query import TspgQuery
+    >>> graph = TemporalGraph(edges=[("s", "b", 2), ("b", "t", 6),
+    ...                              ("b", "c", 3), ("c", "t", 7)])
+    >>> service = TspgService(graph)
+    >>> outcome = service.submit(TspgQuery("s", "t", (2, 7)))
+    >>> sorted(outcome.result.vertices)
+    ['b', 'c', 's', 't']
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        *,
+        default_algorithm: str = "VUG",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_workers: int = 1,
+        algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._graph = graph
+        self._default_algorithm = default_algorithm
+        self._cache: ResultCache[AlgorithmResult] = ResultCache(cache_size)
+        self._max_workers = max_workers
+        self._algorithm_options = dict(algorithm_options or {})
+        self._algorithms: Dict[str, TspgAlgorithm] = {}
+        self._algorithms_lock = threading.Lock()
+        # Instances that took part in cache keys, pinned by id().  Keys embed
+        # id(instance) so same-named but differently-configured algorithms
+        # never share entries; pinning prevents id reuse after garbage
+        # collection from aliasing a dead instance's entries.
+        self._pinned_algorithms: Dict[int, TspgAlgorithm] = {}
+        #: Sizes of the indices warmed at construction time (see
+        #: :meth:`TemporalGraph.warm_indices`).
+        self.index_stats: Dict[str, int] = graph.warm_indices()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> TemporalGraph:
+        """The graph this service answers queries about."""
+        return self._graph
+
+    @property
+    def default_algorithm(self) -> str:
+        """Name of the algorithm used when none is given."""
+        return self._default_algorithm
+
+    def cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the result cache."""
+        return self._cache.stats()
+
+    def clear_cache(self) -> None:
+        """Drop all memoized results (e.g. after mutating the graph)."""
+        self._cache.clear()
+        with self._algorithms_lock:
+            self._pinned_algorithms.clear()
+
+    def refresh_indices(self) -> Dict[str, int]:
+        """Re-warm the graph indices and drop stale memoized results.
+
+        Call this after mutating the graph; cached results describe the old
+        edge set and must not be served any more.
+        """
+        self.clear_cache()
+        self.index_stats = self._graph.warm_indices()
+        return self.index_stats
+
+    def _resolve(self, algorithm: Optional[AlgorithmSpec]) -> TspgAlgorithm:
+        """Return a shared algorithm instance for a name (or pass one through)."""
+        if isinstance(algorithm, TspgAlgorithm):
+            return algorithm
+        name = algorithm or self._default_algorithm
+        with self._algorithms_lock:
+            instance = self._algorithms.get(name)
+            if instance is None:
+                options = self._algorithm_options.get(name, {})
+                instance = get_algorithm(name, **options)
+                self._algorithms[name] = instance
+        return instance
+
+    def _cache_key(self, query: TspgQuery, algorithm: TspgAlgorithm) -> CacheKey:
+        with self._algorithms_lock:
+            self._pinned_algorithms.setdefault(id(algorithm), algorithm)
+        return (
+            query.source,
+            query.target,
+            query.interval.as_tuple(),
+            f"{algorithm.name}@{id(algorithm)}",
+        )
+
+    # ------------------------------------------------------------------
+    # single queries
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: TspgQuery,
+        algorithm: Optional[AlgorithmSpec] = None,
+        *,
+        use_cache: bool = True,
+    ) -> AlgorithmResult:
+        """Answer one query, consulting and populating the result cache.
+
+        On a cache hit the returned :class:`AlgorithmResult` shares the
+        (immutable) ``result`` and ``space_cost`` of the original run but
+        reports the *lookup* time as ``elapsed_seconds`` and carries
+        ``extras["cache_hit"] = True``.
+        """
+        resolved = self._resolve(algorithm)
+        key: Optional[CacheKey] = None
+        if use_cache:
+            key = self._cache_key(query, resolved)
+            started = time.perf_counter()
+            cached = self._cache.get(key)
+            if cached is not None:
+                return AlgorithmResult(
+                    algorithm=cached.algorithm,
+                    result=cached.result,
+                    elapsed_seconds=time.perf_counter() - started,
+                    space_cost=cached.space_cost,
+                    timed_out=cached.timed_out,
+                    extras={**cached.extras, "cache_hit": True},
+                )
+        outcome = resolved.run(self._graph, query.source, query.target, query.interval)
+        # Never memoize a cut-off run: a timed-out (possibly partial) result
+        # would be served for every future repeat of the query.
+        if use_cache and not outcome.timed_out:
+            self._cache.put(key, outcome)
+        return outcome
+
+    def query(
+        self,
+        source: Vertex,
+        target: Vertex,
+        interval,
+        algorithm: Optional[AlgorithmSpec] = None,
+        *,
+        use_cache: bool = True,
+    ) -> AlgorithmResult:
+        """Convenience wrapper building the :class:`TspgQuery` for the caller."""
+        return self.submit(
+            TspgQuery(source=source, target=target, interval=interval),
+            algorithm,
+            use_cache=use_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        queries: Union[Sequence[TspgQuery], QueryWorkload],
+        algorithm: Optional[AlgorithmSpec] = None,
+        *,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+        time_budget_seconds: Optional[float] = None,
+    ) -> BatchReport:
+        """Answer a batch of queries, optionally in parallel.
+
+        Parameters
+        ----------
+        queries:
+            The batch; a :class:`QueryWorkload` is accepted directly.
+        max_workers:
+            Thread-pool width; ``1`` (the default from the constructor)
+            executes serially in submission order.
+        time_budget_seconds:
+            Wall-clock budget for the whole batch.  Queries that have not
+            *finished* when the budget expires are reported as skipped
+            (``BatchItem.skipped``) and the report is flagged ``timed_out`` —
+            the batch analogue of the paper's 12-hour "INF" cut-off.
+
+        Returns
+        -------
+        BatchReport
+            Per-query outcomes aligned with the input order plus wall-clock
+            and throughput aggregates.  Results are identical regardless of
+            worker count: every query runs against the same immutable warmed
+            graph, and result objects are frozen.
+        """
+        query_list = list(queries)
+        resolved = self._resolve(algorithm)
+        workers = max_workers if max_workers is not None else self._max_workers
+        if workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        report = BatchReport(
+            algorithm=resolved.name,
+            items=[BatchItem(query=query) for query in query_list],
+            num_workers=workers,
+        )
+        started = time.perf_counter()
+        if workers == 1 or len(query_list) <= 1:
+            self._run_batch_serial(report, resolved, use_cache, time_budget_seconds, started)
+        else:
+            self._run_batch_parallel(
+                report, resolved, workers, use_cache, time_budget_seconds, started
+            )
+        report.wall_seconds = time.perf_counter() - started
+        return report
+
+    def _run_one(
+        self, item: BatchItem, algorithm: TspgAlgorithm, use_cache: bool
+    ) -> None:
+        """Execute one batch item in place (runs on a worker thread)."""
+        started = time.perf_counter()
+        outcome = self.submit(item.query, algorithm, use_cache=use_cache)
+        item.outcome = outcome
+        item.cache_hit = bool(outcome.extras.get("cache_hit"))
+        item.elapsed_seconds = time.perf_counter() - started
+
+    def _run_batch_serial(
+        self,
+        report: BatchReport,
+        algorithm: TspgAlgorithm,
+        use_cache: bool,
+        time_budget_seconds: Optional[float],
+        started: float,
+    ) -> None:
+        for item in report.items:
+            if (
+                time_budget_seconds is not None
+                and time.perf_counter() - started > time_budget_seconds
+            ):
+                item.skipped = True
+                report.timed_out = True
+                continue
+            self._run_one(item, algorithm, use_cache)
+
+    def _run_batch_parallel(
+        self,
+        report: BatchReport,
+        algorithm: TspgAlgorithm,
+        workers: int,
+        use_cache: bool,
+        time_budget_seconds: Optional[float],
+        started: float,
+    ) -> None:
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="tspg-batch"
+        ) as executor:
+            futures: Dict[Future, BatchItem] = {
+                executor.submit(self._run_one, item, algorithm, use_cache): item
+                for item in report.items
+            }
+            remaining: Optional[float] = None
+            if time_budget_seconds is not None:
+                remaining = max(0.0, time_budget_seconds - (time.perf_counter() - started))
+            _, not_done = wait(futures, timeout=remaining, return_when=FIRST_EXCEPTION)
+            for future in not_done:
+                # Queries that never started are dropped; in-flight ones
+                # finish (threads cannot be interrupted) but stay skipped so
+                # the report reflects the budget faithfully.
+                future.cancel()
+                futures[future].skipped = True
+                report.timed_out = True
+        # The pool has joined: every non-cancelled future — including ones
+        # that were in flight at the budget cut-off — is finished, so worker
+        # exceptions surface instead of masquerading as budget skips.
+        for future in futures:
+            if future.cancelled():
+                continue
+            exc = future.exception()
+            if exc is not None:
+                raise exc

@@ -1,0 +1,52 @@
+"""Shared test data: expected artifacts of the paper's running example.
+
+The running example (Fig. 1) is exercised by the unit tests of every pipeline
+phase, so the expected member sets of the intermediate and final graphs live
+here — importable as :mod:`repro.testing` from both ``tests/`` and
+``benchmarks/`` without relying on ``conftest`` module-name resolution (the
+two suites each have a ``conftest.py``, and a bare ``from conftest import …``
+can silently pick the wrong one depending on collection order).
+
+The constants mirror Fig. 1(b)-(d) for the query ``(s, t, [2, 7])``:
+
+``PAPER_GQ_EDGES``
+    Edges of the quick upper-bound graph ``Gq`` (QuickUBG output).
+``PAPER_GT_EDGES``
+    Edges of the tight upper-bound graph ``Gt`` (TightUBG output).
+``PAPER_TSPG_EDGES`` / ``PAPER_TSPG_VERTICES``
+    Members of the exact temporal simple path graph (EEV output).
+"""
+
+from __future__ import annotations
+
+#: Edges of the quick upper-bound graph ``Gq`` of the running example.
+PAPER_GQ_EDGES = {
+    ("s", "b", 2),
+    ("b", "c", 3),
+    ("c", "f", 4),
+    ("f", "e", 5),
+    ("f", "b", 5),
+    ("e", "c", 6),
+    ("b", "t", 6),
+    ("c", "t", 7),
+}
+
+#: Edges of the tight upper-bound graph ``Gt`` of the running example.
+PAPER_GT_EDGES = {
+    ("s", "b", 2),
+    ("b", "c", 3),
+    ("c", "f", 4),
+    ("b", "t", 6),
+    ("c", "t", 7),
+}
+
+#: Edges of the exact ``tspG`` of the running example.
+PAPER_TSPG_EDGES = {
+    ("s", "b", 2),
+    ("b", "c", 3),
+    ("b", "t", 6),
+    ("c", "t", 7),
+}
+
+#: Vertices of the exact ``tspG`` of the running example.
+PAPER_TSPG_VERTICES = {"s", "b", "c", "t"}

@@ -7,6 +7,12 @@ import pytest
 from repro.graph.edge import TimeInterval
 from repro.graph.generators import paper_running_example
 from repro.graph.temporal_graph import TemporalGraph
+from repro.testing import (  # noqa: F401 — re-exported for legacy imports
+    PAPER_GQ_EDGES,
+    PAPER_GT_EDGES,
+    PAPER_TSPG_EDGES,
+    PAPER_TSPG_VERTICES,
+)
 
 
 @pytest.fixture
@@ -25,36 +31,6 @@ def paper_interval() -> TimeInterval:
 def paper_query(paper_graph, paper_interval):
     """(graph, source, target, interval) of the running example."""
     return paper_graph, "s", "t", paper_interval
-
-
-#: Expected members of the running example's intermediate/final artifacts.
-PAPER_GQ_EDGES = {
-    ("s", "b", 2),
-    ("b", "c", 3),
-    ("c", "f", 4),
-    ("f", "e", 5),
-    ("f", "b", 5),
-    ("e", "c", 6),
-    ("b", "t", 6),
-    ("c", "t", 7),
-}
-
-PAPER_GT_EDGES = {
-    ("s", "b", 2),
-    ("b", "c", 3),
-    ("c", "f", 4),
-    ("b", "t", 6),
-    ("c", "t", 7),
-}
-
-PAPER_TSPG_EDGES = {
-    ("s", "b", 2),
-    ("b", "c", 3),
-    ("b", "t", 6),
-    ("c", "t", 7),
-}
-
-PAPER_TSPG_VERTICES = {"s", "b", "c", "t"}
 
 
 @pytest.fixture

@@ -13,7 +13,7 @@ from repro.algorithms import (
 )
 from repro.baselines.interface import TspgAlgorithm
 
-from conftest import PAPER_TSPG_EDGES
+from repro.testing import PAPER_TSPG_EDGES
 
 
 class TestRegistry:

@@ -26,7 +26,7 @@ from repro.graph.generators import uniform_random_temporal_graph
 from repro.graph.temporal_graph import TemporalGraph
 from repro.queries.query import QueryWorkload, TspgQuery
 
-from conftest import PAPER_TSPG_EDGES
+from repro.testing import PAPER_TSPG_EDGES
 
 
 class TestOracle:

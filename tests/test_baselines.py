@@ -18,7 +18,7 @@ from repro.graph.generators import uniform_random_temporal_graph
 from repro.graph.temporal_graph import TemporalGraph
 from repro.graph.validation import is_subgraph
 
-from conftest import PAPER_GQ_EDGES, PAPER_TSPG_EDGES
+from repro.testing import PAPER_GQ_EDGES, PAPER_TSPG_EDGES
 
 
 class TestReductionsOnPaperExample:

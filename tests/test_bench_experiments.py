@@ -96,5 +96,5 @@ class TestTableAndFigureDrivers:
         assert set(experiments.EXPERIMENTS) == {
             "table1", "exp1", "exp2", "exp3", "exp4",
             "exp5-table2", "exp5-fig9", "exp5-fig10",
-            "exp6", "exp7", "exp8",
+            "exp6", "exp7", "exp8", "exp9",
         }

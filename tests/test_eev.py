@@ -11,7 +11,7 @@ from repro.core.tight_ubg import tight_upper_bound_graph
 from repro.graph.edge import TemporalEdge, TimeInterval
 from repro.graph.temporal_graph import TemporalGraph
 
-from conftest import PAPER_TSPG_EDGES, PAPER_TSPG_VERTICES
+from repro.testing import PAPER_TSPG_EDGES, PAPER_TSPG_VERTICES
 
 
 @pytest.fixture

@@ -9,7 +9,7 @@ from repro.core.quick_ubg import quick_upper_bound_graph, quick_upper_bound_with
 from repro.graph.temporal_graph import TemporalGraph
 from repro.graph.validation import is_subgraph
 
-from conftest import PAPER_GQ_EDGES
+from repro.testing import PAPER_GQ_EDGES
 
 
 class TestPaperExample:

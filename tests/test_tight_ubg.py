@@ -10,7 +10,7 @@ from repro.core.tight_ubg import tight_upper_bound_graph, tight_upper_bound_with
 from repro.graph.temporal_graph import TemporalGraph
 from repro.graph.validation import is_subgraph
 
-from conftest import PAPER_GT_EDGES
+from repro.testing import PAPER_GT_EDGES
 
 
 @pytest.fixture

@@ -15,7 +15,7 @@ from repro.graph.generators import (
 )
 from repro.graph.temporal_graph import TemporalGraph
 
-from conftest import PAPER_TSPG_EDGES, PAPER_TSPG_VERTICES
+from repro.testing import PAPER_TSPG_EDGES, PAPER_TSPG_VERTICES
 
 
 class TestPaperExample:
