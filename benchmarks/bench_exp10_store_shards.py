@@ -1,0 +1,112 @@
+"""Exp-10 (new) — the GraphStore layer: snapshot boot and time-range sharding.
+
+No paper analogue: this benchmark measures the storage/serving refactor.  Two
+properties are asserted as acceptance criteria:
+
+* **Snapshot boot** — loading a warmed-index snapshot of the largest
+  generated dataset (D10) must be at least 3× faster than a cold boot that
+  rebuilds and re-sorts every index from the edge list.
+* **Shard fidelity** — a batch fanned out across a time-range-sharded router
+  must return results bit-identical to the unsharded service.
+
+The aggregated series is written to ``results/exp10_store_shards.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import exp10_store_and_shards, measure_boot_times
+from repro.datasets.registry import get_dataset
+from repro.queries.workload import generate_workload
+from repro.service import ShardedTspgService, TspgService
+
+from bench_config import BENCH_NUM_QUERIES, BENCH_TIME_BUDGET_SECONDS
+
+#: The largest generated analogue — where index (re)construction hurts most.
+BENCH_DATASET = "D10"
+
+#: Shard counts compared against the unsharded baseline.
+BENCH_SHARDS = [2, 4]
+
+#: Acceptance floor for the snapshot-boot speedup.
+MIN_BOOT_SPEEDUP = 3.0
+
+
+def test_exp10_snapshot_boot_speedup(benchmark, tmp_path):
+    """Acceptance: snapshot boot is ≥3× faster than a cold index build."""
+    graph = get_dataset(BENCH_DATASET).load()
+    snapshot_path = str(tmp_path / "d10.tspgsnap")
+
+    boots = benchmark.pedantic(
+        measure_boot_times,
+        args=(graph,),
+        kwargs=dict(snapshot_path=snapshot_path, rounds=3),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = boots["cold_boot_s"] / boots["snapshot_boot_s"]
+    benchmark.extra_info["cold_boot_s"] = round(boots["cold_boot_s"], 5)
+    benchmark.extra_info["snapshot_boot_s"] = round(boots["snapshot_boot_s"], 5)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= MIN_BOOT_SPEEDUP, (
+        f"snapshot boot {boots['snapshot_boot_s']:.4f}s is only "
+        f"{speedup:.2f}x faster than cold boot {boots['cold_boot_s']:.4f}s "
+        f"(needs {MIN_BOOT_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.parametrize("shards", BENCH_SHARDS)
+def test_exp10_sharded_batch_matches_unsharded(benchmark, shards):
+    """Acceptance: sharded batch results are bit-identical to unsharded."""
+    spec = get_dataset(BENCH_DATASET)
+    graph = spec.load()
+    queries = list(
+        generate_workload(
+            graph, num_queries=BENCH_NUM_QUERIES, theta=spec.default_theta,
+            seed=7, name=f"{BENCH_DATASET}-shard-bench",
+        )
+    )
+    baseline = TspgService(graph).run_batch(
+        queries, use_cache=False, time_budget_seconds=BENCH_TIME_BUDGET_SECONDS
+    )
+    router = ShardedTspgService(graph, shards, overlap=spec.default_theta)
+
+    report = benchmark.pedantic(
+        router.run_batch,
+        args=(queries,),
+        kwargs=dict(
+            max_workers=shards,
+            use_cache=False,
+            time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["shards"] = shards
+    benchmark.extra_info["qps"] = round(report.queries_per_second, 1)
+    benchmark.extra_info["routed"] = dict(sorted(report.routed.items()))
+    assert report.num_completed == len(queries)
+    for sharded_item, base_item in zip(report.items, baseline.items):
+        assert sharded_item.outcome.result.vertices == base_item.outcome.result.vertices
+        assert sharded_item.outcome.result.edges == base_item.outcome.result.edges
+
+
+def test_exp10_summary_table(benchmark, save_report):
+    """The full Exp-10 row set (boot modes + shard counts)."""
+    report = benchmark.pedantic(
+        exp10_store_and_shards,
+        kwargs=dict(
+            dataset_key=BENCH_DATASET,
+            num_queries=BENCH_NUM_QUERIES,
+            shard_counts=tuple(BENCH_SHARDS),
+            time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("exp10_store_shards", report, x_label="mode")
+    by_mode = {row["mode"]: row for row in report.rows}
+    assert by_mode["cold-boot"]["wall_s"] >= MIN_BOOT_SPEEDUP * by_mode["snapshot-boot"]["wall_s"]
+    for shards in BENCH_SHARDS:
+        assert by_mode[f"{shards}-shard"]["identical"] is True

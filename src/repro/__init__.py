@@ -43,7 +43,15 @@ from .paths import (
     enumerate_temporal_simple_paths,
 )
 from .queries import QueryRunner, QueryWorkload, TspgQuery, generate_workload
-from .service import BatchReport, TspgService
+from .service import BatchReport, ShardedTspgService, TspgService
+from .store import (
+    GraphStore,
+    InMemoryGraphStore,
+    SnapshotError,
+    SnapshotGraphStore,
+    load_snapshot,
+    save_snapshot,
+)
 from .analysis import brute_force_tspg
 
 __version__ = "1.0.0"
@@ -79,7 +87,14 @@ __all__ = [
     "QueryRunner",
     "generate_workload",
     "TspgService",
+    "ShardedTspgService",
     "BatchReport",
+    "GraphStore",
+    "InMemoryGraphStore",
+    "SnapshotGraphStore",
+    "SnapshotError",
+    "load_snapshot",
+    "save_snapshot",
     "brute_force_tspg",
     "__version__",
 ]

@@ -19,6 +19,7 @@ Function                  Paper artifact
 ``exp7_edges_vs_paths``   Fig. 12   — #edges vs #paths in the tspG
 ``exp8_case_study``       Fig. 13   — SFMTA transit case study
 ``exp9_batch_throughput`` (new)     — batch service: serial vs parallel vs cached
+``exp10_store_and_shards`` (new)    — snapshot boot vs cold boot; sharded batches
 ========================  =======================================================
 
 All drivers take ``num_queries`` / dataset-key parameters so the pytest
@@ -28,6 +29,8 @@ them up.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -53,7 +56,8 @@ from ..paths.counting import count_temporal_simple_paths_capped
 from ..queries.query import QueryWorkload
 from ..queries.runner import QueryRunner
 from ..queries.workload import generate_workload
-from ..service import TspgService
+from ..service import ShardedTspgService, TspgService
+from ..store import SnapshotGraphStore
 from .reporting import ExperimentReport
 
 #: Default number of queries per workload used by the pytest benches.  The
@@ -553,6 +557,151 @@ def exp9_batch_throughput(
     return report
 
 
+# ----------------------------------------------------------------------
+# Exp-10 (store + sharding; no paper analogue)
+# ----------------------------------------------------------------------
+def measure_boot_times(
+    graph: TemporalGraph,
+    snapshot_path: Optional[str] = None,
+    rounds: int = 3,
+) -> Dict[str, float]:
+    """Best-of-``rounds`` cold-boot vs snapshot-boot wall-clock seconds.
+
+    Both sides boot to the *same* warm state: the pre-sorted tuple edge
+    backing, the distinct-timestamp set and every per-vertex view built
+    (``TemporalEdge`` materialisation is uniformly lazy in both cases, so
+    the comparison is apples-to-apples).  Cold boot pays per-edge sorted
+    adjacency insertion plus the O(E log E) sort; snapshot boot reads the
+    already-warm state back in O(read).  Shared by the exp10 driver and
+    the benchmark asserts.
+    """
+    edges = list(graph.edge_tuples())
+    vertices = list(graph.vertices())
+
+    cleanup = snapshot_path is None
+    if snapshot_path is None:
+        handle, snapshot_path = tempfile.mkstemp(suffix=".tspgsnap")
+        os.close(handle)
+    store = SnapshotGraphStore(snapshot_path)
+    try:
+        store.save(graph)
+        cold = snap = float("inf")
+        for _ in range(rounds):
+            started = time.perf_counter()
+            rebuilt = TemporalGraph(edges=edges, vertices=vertices)
+            rebuilt.warm_indices()
+            cold = min(cold, time.perf_counter() - started)
+            started = time.perf_counter()
+            loaded = store.load()
+            loaded.warm_indices()
+            snap = min(snap, time.perf_counter() - started)
+        if not (loaded == graph):
+            raise AssertionError("snapshot boot produced a different graph")
+        return {"cold_boot_s": cold, "snapshot_boot_s": snap}
+    finally:
+        if cleanup and os.path.exists(snapshot_path):
+            os.unlink(snapshot_path)
+
+
+def exp10_store_and_shards(
+    dataset_key: str = "D10",
+    num_queries: int = DEFAULT_NUM_QUERIES,
+    algorithm: str = "VUG",
+    shard_counts: Sequence[int] = (2, 4),
+    overlap: Optional[int] = None,
+    snapshot_path: Optional[str] = None,
+    time_budget_seconds: float = DEFAULT_TIME_BUDGET_SECONDS,
+    seed: int = 7,
+) -> ExperimentReport:
+    """Exp-10: persistent snapshots and time-range sharding.
+
+    Two comparisons on one dataset (D10 — the largest analogue — by
+    default): **boot latency** of a cold index build vs a snapshot load, and
+    **batch throughput** of the unsharded service vs a sharded router at
+    each entry of ``shard_counts``, with a bit-identical cross-check of
+    every sharded result against the unsharded baseline.
+    """
+    report = ExperimentReport(
+        experiment=f"Exp-10 (store + shards, {dataset_key})",
+        description=(
+            f"Snapshot boot vs cold boot, and 1-shard vs N-shard batch "
+            f"throughput for {num_queries} queries ({algorithm})"
+        ),
+    )
+    graph = _load(dataset_key)
+    spec = get_dataset(dataset_key)
+    shard_overlap = overlap if overlap is not None else spec.default_theta
+
+    boots = measure_boot_times(graph, snapshot_path=snapshot_path)
+    speedup = (
+        boots["cold_boot_s"] / boots["snapshot_boot_s"]
+        if boots["snapshot_boot_s"] > 0
+        else float("inf")
+    )
+    report.add_row(
+        mode="cold-boot", wall_s=round(boots["cold_boot_s"], 4), qps=None,
+        identical=None,
+    )
+    report.add_row(
+        mode="snapshot-boot", wall_s=round(boots["snapshot_boot_s"], 4), qps=None,
+        identical=None,
+    )
+    report.add_point("boot_s", "cold-boot", round(boots["cold_boot_s"], 4))
+    report.add_point("boot_s", "snapshot-boot", round(boots["snapshot_boot_s"], 4))
+    report.add_note(f"snapshot boot is {speedup:.1f}x faster than cold boot")
+
+    workload = _workload(graph, dataset_key, num_queries, seed=seed)
+    queries = list(workload)
+    flat = TspgService(graph, default_algorithm=algorithm)
+    baseline = flat.run_batch(
+        queries, use_cache=False, time_budget_seconds=time_budget_seconds
+    )
+    report.add_row(
+        mode="1-shard", wall_s=round(baseline.wall_seconds, 4),
+        qps=round(baseline.queries_per_second, 1), identical=True,
+    )
+    report.add_point("qps", "1-shard", round(baseline.queries_per_second, 1))
+    for count in shard_counts:
+        if count <= 1:
+            continue
+        router = ShardedTspgService(
+            graph, count, overlap=shard_overlap, default_algorithm=algorithm
+        )
+        sharded = router.run_batch(
+            queries, max_workers=count, use_cache=False,
+            time_budget_seconds=time_budget_seconds,
+        )
+        # Fidelity is judged only on pairs both regimes completed — a
+        # budget skip is not a result mismatch (skips are reported below).
+        compared = [
+            (shard_item, base_item)
+            for shard_item, base_item in zip(sharded.items, baseline.items)
+            if shard_item.completed and base_item.completed
+        ]
+        identical = all(
+            shard_item.outcome.result.vertices == base_item.outcome.result.vertices
+            and shard_item.outcome.result.edges == base_item.outcome.result.edges
+            for shard_item, base_item in compared
+        )
+        mode = f"{count}-shard"
+        if len(compared) < len(queries):
+            report.add_note(
+                f"{mode}: {len(queries) - len(compared)} of {len(queries)} "
+                f"pairs skipped by the time budget and excluded from the "
+                f"fidelity check"
+            )
+        report.add_row(
+            mode=mode, wall_s=round(sharded.wall_seconds, 4),
+            qps=round(sharded.queries_per_second, 1), identical=identical,
+        )
+        report.add_point("qps", mode, round(sharded.queries_per_second, 1))
+        report.add_note(
+            f"{mode}: routed={dict(sorted(sharded.routed.items()))} "
+            f"(fallback={sharded.num_fallback})"
+        )
+    return report
+
+
 #: Registry used by the CLI ("run experiment by name").
 EXPERIMENTS = {
     "table1": table1_datasets,
@@ -567,4 +716,5 @@ EXPERIMENTS = {
     "exp7": exp7_edges_vs_paths,
     "exp8": exp8_case_study,
     "exp9": exp9_batch_throughput,
+    "exp10": exp10_store_and_shards,
 }

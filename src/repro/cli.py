@@ -4,9 +4,11 @@
 main operations:
 
 * ``query``       — run one tspG query on an edge-list file or a built-in dataset;
-* ``batch``       — serve many queries through the batch service (worker pool + cache);
+* ``batch``       — serve many queries through the batch service (worker pool +
+  cache), optionally booting from a snapshot and/or sharding by time range;
+* ``warm``        — build every index of a graph and save a binary snapshot;
 * ``datasets``    — list the synthetic dataset analogues and their statistics;
-* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp9);
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp10);
 * ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
 """
 
@@ -14,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .algorithms import available_algorithms, get_algorithm
@@ -26,7 +29,8 @@ from .graph.statistics import compute_statistics
 from .core.vug import generate_tspg_report
 from .queries.query import TspgQuery
 from .queries.workload import generate_workload
-from .service import TspgService
+from .service import ShardedTspgService, TspgService
+from .store import SnapshotError, SnapshotGraphStore
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +58,9 @@ def build_parser() -> argparse.ArgumentParser:
     batch_source = batch.add_mutually_exclusive_group(required=True)
     batch_source.add_argument("--edge-list", help="path to a 'u v t' edge-list file")
     batch_source.add_argument("--dataset", choices=dataset_keys(), help="built-in dataset key")
+    batch_source.add_argument(
+        "--snapshot", help="boot from a warmed index snapshot (see 'tspg warm')"
+    )
     batch.add_argument(
         "--queries-file",
         help="file with one 'source target begin end' query per line "
@@ -72,6 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument("--cache-size", type=int, default=1024, help="LRU capacity (0 disables)")
     batch.add_argument("--no-cache", action="store_true", help="bypass the result cache")
+    batch.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the graph across N time-range shards (1 = unsharded)",
+    )
+    batch.add_argument(
+        "--shard-overlap", type=int, default=None,
+        help="extent overlap between shards in timestamps "
+        "(default: the workload's theta, so typical queries stay on one shard)",
+    )
+
+    warm = sub.add_parser(
+        "warm", help="warm every graph index and save a binary snapshot"
+    )
+    warm_source = warm.add_mutually_exclusive_group(required=True)
+    warm_source.add_argument("--edge-list", help="path to a 'u v t' edge-list file")
+    warm_source.add_argument("--dataset", choices=dataset_keys(), help="built-in dataset key")
+    warm.add_argument("--output", required=True, help="snapshot file to write")
 
     sub.add_parser("datasets", help="list the synthetic dataset analogues")
 
@@ -143,17 +167,21 @@ def _load_batch_queries(args: argparse.Namespace, graph) -> List[TspgQuery]:
         if not queries:
             raise SystemExit(f"{args.queries_file}: no queries found")
         return queries
-    if args.theta is not None:
-        theta = args.theta
-    elif args.dataset:
-        theta = get_dataset(args.dataset).default_theta
-    else:
-        span = graph.time_interval()
-        theta = max(2, (span.span if span else 2) // 4)
     workload = generate_workload(
-        graph, num_queries=args.num_queries, theta=theta, seed=args.seed, name="cli-batch"
+        graph, num_queries=args.num_queries, theta=_batch_theta(args, graph),
+        seed=args.seed, name="cli-batch",
     )
     return list(workload)
+
+
+def _batch_theta(args: argparse.Namespace, graph) -> int:
+    """Interval span for random batch workloads (also the default shard overlap)."""
+    if args.theta is not None:
+        return args.theta
+    if args.dataset:
+        return get_dataset(args.dataset).default_theta
+    span = graph.time_interval()
+    return max(2, (span.span if span else 2) // 4)
 
 
 def _command_batch(args: argparse.Namespace) -> int:
@@ -161,14 +189,34 @@ def _command_batch(args: argparse.Namespace) -> int:
         raise SystemExit("--workers must be at least 1")
     if args.cache_size < 0:
         raise SystemExit("--cache-size must be non-negative")
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    if args.shard_overlap is not None and args.shard_overlap < 0:
+        raise SystemExit("--shard-overlap must be non-negative")
     if args.edge_list:
         graph = load_edge_list(args.edge_list)
+    elif args.snapshot:
+        try:
+            graph = SnapshotGraphStore(args.snapshot).load()
+        except SnapshotError as exc:
+            raise SystemExit(str(exc)) from None
     else:
         graph = get_dataset(args.dataset).load()
     queries = _load_batch_queries(args, graph)
-    service = TspgService(
-        graph, default_algorithm=args.algorithm, cache_size=args.cache_size
-    )
+    if args.shards > 1:
+        overlap = (
+            args.shard_overlap
+            if args.shard_overlap is not None
+            else _batch_theta(args, graph)
+        )
+        service = ShardedTspgService(
+            graph, args.shards, overlap=overlap,
+            default_algorithm=args.algorithm, cache_size=args.cache_size,
+        )
+    else:
+        service = TspgService(
+            graph, default_algorithm=args.algorithm, cache_size=args.cache_size
+        )
     use_cache = not args.no_cache
     rows = []
     for pass_no in range(1, max(1, args.repeat) + 1):
@@ -179,17 +227,44 @@ def _command_batch(args: argparse.Namespace) -> int:
             time_budget_seconds=args.budget,
         )
         rows.append({"pass": pass_no, **report.as_row()})
+    source = (
+        f"snapshot {args.snapshot}" if args.snapshot
+        else (args.edge_list or args.dataset)
+    )
+    shard_note = f", {args.shards} shards" if args.shards > 1 else ""
     print(
         render_table(
             rows,
             title=f"Batch of {len(queries)} queries on "
-            f"{graph.num_vertices} vertices / {graph.num_edges} edges",
+            f"{graph.num_vertices} vertices / {graph.num_edges} edges "
+            f"({source}{shard_note})",
         )
     )
     stats = service.cache_stats()
     print(
         f"cache: {stats.hits} hits, {stats.misses} misses, {stats.evictions} evictions "
         f"(hit rate {stats.hit_rate:.0%}); indices warmed once: {service.index_stats}"
+    )
+    return 0
+
+
+def _command_warm(args: argparse.Namespace) -> int:
+    if args.edge_list:
+        graph = load_edge_list(args.edge_list)
+        source = args.edge_list
+    else:
+        graph = get_dataset(args.dataset).load()
+        source = args.dataset
+    started = time.perf_counter()
+    info = SnapshotGraphStore(args.output).save(graph)
+    elapsed = time.perf_counter() - started
+    print(
+        f"warmed {source}: |V|={info.num_vertices} |E|={info.num_edges} "
+        f"|T|={info.num_timestamps} epoch={info.epoch}"
+    )
+    print(
+        f"snapshot v{info.version} written to {args.output} "
+        f"({info.payload_bytes} payload bytes, {elapsed:.3f}s)"
     )
     return 0
 
@@ -222,11 +297,13 @@ def _command_experiment(args: argparse.Namespace) -> int:
         report = driver(
             args.dataset, num_queries=args.queries, workers=(1, args.workers)
         )
+    elif name == "exp10":
+        report = driver(args.dataset, num_queries=args.queries)
     else:
         report = driver(keys=args.datasets, num_queries=args.queries)
     if name in {"exp2", "exp5-fig10", "exp6", "exp7"}:
         x_label = "theta"
-    elif name == "exp9":
+    elif name in {"exp9", "exp10"}:
         x_label = "mode"
     else:
         x_label = "dataset"
@@ -255,6 +332,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "query": _command_query,
         "batch": _command_batch,
+        "warm": _command_warm,
         "datasets": _command_datasets,
         "experiment": _command_experiment,
         "case-study": _command_case_study,

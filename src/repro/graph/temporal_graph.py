@@ -50,7 +50,9 @@ class TemporalGraph:
         "_out",
         "_in",
         "_edge_set",
+        "_epoch",
         "_sorted_edges_cache",
+        "_sorted_tuples_cache",
         "_ts_cache",
         "_out_ts_cache",
         "_in_ts_cache",
@@ -64,7 +66,14 @@ class TemporalGraph:
         self._out: Dict[Vertex, List[NeighborEntry]] = {}
         self._in: Dict[Vertex, List[NeighborEntry]] = {}
         self._edge_set: Set[Tuple[Vertex, Vertex, Timestamp]] = set()
+        self._epoch: int = 0
         self._sorted_edges_cache: Optional[List[TemporalEdge]] = None
+        # Pre-sorted plain-tuple backing for the sorted-edge index.  Loaded
+        # from snapshots (and carried by copies); when present, the
+        # TemporalEdge list is materialised from it *without re-sorting*.
+        self._sorted_tuples_cache: Optional[
+            List[Tuple[Vertex, Vertex, Timestamp]]
+        ] = None
         self._ts_cache: Optional[List[Timestamp]] = None
         self._out_ts_cache: Dict[Vertex, List[Timestamp]] = {}
         self._in_ts_cache: Dict[Vertex, List[Timestamp]] = {}
@@ -82,6 +91,7 @@ class TemporalGraph:
         if vertex not in self._out:
             self._out[vertex] = []
             self._in[vertex] = []
+            self._epoch += 1
 
     def add_edge(self, source: Vertex, target: Vertex, timestamp: Timestamp) -> bool:
         """Add the directed temporal edge ``e(source, target, timestamp)``.
@@ -127,10 +137,25 @@ class TemporalGraph:
         entries.insert(lo, entry)
 
     def _invalidate_caches(self) -> None:
+        self._epoch += 1
         self._sorted_edges_cache = None
+        self._sorted_tuples_cache = None
         self._ts_cache = None
         self._out_ts_cache.clear()
         self._in_ts_cache.clear()
+
+    @property
+    def epoch(self) -> int:
+        """Monotonically increasing mutation counter.
+
+        Every successful :meth:`add_vertex`, :meth:`add_edge` and
+        :meth:`add_edges` call bumps the epoch (no-op duplicates do not).
+        Consumers that derive state from the graph — warmed indices, memoized
+        query results, shard partitions, on-disk snapshots — stamp what they
+        build with the epoch and compare on use, so staleness is *detected*
+        instead of relying on callers to invalidate manually.
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -173,15 +198,28 @@ class TemporalGraph:
         yields non-ascending order (used when computing ``TCV(·, t)``).
         The ascending list is cached because the streaming algorithms consume
         it repeatedly.
+
+        The index is two-stage: the sort happens on plain ``(u, v, τ)``
+        tuples (cheaper to compare, and exactly what snapshots persist and
+        load back pre-sorted), and the :class:`TemporalEdge` objects are
+        materialised from that backing once, on first use — identically for
+        cold-built and snapshot-loaded graphs.
         """
         if self._sorted_edges_cache is None:
-            self._sorted_edges_cache = sorted(
-                (TemporalEdge(u, v, t) for (u, v, t) in self._edge_set),
-                key=lambda e: e.timestamp,
-            )
+            self._sorted_edges_cache = [
+                TemporalEdge(u, v, t) for (u, v, t) in self._sorted_tuple_backing()
+            ]
         if reverse:
             return list(reversed(self._sorted_edges_cache))
         return list(self._sorted_edges_cache)
+
+    def _sorted_tuple_backing(self) -> List[Tuple[Vertex, Vertex, Timestamp]]:
+        """The temporally sorted plain-tuple edge list (built on first use)."""
+        if self._sorted_tuples_cache is None:
+            self._sorted_tuples_cache = sorted(
+                self._edge_set, key=lambda edge: edge[2]
+            )
+        return self._sorted_tuples_cache
 
     def timestamps(self) -> List[Timestamp]:
         """The sorted set ``T`` of distinct timestamps appearing in the graph."""
@@ -271,14 +309,20 @@ class TemporalGraph:
 
         Returns a small summary dict (counts of warmed entries) used by the
         service's index report.
+
+        The warm edge index is the pre-sorted *tuple* backing (cold builds
+        sort it here; snapshot loads adopt it as-is), from which the
+        :class:`TemporalEdge` objects are materialised deterministically on
+        first :meth:`sorted_edges` use.  Warming a snapshot-loaded graph is
+        therefore O(V): every per-edge cost was already paid at save time.
         """
-        sorted_edges = self.sorted_edges()
+        num_sorted = len(self._sorted_tuple_backing())
         timestamps = self.timestamps()
         for vertex in self._out:
             self.out_timestamps(vertex)
             self.in_timestamps(vertex)
         return {
-            "sorted_edges": len(sorted_edges),
+            "sorted_edges": num_sorted,
             "distinct_timestamps": len(timestamps),
             "vertex_timestamp_views": len(self._out_ts_cache) + len(self._in_ts_cache),
         }
@@ -322,10 +366,78 @@ class TemporalGraph:
     # derived graphs
     # ------------------------------------------------------------------
     def copy(self) -> "TemporalGraph":
-        """Return a deep copy of the graph (vertices, including isolated ones)."""
-        clone = TemporalGraph(vertices=self._out.keys())
-        clone.add_edges(TemporalEdge(u, v, t) for (u, v, t) in self._edge_set)
+        """Return a deep copy of the graph (vertices, including isolated ones).
+
+        Already-warmed caches are carried over instead of being rebuilt on the
+        copy: the adjacency lists are cloned directly (they are sorted, so no
+        re-insertion is needed) and the sorted-edge / timestamp views are
+        shared or shallow-copied — all of them are rebuilt-on-mutation, so the
+        clone and the original cannot alias each other's future state.  The
+        clone also inherits the source's mutation :attr:`epoch`.
+        """
+        clone = TemporalGraph()
+        clone._out = {vertex: list(entries) for vertex, entries in self._out.items()}
+        clone._in = {vertex: list(entries) for vertex, entries in self._in.items()}
+        clone._edge_set = set(self._edge_set)
+        # Sorted-edge cache entries are immutable TemporalEdge objects and the
+        # list itself is copied on every read, so sharing the warmed list (and
+        # the timestamp views, which are copied on read too) is safe.
+        if self._sorted_edges_cache is not None:
+            clone._sorted_edges_cache = list(self._sorted_edges_cache)
+        if self._sorted_tuples_cache is not None:
+            clone._sorted_tuples_cache = list(self._sorted_tuples_cache)
+        if self._ts_cache is not None:
+            clone._ts_cache = list(self._ts_cache)
+        clone._out_ts_cache = {v: list(ts) for v, ts in self._out_ts_cache.items()}
+        clone._in_ts_cache = {v: list(ts) for v, ts in self._in_ts_cache.items()}
+        clone._epoch = self._epoch
         return clone
+
+    # ------------------------------------------------------------------
+    # warmed-state transfer (used by repro.store snapshots)
+    # ------------------------------------------------------------------
+    def warmed_state(self) -> Dict[str, object]:
+        """Export vertices, edges and every warmed index as plain builtins.
+
+        The result contains only dicts/lists/tuples of vertices and integer
+        timestamps, which is what :mod:`repro.store` serializes.  The graph is
+        fully warmed first so a snapshot always captures complete indices.
+        """
+        self.warm_indices()
+        return {
+            "out": {v: list(entries) for v, entries in self._out.items()},
+            "in": {v: list(entries) for v, entries in self._in.items()},
+            "sorted_edges": list(self._sorted_tuple_backing()),
+            "timestamps": list(self._ts_cache),
+            "out_timestamps": {v: list(ts) for v, ts in self._out_ts_cache.items()},
+            "in_timestamps": {v: list(ts) for v, ts in self._in_ts_cache.items()},
+            "epoch": self._epoch,
+        }
+
+    @classmethod
+    def from_warmed_state(cls, state: Dict[str, object]) -> "TemporalGraph":
+        """Rebuild a fully-warmed graph from :meth:`warmed_state` output.
+
+        Ownership of ``state`` transfers to the new graph (the containers are
+        adopted, not copied — :meth:`warmed_state` always exports fresh
+        ones).  Nothing is re-sorted and no per-edge insertion happens: the
+        adjacency and timestamp views are used as-is and the sorted-edge
+        index keeps the pre-sorted tuple list as its backing, materialising
+        :class:`TemporalEdge` objects lazily on first use.  Reconstruction is
+        therefore O(E) dict/set building in C instead of the
+        O(E log E + E·d) cold build.
+        """
+        graph = cls()
+        graph._out = dict(state["out"])
+        graph._in = dict(state["in"])
+        sorted_tuples = [tuple(edge) for edge in state["sorted_edges"]]
+        graph._edge_set = set(sorted_tuples)
+        graph._sorted_tuples_cache = sorted_tuples
+        graph._ts_cache = list(state["timestamps"])
+        graph._out_ts_cache = dict(state["out_timestamps"])
+        graph._in_ts_cache = dict(state["in_timestamps"])
+        graph._epoch = int(state["epoch"])
+        return graph
 
     def project(self, interval) -> "TemporalGraph":
         """The projected graph ``G[τb, τe]`` (Section II).

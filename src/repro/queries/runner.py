@@ -81,28 +81,56 @@ class QueryRunner:
         Let the underlying service serve repeat queries from its result
         cache.  Off by default because memoization distorts the response-time
         measurements the runner exists to take.
+    num_shards:
+        When greater than 1, workloads run through a
+        :class:`~repro.service.ShardedTspgService` that partitions each graph
+        across this many time-range shards (``shard_overlap`` widens their
+        extents).  Results are identical to the unsharded path; only the
+        serving topology changes.
     """
 
     time_budget_seconds: Optional[float] = None
     keep_results: bool = False
     use_cache: bool = False
+    num_shards: int = 1
+    shard_overlap: int = 0
     # One service per graph so index warming and (optional) memoization are
     # shared across run_workload/run_all/run_single calls.  Keyed by id();
     # the strong reference keeps each graph alive, so ids cannot be reused.
-    _services: Dict[int, "TspgService"] = field(
+    _services: Dict[int, object] = field(
         default_factory=dict, repr=False, compare=False
     )
 
-    def _service_for(self, graph: TemporalGraph) -> "TspgService":
-        from ..service import TspgService  # deferred: service imports queries
+    def _service_for(self, graph: TemporalGraph):
+        from ..service import ShardedTspgService, TspgService  # deferred: cycle
 
         service = self._services.get(id(graph))
         if service is None:
             # The cache is always sized; `use_cache` gates lookups per
             # submit, so toggling it after the first call still works.
-            service = TspgService(graph)
+            if self.num_shards > 1:
+                service = ShardedTspgService(
+                    graph, self.num_shards, overlap=self.shard_overlap
+                )
+            else:
+                service = TspgService(graph)
             self._services[id(graph)] = service
         return service
+
+    def graph_from_snapshot(self, path) -> TemporalGraph:
+        """Boot a graph (and its warmed service) from an index snapshot.
+
+        The loaded graph is registered with the runner, so every subsequent
+        ``run_workload``/``run_single`` call against it reuses the
+        snapshot-warmed indices instead of rebuilding them — the O(read)
+        cold-start path of :meth:`TspgService.from_snapshot`, kept behind the
+        runner's one-service-per-graph bookkeeping.
+        """
+        from ..store import load_snapshot  # deferred: store imports graph
+
+        graph = load_snapshot(path)
+        self._service_for(graph)
+        return graph
 
     def run_workload(
         self,

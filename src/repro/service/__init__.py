@@ -37,6 +37,13 @@ serial / parallel / cached regimes against each other.
 
 from .cache import CacheStats, ResultCache
 from .service import DEFAULT_CACHE_SIZE, BatchItem, BatchReport, TspgService
+from .sharding import (
+    FALLBACK_SHARD,
+    ShardedBatchReport,
+    ShardedTspgService,
+    ShardSpec,
+    partition_time_range,
+)
 
 __all__ = [
     "TspgService",
@@ -45,4 +52,9 @@ __all__ = [
     "ResultCache",
     "CacheStats",
     "DEFAULT_CACHE_SIZE",
+    "ShardedTspgService",
+    "ShardedBatchReport",
+    "ShardSpec",
+    "FALLBACK_SHARD",
+    "partition_time_range",
 ]

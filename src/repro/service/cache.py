@@ -20,8 +20,10 @@ from typing import Generic, Hashable, Optional, Tuple, TypeVar
 
 Value = TypeVar("Value")
 
-#: Cache key: ``(source, target, (τb, τe), algorithm name)``.
-CacheKey = Tuple[Hashable, Hashable, Tuple[int, int], str]
+#: Cache key: ``(source, target, (τb, τe), algorithm name, graph epoch)``.
+#: The epoch stamp guarantees entries computed over an older edge set can
+#: never satisfy a lookup issued after the graph mutated.
+CacheKey = Tuple[Hashable, ...]
 
 
 @dataclass

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
 
 from ..algorithms import get_algorithm
 from ..baselines.interface import AlgorithmResult, TspgAlgorithm
@@ -30,6 +31,9 @@ from ..graph.edge import Vertex
 from ..graph.temporal_graph import TemporalGraph
 from ..queries.query import QueryWorkload, TspgQuery
 from .cache import CacheKey, CacheStats, ResultCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..store.graph_store import GraphStore
 
 AlgorithmSpec = Union[str, TspgAlgorithm]
 
@@ -157,9 +161,37 @@ class TspgService:
         # never share entries; pinning prevents id reuse after garbage
         # collection from aliasing a dead instance's entries.
         self._pinned_algorithms: Dict[int, TspgAlgorithm] = {}
+        # Guards the rewarm transition so concurrent queries observing a
+        # stale epoch rewarm exactly once.
+        self._rewarm_lock = threading.Lock()
         #: Sizes of the indices warmed at construction time (see
         #: :meth:`TemporalGraph.warm_indices`).
         self.index_stats: Dict[str, int] = graph.warm_indices()
+        # The graph epoch the warmed indices (and cache entries) describe.
+        self._warmed_epoch: int = graph.epoch
+
+    # ------------------------------------------------------------------
+    # alternate constructors (the GraphStore layer)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_store(cls, store: "GraphStore", **kwargs) -> "TspgService":
+        """Build a service over the warmed graph a :class:`GraphStore` loads."""
+        return cls(store.load(), **kwargs)
+
+    @classmethod
+    def from_snapshot(cls, path, **kwargs) -> "TspgService":
+        """Boot a service from a binary index snapshot in O(read).
+
+        The snapshot (written by :func:`repro.store.save_snapshot` or the
+        ``tspg warm`` command) already contains every warmed index, so no
+        edge is re-inserted or re-sorted; construction cost is dominated by
+        reading and decoding the file.  Raises
+        :class:`~repro.store.SnapshotError` on a corrupt or incompatible
+        file.
+        """
+        from ..store.graph_store import SnapshotGraphStore  # deferred: cycle
+
+        return cls.from_store(SnapshotGraphStore(path), **kwargs)
 
     # ------------------------------------------------------------------
     # accessors
@@ -178,20 +210,56 @@ class TspgService:
         """Hit/miss/eviction counters of the result cache."""
         return self._cache.stats()
 
+    @property
+    def warmed_epoch(self) -> int:
+        """Graph epoch the currently warmed indices describe."""
+        return self._warmed_epoch
+
     def clear_cache(self) -> None:
         """Drop all memoized results (e.g. after mutating the graph)."""
         self._cache.clear()
         with self._algorithms_lock:
             self._pinned_algorithms.clear()
 
-    def refresh_indices(self) -> Dict[str, int]:
-        """Re-warm the graph indices and drop stale memoized results.
+    def _ensure_current(self) -> None:
+        """Rewarm indices and drop stale results when the graph has mutated.
 
-        Call this after mutating the graph; cached results describe the old
-        edge set and must not be served any more.
+        Every query entry point calls this: the graph's mutation
+        :attr:`~TemporalGraph.epoch` is compared against the epoch stamped at
+        warm time, so a cached result computed over the old edge set can
+        never be served.  (Cache keys embed the epoch too, which also
+        protects against a mutation racing a query already in flight.)
         """
-        self.clear_cache()
-        self.index_stats = self._graph.warm_indices()
+        if self._graph.epoch == self._warmed_epoch:
+            return
+        with self._rewarm_lock:
+            if self._graph.epoch == self._warmed_epoch:
+                return  # another thread already rewarmed
+            self.clear_cache()
+            self.index_stats = self._graph.warm_indices()
+            self._warmed_epoch = self._graph.epoch
+
+    def refresh_indices(self) -> Dict[str, int]:
+        """Deprecated: staleness is now detected automatically via the epoch.
+
+        Kept as an alias so pre-epoch callers keep working; it forces an
+        immediate rewarm (harmless — the next query would have done the same)
+        and returns the fresh index stats.
+
+        .. deprecated:: 1.1
+           Mutations bump :attr:`TemporalGraph.epoch` and the service rewarms
+           transparently; there is nothing to call any more.
+        """
+        warnings.warn(
+            "TspgService.refresh_indices() is deprecated: graph mutations are "
+            "detected automatically via TemporalGraph.epoch",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        with self._rewarm_lock:
+            self.clear_cache()
+            self.index_stats = self._graph.warm_indices()
+            self._warmed_epoch = self._graph.epoch
         return self.index_stats
 
     def _resolve(self, algorithm: Optional[AlgorithmSpec]) -> TspgAlgorithm:
@@ -210,11 +278,15 @@ class TspgService:
     def _cache_key(self, query: TspgQuery, algorithm: TspgAlgorithm) -> CacheKey:
         with self._algorithms_lock:
             self._pinned_algorithms.setdefault(id(algorithm), algorithm)
+        # The warmed epoch is part of the key: entries written for an older
+        # edge set can never satisfy a lookup issued after a mutation, even
+        # if the write lands after the rewarm cleared the cache.
         return (
             query.source,
             query.target,
             query.interval.as_tuple(),
             f"{algorithm.name}@{id(algorithm)}",
+            self._warmed_epoch,
         )
 
     # ------------------------------------------------------------------
@@ -232,8 +304,11 @@ class TspgService:
         On a cache hit the returned :class:`AlgorithmResult` shares the
         (immutable) ``result`` and ``space_cost`` of the original run but
         reports the *lookup* time as ``elapsed_seconds`` and carries
-        ``extras["cache_hit"] = True``.
+        ``extras["cache_hit"] = True``.  If the graph was mutated since the
+        last query, the indices are transparently rewarmed and stale cached
+        results dropped first.
         """
+        self._ensure_current()
         resolved = self._resolve(algorithm)
         key: Optional[CacheKey] = None
         if use_cache:
@@ -308,6 +383,7 @@ class TspgService:
             graph, and result objects are frozen.
         """
         query_list = list(queries)
+        self._ensure_current()
         resolved = self._resolve(algorithm)
         workers = max_workers if max_workers is not None else self._max_workers
         if workers < 1:

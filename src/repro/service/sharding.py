@@ -1,0 +1,501 @@
+"""Time-range sharding: one graph, N shard services, one router.
+
+:class:`ShardedTspgService` partitions a temporal graph's timestamp span into
+``num_shards`` contiguous ranges and builds one
+:class:`~repro.service.service.TspgService` per range over the projected
+subgraph.  Correctness rests on a simple property of every algorithm in the
+registry: the tspG of ``(s, t, [τb, τe])`` depends only on the edges whose
+timestamp lies inside ``[τb, τe]``.  A shard whose (overlap-widened) extent
+*covers* the query interval therefore contains every edge the query can see
+and answers it bit-identically to the full graph.
+
+* **Routing** — each query goes to the *narrowest* shard whose extent covers
+  its interval; ties break towards the earlier shard.
+* **Overlap** — shard extents are widened by ``overlap`` timestamps on both
+  sides, so queries whose interval straddles a partition boundary by up to
+  the overlap still stay on one shard.  Pick the workload's typical θ as the
+  overlap to keep boundary-crossing fallbacks rare.
+* **Fallback** — a query no single shard covers (an interval wider than a
+  shard extent) is answered by a service over the full graph, so every query
+  is always answerable.
+* **Batches** — :meth:`ShardedTspgService.run_batch` groups a batch by
+  routed shard, fans the groups out concurrently, and merges the per-shard
+  :class:`~repro.service.service.BatchReport` objects into one report in the
+  original submission order.
+
+The router is epoch-aware like the flat service: mutating the source graph
+bumps its :attr:`~repro.graph.temporal_graph.TemporalGraph.epoch`, and the
+next query transparently rebuilds the shard partitions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..baselines.interface import AlgorithmResult, TspgAlgorithm
+from ..graph.edge import TimeInterval, Vertex, as_interval
+from ..graph.temporal_graph import TemporalGraph
+from ..queries.query import QueryWorkload, TspgQuery
+from .cache import CacheStats
+from .service import DEFAULT_CACHE_SIZE, AlgorithmSpec, BatchItem, BatchReport, TspgService
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One time-range shard: its partition cell and its widened extent."""
+
+    index: int
+    #: The partition cell — cells tile the graph's timestamp span disjointly.
+    core: TimeInterval
+    #: The cell widened by the overlap on both sides; the shard's graph holds
+    #: exactly the edges with timestamps inside the extent.
+    extent: TimeInterval
+    num_edges: int = 0
+    num_vertices: int = 0
+
+    def covers(self, interval: TimeInterval) -> bool:
+        """``True`` when a query over ``interval`` can be answered locally."""
+        return self.extent.begin <= interval.begin and interval.end <= self.extent.end
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for table rendering."""
+        return {
+            "shard": self.index,
+            "core": self.core.as_tuple(),
+            "extent": self.extent.as_tuple(),
+            "vertices": self.num_vertices,
+            "edges": self.num_edges,
+        }
+
+
+@dataclass
+class ShardedBatchReport(BatchReport):
+    """A merged batch report plus per-shard routing counts."""
+
+    #: Queries answered per shard index (``-1`` is the full-graph fallback).
+    routed: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_fallback(self) -> int:
+        """Queries that no single shard covered."""
+        return self.routed.get(FALLBACK_SHARD, 0)
+
+    def as_row(self) -> Dict[str, object]:
+        row = super().as_row()
+        row["fallback"] = self.num_fallback
+        return row
+
+
+#: Routing key of the full-graph fallback service.
+FALLBACK_SHARD = -1
+
+
+@dataclass(frozen=True)
+class _Topology:
+    """One self-consistent shard build: specs, services, span and epoch.
+
+    Swapped atomically on rebuild so concurrent readers never mix shard
+    specs from one epoch with services from another.
+    """
+
+    shards: Tuple[ShardSpec, ...]
+    services: Tuple[TspgService, ...]
+    span: Optional[TimeInterval]
+    epoch: int
+
+
+def partition_time_range(
+    span: TimeInterval, num_shards: int, overlap: int
+) -> List[Tuple[TimeInterval, TimeInterval]]:
+    """Split ``span`` into ``num_shards`` (core, extent) interval pairs.
+
+    Cores tile ``span`` in near-equal widths; extents widen each core by
+    ``overlap`` on both sides, clipped to ``span``.  Exposed as a function so
+    tests (and future vertex-partition strategies) can exercise the geometry
+    without building graphs.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    if overlap < 0:
+        raise ValueError("overlap must be non-negative")
+    width = span.span  # number of distinct integer timestamps covered
+    num_shards = min(num_shards, width)  # never produce empty cores
+    cell, remainder = divmod(width, num_shards)
+    pairs: List[Tuple[TimeInterval, TimeInterval]] = []
+    begin = span.begin
+    for index in range(num_shards):
+        size = cell + (1 if index < remainder else 0)
+        core = TimeInterval(begin, begin + size - 1)
+        extent = TimeInterval(
+            max(span.begin, core.begin - overlap),
+            min(span.end, core.end + overlap),
+        )
+        pairs.append((core, extent))
+        begin = core.end + 1
+    return pairs
+
+
+class ShardedTspgService:
+    """Route ``tspG`` queries across N time-range shards of one graph.
+
+    Parameters
+    ----------
+    graph:
+        The source graph.  Shard subgraphs are projections of it; the
+        fallback service queries it directly.
+    num_shards:
+        Number of time-range partitions (``1`` degenerates to a single shard
+        covering everything plus the fallback).
+    overlap:
+        Widening (in timestamps) applied to each shard's extent on both
+        sides so boundary-straddling intervals stay on one shard.
+    max_workers:
+        Default fan-out width for :meth:`run_batch` (shard groups run
+        concurrently, each group serially inside its shard service).
+
+    Examples
+    --------
+    >>> from repro import TemporalGraph
+    >>> from repro.service import ShardedTspgService
+    >>> from repro.queries.query import TspgQuery
+    >>> graph = TemporalGraph(edges=[("s", "b", 2), ("b", "t", 6),
+    ...                              ("b", "c", 3), ("c", "t", 7)])
+    >>> router = ShardedTspgService(graph, num_shards=2, overlap=2)
+    >>> outcome = router.submit(TspgQuery("s", "c", (2, 3)))
+    >>> sorted(outcome.result.vertices)
+    ['b', 'c', 's']
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        num_shards: int,
+        *,
+        overlap: int = 0,
+        default_algorithm: str = "VUG",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_workers: int = 1,
+        algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if overlap < 0:
+            raise ValueError("overlap must be non-negative")
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        self._graph = graph
+        self._num_shards = num_shards
+        self._overlap = overlap
+        self._max_workers = max_workers
+        self._service_kwargs: Dict[str, object] = {
+            "default_algorithm": default_algorithm,
+            "cache_size": cache_size,
+            "algorithm_options": algorithm_options,
+        }
+        self._rebuild_lock = threading.Lock()
+        self._fallback_lock = threading.Lock()
+        # The full-graph fallback service is built lazily on first use (it
+        # would otherwise double the warm-up cost even when every query is
+        # shard-local) and survives repartitions: its own epoch tracking
+        # rewarm-on-mutation makes it always current.
+        self._fallback_service: Optional[TspgService] = None
+        self._topology = self._build_topology()
+
+    # ------------------------------------------------------------------
+    # shard construction
+    # ------------------------------------------------------------------
+    def _build_topology(self) -> "_Topology":
+        """Build the shard partitions and services for the current epoch.
+
+        The result is published as ONE immutable tuple assignment
+        (``self._topology``), so a reader racing a mutation-triggered
+        rebuild always sees a matched (shards, services, span, epoch) set —
+        never new specs over old services.
+        """
+        shards: List[ShardSpec] = []
+        services: List[TspgService] = []
+        span = self._graph.time_interval()
+        epoch = self._graph.epoch
+        if span is not None:
+            for index, (core, extent) in enumerate(
+                partition_time_range(span, self._num_shards, self._overlap)
+            ):
+                subgraph = self._graph.project(extent)
+                shards.append(
+                    ShardSpec(
+                        index=index,
+                        core=core,
+                        extent=extent,
+                        num_edges=subgraph.num_edges,
+                        num_vertices=subgraph.num_vertices,
+                    )
+                )
+                services.append(TspgService(subgraph, **self._service_kwargs))
+        return _Topology(tuple(shards), tuple(services), span, epoch)
+
+    def _current_topology(self) -> "_Topology":
+        """Return a self-consistent topology, repartitioning after mutations."""
+        topology = self._topology
+        if self._graph.epoch == topology.epoch:
+            return topology
+        with self._rebuild_lock:
+            topology = self._topology
+            if self._graph.epoch != topology.epoch:
+                topology = self._build_topology()
+                self._topology = topology
+            return topology
+
+    def _fallback_for(self) -> TspgService:
+        """The lazily built full-graph service (epoch-safe by itself)."""
+        service = self._fallback_service
+        if service is None:
+            with self._fallback_lock:
+                service = self._fallback_service
+                if service is None:
+                    service = TspgService(self._graph, **self._service_kwargs)
+                    self._fallback_service = service
+        return service
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> TemporalGraph:
+        """The full source graph (what the fallback service answers over)."""
+        return self._graph
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard partitions currently built."""
+        return len(self._current_topology().shards)
+
+    @property
+    def shards(self) -> List[ShardSpec]:
+        """The current shard specs (copy; order matches shard indices)."""
+        return list(self._current_topology().shards)
+
+    @property
+    def overlap(self) -> int:
+        """Extent widening applied on both sides of every shard core."""
+        return self._overlap
+
+    @property
+    def default_algorithm(self) -> str:
+        """Name of the algorithm used when none is given."""
+        return str(self._service_kwargs["default_algorithm"])
+
+    def _all_services(self) -> List[TspgService]:
+        services = list(self._current_topology().services)
+        if self._fallback_service is not None:
+            services.append(self._fallback_service)
+        return services
+
+    @property
+    def index_stats(self) -> Dict[str, int]:
+        """Summed warmed-index sizes across the built services."""
+        totals: Dict[str, int] = {}
+        for service in self._all_services():
+            for key, value in service.index_stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregated result-cache counters across every built service."""
+        totals = CacheStats()
+        for service in self._all_services():
+            stats = service.cache_stats()
+            totals.hits += stats.hits
+            totals.misses += stats.misses
+            totals.evictions += stats.evictions
+            totals.size += stats.size
+            totals.max_size += stats.max_size
+        return totals
+
+    def describe(self) -> List[Dict[str, object]]:
+        """One row per shard plus the fallback (for the CLI and reports)."""
+        rows = [shard.as_row() for shard in self._current_topology().shards]
+        rows.append(
+            {
+                "shard": FALLBACK_SHARD,
+                "core": None,
+                "extent": None,
+                "vertices": self._graph.num_vertices,
+                "edges": self._graph.num_edges,
+            }
+        )
+        return rows
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _route_in(topology: "_Topology", interval) -> int:
+        """Routing against one topology snapshot (see :meth:`route`)."""
+        window = as_interval(interval)
+        if topology.span is not None:
+            clipped = window.intersect(topology.span)
+            if clipped is not None:
+                window = clipped
+            # A window fully outside the span sees no edges at all; any
+            # service answers it identically, so keep it on the fallback.
+        best_index = FALLBACK_SHARD
+        best_span: Optional[int] = None
+        for shard in topology.shards:
+            if not shard.covers(window):
+                continue
+            span = shard.extent.span
+            if best_span is None or span < best_span:
+                best_index = shard.index
+                best_span = span
+        return best_index
+
+    def route(self, interval) -> int:
+        """Shard index that will answer a query over ``interval``.
+
+        Returns :data:`FALLBACK_SHARD` when no single shard extent covers the
+        interval.  Among covering shards the *narrowest* extent wins (its
+        projected subgraph is the smallest), ties breaking towards the
+        earlier shard.  Coverage is tested on the interval clipped to the
+        graph's timestamp span — no edge exists outside the span, so the
+        clipped query sees exactly the same edges.
+        """
+        return self._route_in(self._current_topology(), interval)
+
+    def _service_in(self, topology: "_Topology", index: int) -> TspgService:
+        if index == FALLBACK_SHARD:
+            return self._fallback_for()
+        return topology.services[index]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: TspgQuery,
+        algorithm: Optional[AlgorithmSpec] = None,
+        *,
+        use_cache: bool = True,
+    ) -> AlgorithmResult:
+        """Answer one query on its covering shard (or the fallback)."""
+        topology = self._current_topology()
+        service = self._service_in(topology, self._route_in(topology, query.interval))
+        return service.submit(query, algorithm, use_cache=use_cache)
+
+    def query(
+        self,
+        source: Vertex,
+        target: Vertex,
+        interval,
+        algorithm: Optional[AlgorithmSpec] = None,
+        *,
+        use_cache: bool = True,
+    ) -> AlgorithmResult:
+        """Convenience wrapper building the :class:`TspgQuery` for the caller."""
+        return self.submit(
+            TspgQuery(source=source, target=target, interval=interval),
+            algorithm,
+            use_cache=use_cache,
+        )
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        queries: Union[Sequence[TspgQuery], QueryWorkload],
+        algorithm: Optional[AlgorithmSpec] = None,
+        *,
+        max_workers: Optional[int] = None,
+        use_cache: bool = True,
+        time_budget_seconds: Optional[float] = None,
+    ) -> ShardedBatchReport:
+        """Fan a batch out across the shards and merge the reports.
+
+        The batch is grouped by routed shard; the groups execute concurrently
+        (bounded by ``max_workers``), each inside its shard's
+        :class:`TspgService`, and the per-shard reports are merged into one
+        :class:`ShardedBatchReport` whose items sit in the original
+        submission order.  ``time_budget_seconds`` bounds the *whole* batch:
+        every sub-batch receives only the wall-clock budget still remaining
+        when it starts, so the merged report is complete no later than the
+        budget (plus one in-flight query, exactly like the flat service).
+        """
+        topology = self._current_topology()
+        query_list = list(queries)
+        workers = max_workers if max_workers is not None else self._max_workers
+        if workers < 1:
+            raise ValueError("max_workers must be at least 1")
+
+        groups: Dict[int, List[int]] = {}
+        for position, query in enumerate(query_list):
+            groups.setdefault(
+                self._route_in(topology, query.interval), []
+            ).append(position)
+
+        report = ShardedBatchReport(
+            algorithm="",
+            items=[BatchItem(query=query) for query in query_list],
+            num_workers=workers,
+            routed={index: len(positions) for index, positions in groups.items()},
+        )
+        started = time.perf_counter()
+
+        ordered = sorted(groups.items())
+        # Split the worker budget across groups proportionally to their size
+        # (one worker minimum each): the outer threads only block on their
+        # group's inner pool, so total live workers stay ≈ the requested
+        # width while a dominant group keeps its share of the parallelism.
+        inner_workers = {
+            index: max(1, (workers * len(positions)) // len(query_list))
+            for index, positions in ordered
+        }
+
+        def run_group(index: int, positions: List[int]) -> BatchReport:
+            remaining: Optional[float] = None
+            if time_budget_seconds is not None:
+                # Groups that start late (serial execution, or more groups
+                # than workers) inherit only what is left of the batch-wide
+                # budget; a group starting past the deadline skips outright.
+                remaining = max(
+                    0.0, time_budget_seconds - (time.perf_counter() - started)
+                )
+            service = self._service_in(topology, index)
+            return service.run_batch(
+                [query_list[position] for position in positions],
+                algorithm,
+                max_workers=inner_workers[index],
+                use_cache=use_cache,
+                time_budget_seconds=remaining,
+            )
+
+        if len(ordered) <= 1 or workers == 1:
+            sub_reports = [run_group(index, positions) for index, positions in ordered]
+        else:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(ordered)),
+                thread_name_prefix="tspg-shard",
+            ) as executor:
+                futures = [
+                    executor.submit(run_group, index, positions)
+                    for index, positions in ordered
+                ]
+                sub_reports = [future.result() for future in futures]
+
+        for (index, positions), sub_report in zip(ordered, sub_reports):
+            report.algorithm = sub_report.algorithm
+            report.timed_out = report.timed_out or sub_report.timed_out
+            for position, item in zip(positions, sub_report.items):
+                report.items[position] = item
+        if not ordered:
+            # Empty batch: report the algorithm name without warming any
+            # service (building the fallback here would defeat its laziness).
+            if isinstance(algorithm, TspgAlgorithm):
+                report.algorithm = algorithm.name
+            else:
+                report.algorithm = algorithm or self.default_algorithm
+        report.wall_seconds = time.perf_counter() - started
+        return report

@@ -1,0 +1,53 @@
+"""Persistent storage layer: graph stores and warmed-index snapshots.
+
+This package is the boundary between *building* a temporal graph and
+*serving* it.  :class:`GraphStore` abstracts where a warmed graph comes from
+(process memory or a binary snapshot file), and :mod:`repro.store.snapshot`
+implements the versioned on-disk format — header with format version, graph
+epoch, counts and a CRC-32 checksum, followed by the complete warmed index
+state — so ``TspgService.from_snapshot(path)`` cold-starts in O(read)
+instead of rebuilding and re-sorting every index.
+
+Quickstart
+----------
+>>> import tempfile, os
+>>> from repro import TemporalGraph
+>>> from repro.store import SnapshotGraphStore
+>>> graph = TemporalGraph(edges=[("s", "b", 2), ("b", "t", 6)])
+>>> path = os.path.join(tempfile.mkdtemp(), "g.tspgsnap")
+>>> info = SnapshotGraphStore(path).save(graph)
+>>> info.num_edges
+2
+>>> reloaded = SnapshotGraphStore(path).load()
+>>> reloaded == graph
+True
+"""
+
+from .graph_store import GraphStore, InMemoryGraphStore, SnapshotGraphStore, store_for
+from .snapshot import (
+    HEADER_SIZE,
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    SnapshotInfo,
+    load_snapshot,
+    peek_snapshot,
+    save_snapshot,
+    snapshot_bytes,
+)
+
+__all__ = [
+    "GraphStore",
+    "InMemoryGraphStore",
+    "SnapshotGraphStore",
+    "store_for",
+    "SnapshotError",
+    "SnapshotInfo",
+    "load_snapshot",
+    "peek_snapshot",
+    "save_snapshot",
+    "snapshot_bytes",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "HEADER_SIZE",
+]

@@ -1,0 +1,112 @@
+"""The pluggable ``GraphStore`` layer between graph construction and serving.
+
+A :class:`GraphStore` is *where a service gets its warmed graph from*.  The
+serving layer (:class:`~repro.service.TspgService` and the sharded router)
+only needs two things from a store: a fully-warmed
+:class:`~repro.graph.temporal_graph.TemporalGraph` and a description of where
+it came from.  Two implementations cover the current deployment shapes:
+
+* :class:`InMemoryGraphStore` — wraps a graph that already lives in the
+  process (built by a generator, a loader or a test); ``load()`` warms it in
+  place and hands it out.
+* :class:`SnapshotGraphStore` — backed by a versioned binary snapshot file
+  (see :mod:`repro.store.snapshot`); ``load()`` is O(read) and never
+  re-sorts, ``save()`` persists a freshly warmed graph for the next boot.
+
+New backends (mmap segments, a remote object store, per-shard files) slot in
+by subclassing :class:`GraphStore` without the service layer changing.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import Dict, Union
+
+from ..graph.temporal_graph import TemporalGraph
+from .snapshot import SnapshotInfo, load_snapshot, peek_snapshot, save_snapshot
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class GraphStore(abc.ABC):
+    """Source of warmed temporal graphs for the serving layer."""
+
+    @abc.abstractmethod
+    def load(self) -> TemporalGraph:
+        """Return a fully-warmed graph (every lazy index built)."""
+
+    @abc.abstractmethod
+    def describe(self) -> Dict[str, object]:
+        """Human-readable provenance (rendered by the CLI and reports)."""
+
+
+class InMemoryGraphStore(GraphStore):
+    """Store over a graph that already exists in this process."""
+
+    def __init__(self, graph: TemporalGraph, label: str = "in-memory") -> None:
+        self._graph = graph
+        self._label = label
+
+    def load(self) -> TemporalGraph:
+        self._graph.warm_indices()
+        return self._graph
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "backend": "memory",
+            "label": self._label,
+            "vertices": self._graph.num_vertices,
+            "edges": self._graph.num_edges,
+            "epoch": self._graph.epoch,
+        }
+
+
+class SnapshotGraphStore(GraphStore):
+    """Store backed by one binary snapshot file on disk."""
+
+    def __init__(self, path: PathLike) -> None:
+        self._path = os.fspath(path)
+
+    @property
+    def path(self) -> str:
+        """Location of the backing snapshot file."""
+        return self._path
+
+    def exists(self) -> bool:
+        """``True`` when the backing file is present."""
+        return os.path.exists(self._path)
+
+    def info(self) -> SnapshotInfo:
+        """Validated header of the backing snapshot (no payload read)."""
+        return peek_snapshot(self._path)
+
+    def load(self) -> TemporalGraph:
+        """Load the warmed graph; raises ``SnapshotError`` on any corruption."""
+        return load_snapshot(self._path)
+
+    def save(self, graph: TemporalGraph) -> SnapshotInfo:
+        """Warm ``graph`` and (atomically) persist it to the backing file."""
+        return save_snapshot(graph, self._path)
+
+    def describe(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"backend": "snapshot", "path": self._path}
+        if self.exists():
+            row.update(self.info().as_row())
+        else:
+            row["exists"] = False
+        return row
+
+
+def store_for(source: Union[GraphStore, TemporalGraph, PathLike]) -> GraphStore:
+    """Coerce a graph, a snapshot path or a store into a :class:`GraphStore`.
+
+    Convenience for callers embedding the library that hold "some graph
+    source" generically; code that already knows its concrete source (the
+    CLI, ``TspgService.from_snapshot``) constructs the store directly.
+    """
+    if isinstance(source, GraphStore):
+        return source
+    if isinstance(source, TemporalGraph):
+        return InMemoryGraphStore(source)
+    return SnapshotGraphStore(source)

@@ -88,3 +88,106 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "Silver Ave" in out
         assert "30th St" in out
+
+
+class TestWarmCommand:
+    def test_warm_writes_a_loadable_snapshot(self, tmp_path, capsys):
+        from repro.store import peek_snapshot
+
+        graph = TemporalGraph(edges=[("s", "b", 2), ("b", "t", 6), ("b", "c", 3)])
+        edge_list = tmp_path / "graph.txt"
+        save_edge_list(graph, edge_list)
+        snapshot = tmp_path / "graph.tspgsnap"
+        assert main([
+            "warm", "--edge-list", str(edge_list), "--output", str(snapshot),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot v1 written" in out
+        info = peek_snapshot(snapshot)
+        assert info.num_edges == 3
+
+    def test_warm_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["warm", "--output", "x.tspgsnap"])
+
+
+class TestBatchCommand:
+    def _edge_list(self, tmp_path):
+        graph = TemporalGraph(
+            edges=[("s", "b", 2), ("b", "t", 6), ("b", "c", 3), ("c", "t", 7),
+                   ("s", "c", 4), ("c", "b", 5)]
+        )
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        return path
+
+    def test_batch_from_snapshot(self, tmp_path, capsys):
+        edge_list = self._edge_list(tmp_path)
+        snapshot = tmp_path / "g.tspgsnap"
+        assert main(["warm", "--edge-list", str(edge_list),
+                     "--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        assert main([
+            "batch", "--snapshot", str(snapshot),
+            "--num-queries", "5", "--theta", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot" in out
+        assert "Batch of 5 queries" in out
+
+    def test_batch_sharded(self, tmp_path, capsys):
+        edge_list = self._edge_list(tmp_path)
+        assert main([
+            "batch", "--edge-list", str(edge_list),
+            "--num-queries", "5", "--theta", "4",
+            "--shards", "2", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "fallback" in out
+
+    def test_batch_sharded_from_snapshot_end_to_end(self, tmp_path, capsys):
+        edge_list = self._edge_list(tmp_path)
+        snapshot = tmp_path / "g.tspgsnap"
+        assert main(["warm", "--edge-list", str(edge_list),
+                     "--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        assert main([
+            "batch", "--snapshot", str(snapshot),
+            "--num-queries", "5", "--theta", "4",
+            "--shards", "3", "--shard-overlap", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "3 shards" in out
+        assert "5/5" in out
+
+    def test_batch_rejects_corrupt_snapshot(self, tmp_path):
+        bad = tmp_path / "bad.tspgsnap"
+        bad.write_bytes(b"not a snapshot at all")
+        with pytest.raises(SystemExit, match="not a tspG snapshot|truncated"):
+            main(["batch", "--snapshot", str(bad), "--num-queries", "2"])
+
+    def test_batch_validates_shard_flags(self, tmp_path):
+        edge_list = self._edge_list(tmp_path)
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["batch", "--edge-list", str(edge_list), "--shards", "0"])
+        with pytest.raises(SystemExit, match="--shard-overlap"):
+            main(["batch", "--edge-list", str(edge_list),
+                  "--shards", "2", "--shard-overlap", "-1"])
+
+    def test_snapshot_and_dataset_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["batch", "--dataset", "D1", "--snapshot", "x.tspgsnap"]
+            )
+
+
+class TestExperimentExp10:
+    def test_exp10_runs_on_a_small_dataset(self, capsys):
+        assert main([
+            "experiment", "exp10", "--dataset", "D1", "--queries", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Exp-10" in out
+        assert "snapshot-boot" in out
+        assert "cold-boot" in out

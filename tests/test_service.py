@@ -137,12 +137,13 @@ class TestSubmit:
         assert "cache_hit" not in again.extras
         assert service.cache_stats().size == 0
 
-    def test_refresh_indices_drops_stale_results(self, paper_query):
+    def test_refresh_indices_deprecated_but_still_drops_results(self, paper_query):
         graph, source, target, interval = paper_query
         service = TspgService(graph)
         service.query(source, target, interval)
         assert service.cache_stats().size == 1
-        service.refresh_indices()
+        with pytest.deprecated_call():
+            service.refresh_indices()
         assert service.cache_stats().size == 0
 
     def test_algorithm_instances_are_shared(self, paper_query):
@@ -173,6 +174,87 @@ class TestSubmit:
         assert "cache_hit" not in fresh.extras
         hit = service.query(source, target, interval, algorithm=capped)
         assert hit.extras["cache_hit"] is True
+
+
+# ----------------------------------------------------------------------
+# epoch-tracked invalidation
+# ----------------------------------------------------------------------
+class TestEpochTracking:
+    def test_mutation_between_identical_queries_forces_recompute(self):
+        # The acceptance scenario: edit the graph between two identical
+        # queries; the second must recompute (not serve the stale cache)
+        # and must see the new edge.
+        graph = TemporalGraph(edges=[("s", "a", 1), ("a", "t", 3)])
+        service = TspgService(graph)
+        counting = SlowAlgorithm(delay=0.0)
+        query = TspgQuery("s", "t", (1, 5))
+
+        first = service.submit(query, counting)
+        assert counting.calls == 1
+        graph.add_edge("s", "b", 2)  # mutate between the two identical queries
+        second = service.submit(query, counting)
+        assert counting.calls == 2, "stale cached result was served"
+        assert "cache_hit" not in second.extras
+
+    def test_recomputed_result_reflects_the_new_edge(self):
+        graph = TemporalGraph(edges=[("s", "a", 1), ("a", "t", 3)])
+        service = TspgService(graph)
+        before = service.query("s", "t", (1, 5))
+        assert "b" not in before.result.vertices
+        graph.add_edge("s", "b", 2)
+        graph.add_edge("b", "t", 4)
+        after = service.query("s", "t", (1, 5))
+        assert "cache_hit" not in after.extras
+        assert "b" in after.result.vertices
+        oracle = brute_force_tspg(graph, "s", "t", (1, 5))
+        assert after.result.same_members(oracle)
+
+    def test_indices_rewarm_transparently(self):
+        graph = TemporalGraph(edges=[("s", "a", 1), ("a", "t", 3)])
+        service = TspgService(graph)
+        assert service.index_stats["sorted_edges"] == 2
+        graph.add_edge("a", "s", 2)
+        service.query("s", "t", (1, 5))
+        assert service.index_stats["sorted_edges"] == 3
+        assert service.warmed_epoch == graph.epoch
+
+    def test_unchanged_graph_still_hits_the_cache(self):
+        graph = TemporalGraph(edges=[("s", "a", 1), ("a", "t", 3)])
+        service = TspgService(graph)
+        service.query("s", "t", (1, 5))
+        hit = service.query("s", "t", (1, 5))
+        assert hit.extras.get("cache_hit") is True
+
+    def test_run_batch_detects_mutation(self):
+        graph = TemporalGraph(edges=[("s", "a", 1), ("a", "t", 3)])
+        service = TspgService(graph)
+        queries = [TspgQuery("s", "t", (1, 5))]
+        cold = service.run_batch(queries, use_cache=True)
+        assert cold.num_cache_hits == 0
+        graph.add_edge("s", "t", 2)
+        recomputed = service.run_batch(queries, use_cache=True)
+        assert recomputed.num_cache_hits == 0
+        oracle = brute_force_tspg(graph, "s", "t", (1, 5))
+        assert recomputed.items[0].outcome.result.same_members(oracle)
+
+    def test_no_op_mutation_does_not_invalidate(self):
+        graph = TemporalGraph(edges=[("s", "a", 1), ("a", "t", 3)])
+        service = TspgService(graph)
+        service.query("s", "t", (1, 5))
+        graph.add_edge("s", "a", 1)  # duplicate: returns False, no epoch bump
+        graph.add_vertex("s")  # existing vertex: no epoch bump
+        hit = service.query("s", "t", (1, 5))
+        assert hit.extras.get("cache_hit") is True
+
+    def test_cache_keys_embed_the_epoch(self, paper_query):
+        graph, source, target, interval = paper_query
+        service = TspgService(graph)
+        algorithm = service._resolve("VUG")
+        key_before = service._cache_key(TspgQuery(source, target, interval), algorithm)
+        graph.add_edge("brand-new-vertex", source, interval.begin)
+        service.query(source, target, interval)  # triggers the rewarm
+        key_after = service._cache_key(TspgQuery(source, target, interval), algorithm)
+        assert key_before != key_after
 
 
 # ----------------------------------------------------------------------

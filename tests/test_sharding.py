@@ -1,0 +1,297 @@
+"""Tests for the sharded router (ShardedTspgService, time-range partitioning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import available_algorithms
+from repro.graph.edge import TimeInterval
+from repro.graph.generators import uniform_random_temporal_graph
+from repro.graph.temporal_graph import TemporalGraph
+from repro.queries.query import TspgQuery
+from repro.queries.runner import QueryRunner
+from repro.queries.workload import generate_workload
+from repro.service import (
+    FALLBACK_SHARD,
+    ShardedBatchReport,
+    ShardedTspgService,
+    TspgService,
+    partition_time_range,
+)
+
+
+def _random_case(seed: int, num_queries: int = 20, theta: int = 8):
+    graph = uniform_random_temporal_graph(
+        num_vertices=16, num_edges=100, num_timestamps=30, seed=seed
+    )
+    workload = generate_workload(
+        graph, num_queries=num_queries, theta=theta, seed=seed, name=f"shard-{seed}"
+    )
+    return graph, list(workload)
+
+
+# ----------------------------------------------------------------------
+# partition geometry
+# ----------------------------------------------------------------------
+class TestPartitionTimeRange:
+    def test_cores_tile_the_span_disjointly(self):
+        span = TimeInterval(3, 29)
+        pairs = partition_time_range(span, 4, overlap=0)
+        assert pairs[0][0].begin == span.begin
+        assert pairs[-1][0].end == span.end
+        for (left, _), (right, _) in zip(pairs, pairs[1:]):
+            assert right.begin == left.end + 1
+
+    def test_extents_widen_and_clip(self):
+        span = TimeInterval(0, 19)
+        pairs = partition_time_range(span, 2, overlap=5)
+        (core_a, ext_a), (core_b, ext_b) = pairs
+        assert ext_a == TimeInterval(0, core_a.end + 5)
+        assert ext_b == TimeInterval(core_b.begin - 5, 19)
+
+    def test_more_shards_than_timestamps_collapses(self):
+        span = TimeInterval(10, 12)  # width 3
+        pairs = partition_time_range(span, 10, overlap=0)
+        assert len(pairs) == 3
+        assert [p[0].span for p in pairs] == [1, 1, 1]
+
+    def test_remainder_spreads_over_leading_shards(self):
+        pairs = partition_time_range(TimeInterval(0, 9), 3, overlap=0)
+        assert [p[0].span for p in pairs] == [4, 3, 3]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            partition_time_range(TimeInterval(0, 9), 0, overlap=0)
+        with pytest.raises(ValueError):
+            partition_time_range(TimeInterval(0, 9), 2, overlap=-1)
+
+
+# ----------------------------------------------------------------------
+# routing
+# ----------------------------------------------------------------------
+class TestRouting:
+    def _router(self, **kwargs):
+        graph = TemporalGraph(
+            edges=[("a", "b", t) for t in range(1, 21)]
+            + [("b", "c", t) for t in range(1, 21)]
+        )
+        return ShardedTspgService(graph, 4, **kwargs)
+
+    def test_narrow_query_routes_to_one_shard(self):
+        router = self._router(overlap=2)
+        index = router.route((6, 9))
+        assert index != FALLBACK_SHARD
+        assert router.shards[index].covers(TimeInterval(6, 9))
+
+    def test_wide_query_falls_back(self):
+        router = self._router(overlap=0)
+        assert router.route((1, 20)) == FALLBACK_SHARD
+
+    def test_interval_clipped_to_graph_span_before_routing(self):
+        # [−100, 3] sees exactly the edges of [1, 3]; a shard covers that.
+        router = self._router(overlap=2)
+        assert router.route((-100, 3)) != FALLBACK_SHARD
+
+    def test_fully_outside_span_stays_on_fallback(self):
+        router = self._router(overlap=2)
+        assert router.route((900, 950)) == FALLBACK_SHARD
+
+    def test_narrowest_covering_shard_wins(self):
+        router = self._router(overlap=6)
+        index = router.route((9, 11))
+        covering = [s for s in router.shards if s.covers(TimeInterval(9, 11))]
+        assert len(covering) > 1  # the overlap makes several shards eligible
+        assert router.shards[index].extent.span == min(
+            s.extent.span for s in covering
+        )
+
+    def test_constructor_validation(self):
+        graph = TemporalGraph(edges=[("a", "b", 1)])
+        with pytest.raises(ValueError):
+            ShardedTspgService(graph, 0)
+        with pytest.raises(ValueError):
+            ShardedTspgService(graph, 2, overlap=-1)
+        with pytest.raises(ValueError):
+            ShardedTspgService(graph, 2, max_workers=0)
+
+    def test_edgeless_graph_serves_via_fallback(self):
+        graph = TemporalGraph(vertices=["a", "b"])
+        router = ShardedTspgService(graph, 3)
+        assert router.num_shards == 0
+        outcome = router.query("a", "b", (1, 5))
+        assert outcome.result.num_edges == 0
+
+
+# ----------------------------------------------------------------------
+# the randomized oracle: sharded == unsharded, every algorithm
+# ----------------------------------------------------------------------
+class TestShardedMatchesUnsharded:
+    def test_200_query_workload_identical_across_all_algorithms(self):
+        graph, queries = _random_case(seed=42, num_queries=200, theta=8)
+        flat = TspgService(graph)
+        router = ShardedTspgService(graph, 4, overlap=8)
+        for name in available_algorithms():
+            base = flat.run_batch(queries, name, use_cache=False)
+            sharded = router.run_batch(
+                queries, name, max_workers=4, use_cache=False
+            )
+            assert sharded.num_completed == len(queries)
+            assert sharded.algorithm == base.algorithm
+            for shard_item, base_item in zip(sharded.items, base.items):
+                assert shard_item.query == base_item.query
+                assert (
+                    shard_item.outcome.result.vertices
+                    == base_item.outcome.result.vertices
+                )
+                assert (
+                    shard_item.outcome.result.edges == base_item.outcome.result.edges
+                )
+
+    @pytest.mark.parametrize("shards,overlap", [(1, 0), (2, 0), (3, 8), (7, 3)])
+    def test_shard_geometry_sweep_stays_identical(self, shards, overlap):
+        graph, queries = _random_case(seed=5, num_queries=30)
+        flat = TspgService(graph)
+        router = ShardedTspgService(graph, shards, overlap=overlap)
+        base = flat.run_batch(queries, use_cache=False)
+        sharded = router.run_batch(queries, max_workers=4, use_cache=False)
+        for shard_item, base_item in zip(sharded.items, base.items):
+            assert (
+                shard_item.outcome.result.vertices == base_item.outcome.result.vertices
+            )
+            assert shard_item.outcome.result.edges == base_item.outcome.result.edges
+
+
+# ----------------------------------------------------------------------
+# merged batch reports
+# ----------------------------------------------------------------------
+class TestMergedReports:
+    def test_items_keep_submission_order_and_routing_counts(self):
+        graph, queries = _random_case(seed=13, num_queries=25)
+        router = ShardedTspgService(graph, 3, overlap=6)
+        report = router.run_batch(queries, max_workers=3, use_cache=False)
+        assert isinstance(report, ShardedBatchReport)
+        assert [item.query for item in report.items] == queries
+        assert sum(report.routed.values()) == len(queries)
+        assert report.num_fallback == report.routed.get(FALLBACK_SHARD, 0)
+        assert report.num_completed == len(queries)
+        assert "fallback" in report.as_row()
+
+    def test_empty_batch_reports_resolved_algorithm(self):
+        graph, _ = _random_case(seed=14, num_queries=2)
+        router = ShardedTspgService(graph, 2)
+        report = router.run_batch([], "VUG")
+        assert report.algorithm == "VUG"
+        assert report.num_queries == 0
+
+    def test_cache_hits_aggregate_across_shards(self):
+        graph, queries = _random_case(seed=15, num_queries=12)
+        router = ShardedTspgService(graph, 3, overlap=6)
+        cold = router.run_batch(queries, use_cache=True)
+        warm = router.run_batch(queries, use_cache=True)
+        assert cold.num_cache_hits == 0
+        assert warm.num_cache_hits == len(queries)
+        stats = router.cache_stats()
+        assert stats.hits >= len(queries)
+
+    def test_index_stats_sum_over_services(self):
+        graph, _ = _random_case(seed=16)
+        router = ShardedTspgService(graph, 2, overlap=0)
+        # Fallback indexes the whole graph; shards add their projections.
+        assert router.index_stats["sorted_edges"] >= graph.num_edges
+        assert len(router.describe()) == router.num_shards + 1
+
+    def test_time_budget_flags_merged_report(self):
+        import time as time_module
+
+        from repro.baselines.interface import AlgorithmResult, TspgAlgorithm
+        from repro.core.result import PathGraph
+
+        class Slow(TspgAlgorithm):
+            name = "Slow"
+
+            def compute(self, graph, source, target, interval):
+                time_module.sleep(0.05)
+                return AlgorithmResult(
+                    algorithm=self.name,
+                    result=PathGraph.empty(source, target, interval),
+                    elapsed_seconds=0.05,
+                )
+
+        graph = TemporalGraph(edges=[("s", f"v{i}", 1 + i % 5) for i in range(8)])
+        queries = [TspgQuery("s", f"v{i}", (1, 6)) for i in range(8)]
+        router = ShardedTspgService(graph, 2, overlap=5)
+        report = router.run_batch(
+            queries, Slow(), max_workers=2, use_cache=False,
+            time_budget_seconds=0.08,
+        )
+        assert report.timed_out
+        assert any(item.skipped for item in report.items)
+
+
+# ----------------------------------------------------------------------
+# epoch awareness
+# ----------------------------------------------------------------------
+class TestShardEpochTracking:
+    def test_mutation_rebuilds_shards(self):
+        graph, queries = _random_case(seed=17, num_queries=5)
+        router = ShardedTspgService(graph, 3, overlap=6)
+        before = router.shards
+        graph.add_edge("new-u", "new-v", 999)  # stretches the time span
+        outcome = router.query("new-u", "new-v", (990, 1000))
+        assert outcome.result.num_edges == 1
+        after = router.shards
+        assert after != before
+        assert after[-1].extent.end == 999
+
+    def test_sharded_results_stay_correct_after_mutation(self):
+        graph, queries = _random_case(seed=18, num_queries=15)
+        router = ShardedTspgService(graph, 3, overlap=8)
+        flat = TspgService(graph)
+        router.run_batch(queries, use_cache=True)  # populate caches
+        query = queries[0]
+        graph.add_edge(query.source, query.target, query.interval.begin)
+        again = router.submit(query)
+        direct = flat.submit(query, use_cache=False)
+        assert again.result.vertices == direct.result.vertices
+        assert again.result.edges == direct.result.edges
+
+
+# ----------------------------------------------------------------------
+# QueryRunner wiring
+# ----------------------------------------------------------------------
+class TestRunnerSharding:
+    def test_sharded_runner_matches_unsharded(self):
+        from repro.algorithms import get_algorithm
+        from repro.queries.query import QueryWorkload
+
+        graph, queries = _random_case(seed=19, num_queries=10)
+        workload = QueryWorkload("wl", queries)
+        plain = QueryRunner(keep_results=True)
+        sharded = QueryRunner(keep_results=True, num_shards=3, shard_overlap=8)
+        base = plain.run_workload(get_algorithm("VUG"), graph, workload)
+        routed = sharded.run_workload(get_algorithm("VUG"), graph, workload)
+        assert routed.num_completed == base.num_completed
+        for a, b in zip(routed.results, base.results):
+            assert a.vertices == b.vertices
+            assert a.edges == b.edges
+
+    def test_runner_builds_sharded_service(self):
+        graph, _ = _random_case(seed=20)
+        runner = QueryRunner(num_shards=2)
+        service = runner._service_for(graph)
+        assert isinstance(service, ShardedTspgService)
+        assert runner._service_for(graph) is service
+
+    def test_runner_snapshot_boot(self, tmp_path):
+        from repro.algorithms import get_algorithm
+        from repro.store import save_snapshot
+
+        graph, queries = _random_case(seed=23, num_queries=5)
+        path = tmp_path / "runner.tspgsnap"
+        save_snapshot(graph, path)
+        runner = QueryRunner(use_cache=True)
+        loaded = runner.graph_from_snapshot(path)
+        assert loaded == graph
+        assert id(loaded) in runner._services
+        outcome = runner.run_single(get_algorithm("VUG"), loaded, queries[0])
+        assert outcome.result is not None

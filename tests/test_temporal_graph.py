@@ -136,3 +136,145 @@ class TestDerivedGraphs:
     def test_graphs_are_unhashable(self):
         with pytest.raises(TypeError):
             hash(TemporalGraph())
+
+
+class TestMutationEpoch:
+    def test_new_graph_starts_at_epoch_zero(self):
+        assert TemporalGraph().epoch == 0
+
+    def test_add_edge_bumps_epoch(self):
+        graph = TemporalGraph()
+        before = graph.epoch
+        graph.add_edge("a", "b", 1)
+        assert graph.epoch > before
+
+    def test_duplicate_edge_does_not_bump(self):
+        graph = TemporalGraph(edges=[("a", "b", 1)])
+        before = graph.epoch
+        assert graph.add_edge("a", "b", 1) is False
+        assert graph.epoch == before
+
+    def test_add_vertex_bumps_only_when_new(self):
+        graph = TemporalGraph()
+        graph.add_vertex("a")
+        bumped = graph.epoch
+        assert bumped > 0
+        graph.add_vertex("a")
+        assert graph.epoch == bumped
+
+    def test_add_edges_bumps_per_new_edge(self):
+        graph = TemporalGraph()
+        graph.add_edges([("a", "b", 1), ("b", "c", 2), ("a", "b", 1)])
+        first = graph.epoch
+        graph.add_edges([("a", "b", 1)])  # all duplicates
+        assert graph.epoch == first
+
+    def test_epoch_is_monotonic(self):
+        graph = TemporalGraph()
+        seen = [graph.epoch]
+        for t in range(1, 6):
+            graph.add_edge("u", f"v{t}", t)
+            seen.append(graph.epoch)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen)
+
+
+class TestAliasingRegression:
+    """Returned collections must be copies: mutating them cannot corrupt
+    the internal sorted adjacency state (the `_view` variants stay
+    zero-copy by contract)."""
+
+    @pytest.fixture
+    def graph(self) -> TemporalGraph:
+        return TemporalGraph(edges=[("a", "b", 1), ("a", "c", 5), ("c", "a", 9)])
+
+    def test_out_neighbors_returns_a_copy(self, graph):
+        entries = graph.out_neighbors("a")
+        entries.append(("zz", 0))  # would break the sorted invariant
+        entries.reverse()
+        assert graph.out_neighbors("a") == [("b", 1), ("c", 5)]
+        assert graph.out_neighbors_view("a") == [("b", 1), ("c", 5)]
+
+    def test_in_neighbors_returns_a_copy(self, graph):
+        entries = graph.in_neighbors("a")
+        entries.clear()
+        assert graph.in_neighbors("a") == [("c", 9)]
+
+    def test_range_queries_return_copies(self, graph):
+        after = graph.out_neighbors_after("a", 0)
+        after.insert(0, ("zz", -1))
+        before = graph.in_neighbors_before("a", 99)
+        before.clear()
+        assert graph.out_neighbors_after("a", 0) == [("b", 1), ("c", 5)]
+        assert graph.in_neighbors_before("a", 99) == [("c", 9)]
+
+    def test_sorted_edges_and_timestamps_return_copies(self, graph):
+        edges = graph.sorted_edges()
+        edges.clear()
+        ts = graph.timestamps()
+        ts.append(-1)
+        out_ts = graph.out_timestamps("a")
+        out_ts.append(-1)
+        in_ts = graph.in_timestamps("a")
+        in_ts.append(-1)
+        assert [e.timestamp for e in graph.sorted_edges()] == [1, 5, 9]
+        assert graph.timestamps() == [1, 5, 9]
+        assert graph.out_timestamps("a") == [1, 5]
+        assert graph.in_timestamps("a") == [9]
+
+    def test_mutated_copy_cannot_corrupt_lookups(self, graph):
+        # End-to-end: corrupt a returned list, then check binary-searched
+        # range lookups still see the pristine sorted order.
+        returned = graph.out_neighbors("a")
+        returned.sort(key=lambda entry: -entry[1])  # descending: invalid order
+        assert graph.out_neighbors_after("a", 1) == [("c", 5)]
+        assert graph.out_neighbors_after("a", 1, strict=False) == [("b", 1), ("c", 5)]
+
+
+class TestCopyCarriesWarmth:
+    def test_copy_carries_warmed_caches(self):
+        graph = TemporalGraph(edges=[("a", "b", 1), ("b", "c", 5)])
+        graph.warm_indices()
+        graph.sorted_edges()  # also materialise the edge-object stage
+        clone = graph.copy()
+        assert clone._sorted_tuples_cache is not None
+        assert clone._sorted_edges_cache is not None
+        assert clone._ts_cache is not None
+        assert len(clone._out_ts_cache) == clone.num_vertices
+        assert clone.sorted_edges() == graph.sorted_edges()
+        assert clone.out_timestamps("a") == graph.out_timestamps("a")
+
+    def test_copy_stamps_the_source_epoch(self):
+        graph = TemporalGraph(edges=[("a", "b", 1), ("b", "c", 5)])
+        clone = graph.copy()
+        assert clone.epoch == graph.epoch
+
+    def test_cold_copy_stays_cold(self):
+        graph = TemporalGraph(edges=[("a", "b", 1)])
+        graph._sorted_edges_cache = None  # ensure nothing is warmed
+        graph._ts_cache = None
+        clone = graph.copy()
+        assert clone._sorted_edges_cache is None
+        assert clone._ts_cache is None
+        assert clone == graph
+
+    def test_copies_do_not_alias_internal_state(self):
+        graph = TemporalGraph(edges=[("a", "b", 1)])
+        graph.warm_indices()
+        clone = graph.copy()
+        clone.add_edge("a", "b", 2)
+        assert graph.out_neighbors("a") == [("b", 1)]
+        assert graph.out_timestamps("a") == [1]
+        assert clone.out_timestamps("a") == [1, 2]
+        assert len(graph.sorted_edges()) == 1
+
+    def test_warmed_copy_of_snapshot_loaded_graph(self):
+        from repro.store import snapshot_bytes  # noqa: F401 — exercised elsewhere
+
+        graph = TemporalGraph(edges=[("a", "b", 1), ("b", "c", 5)])
+        state = graph.warmed_state()
+        loaded = TemporalGraph.from_warmed_state(state)
+        clone = loaded.copy()
+        assert clone._sorted_tuples_cache is not None
+        assert clone.sorted_edges() == graph.sorted_edges()
+        assert clone.epoch == graph.epoch
