@@ -1,0 +1,168 @@
+"""Exp-11 (new) — the zero-materialization query pipeline.
+
+No paper analogue: this benchmark measures the frozen-CSR-view refactor of
+the VUG hot path.  Two properties are asserted as acceptance criteria:
+
+* **Cold single-query speedup** — running VUG through the edge-mask view
+  pipeline (interval-sliced kernels, no intermediate ``TemporalGraph``)
+  must beat the retained pre-refactor materializing pipeline by at least
+  ``MIN_VIEW_SPEEDUP`` on cold queries (indices warm, result cache off)
+  over the largest generated dataset (D10).
+* **Bit-identical results** — a randomized oracle checks every registry
+  algorithm (through the serial, parallel and sharded service paths)
+  against the materializing reference, and the speedup measurement itself
+  cross-checks the ``tspG`` and the per-phase edge counts of every query.
+
+Environment knobs (used by the CI smoke job to run on a tiny dataset):
+
+* ``TSPG_EXP11_DATASET`` — dataset key (default ``D10``).
+* ``TSPG_EXP11_MIN_SPEEDUP`` — acceptance floor (default ``2.0``).
+* ``TSPG_EXP11_NUM_QUERIES`` / ``TSPG_EXP11_ROUNDS`` — workload size and
+  best-of rounds; CI raises both so the tiny-dataset timing comparison is
+  long enough to be stable on noisy shared runners.
+
+The aggregated series is written to ``results/exp11_view_pipeline.txt`` and
+the raw timings to ``results/exp11_view_pipeline.json`` (the artifact the CI
+job uploads so timing trajectories accumulate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.algorithms import available_algorithms
+from repro.bench.experiments import exp11_view_pipeline, measure_view_pipeline
+from repro.datasets.registry import get_dataset
+from repro.queries.query import TspgQuery
+from repro.queries.workload import generate_workload
+from repro.service import ShardedTspgService, TspgService
+
+from bench_config import BENCH_TIME_BUDGET_SECONDS
+
+#: The largest generated analogue — where per-phase materialization hurts most.
+BENCH_DATASET = os.environ.get("TSPG_EXP11_DATASET", "D10")
+
+#: Acceptance floor for the cold single-query speedup.
+MIN_VIEW_SPEEDUP = float(os.environ.get("TSPG_EXP11_MIN_SPEEDUP", "2.0"))
+
+#: Queries per measurement (each runs cold: no result cache).
+BENCH_NUM_QUERIES = int(os.environ.get("TSPG_EXP11_NUM_QUERIES", "20"))
+
+#: Best-of rounds for the timing comparison.
+BENCH_ROUNDS = int(os.environ.get("TSPG_EXP11_ROUNDS", "3"))
+
+#: Dataset for the all-algorithms oracle (the enumeration baselines are slow).
+ORACLE_DATASET = "D1"
+
+
+def _bench_queries(spec, graph, num_queries, seed=7):
+    return list(
+        generate_workload(
+            graph, num_queries=num_queries, theta=spec.default_theta,
+            seed=seed, name=f"{spec.key}-view-bench",
+        )
+    )
+
+
+def test_exp11_view_pipeline_speedup(benchmark):
+    """Acceptance: the view pipeline is ≥MIN_VIEW_SPEEDUP× faster, cold."""
+    spec = get_dataset(BENCH_DATASET)
+    graph = spec.load()
+    queries = _bench_queries(spec, graph, BENCH_NUM_QUERIES)
+
+    measured = benchmark.pedantic(
+        measure_view_pipeline,
+        args=(graph, queries),
+        kwargs=dict(rounds=BENCH_ROUNDS),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["dataset"] = BENCH_DATASET
+    benchmark.extra_info["view_s"] = round(measured["view_s"], 5)
+    benchmark.extra_info["materializing_s"] = round(measured["materializing_s"], 5)
+    benchmark.extra_info["speedup"] = round(measured["speedup"], 2)
+    assert measured["speedup"] >= MIN_VIEW_SPEEDUP, (
+        f"view pipeline {measured['view_s']:.4f}s is only "
+        f"{measured['speedup']:.2f}x faster than the materializing pipeline "
+        f"{measured['materializing_s']:.4f}s (needs {MIN_VIEW_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.parametrize("mode", ["serial", "parallel", "sharded"])
+def test_exp11_randomized_oracle_every_registry_algorithm(mode):
+    """Acceptance: every registry algorithm, on every service path, matches."""
+    spec = get_dataset(ORACLE_DATASET)
+    graph = spec.load()
+    rng = random.Random(1234)
+    vertices = sorted(graph.vertices())
+    span = graph.time_interval()
+    queries = []
+    for _ in range(8):
+        source, target = rng.sample(vertices, 2)
+        begin = rng.randint(span.begin, span.end)
+        end = min(span.end, begin + spec.default_theta)
+        queries.append(TspgQuery(source=source, target=target, interval=(begin, end)))
+
+    reference = TspgService(graph, default_algorithm="VUG-materializing").run_batch(
+        queries, use_cache=False, time_budget_seconds=BENCH_TIME_BUDGET_SECONDS
+    )
+    for algorithm in available_algorithms():
+        if mode == "serial":
+            report = TspgService(graph).run_batch(
+                queries, algorithm, use_cache=False,
+                time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+            )
+        elif mode == "parallel":
+            report = TspgService(graph).run_batch(
+                queries, algorithm, max_workers=4, use_cache=False,
+                time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+            )
+        else:
+            router = ShardedTspgService(graph, 3, overlap=spec.default_theta)
+            report = router.run_batch(
+                queries, algorithm, max_workers=3, use_cache=False,
+                time_budget_seconds=BENCH_TIME_BUDGET_SECONDS,
+            )
+        assert report.num_completed == len(queries), algorithm
+        for item, expected in zip(report.items, reference.items):
+            assert item.outcome.result.vertices == expected.outcome.result.vertices, (
+                algorithm, mode, item.query,
+            )
+            assert item.outcome.result.edges == expected.outcome.result.edges, (
+                algorithm, mode, item.query,
+            )
+
+
+def test_exp11_summary_table(benchmark, save_report, results_dir):
+    """The full Exp-11 row set, plus the JSON timing artifact for CI."""
+    report = benchmark.pedantic(
+        exp11_view_pipeline,
+        kwargs=dict(
+            dataset_key=BENCH_DATASET,
+            num_queries=BENCH_NUM_QUERIES,
+            rounds=BENCH_ROUNDS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("exp11_view_pipeline", report, x_label="mode")
+    by_mode = {row["mode"]: row for row in report.rows}
+    speedup = by_mode["materializing"]["wall_s"] / by_mode["zero-materialization"]["wall_s"]
+    payload = {
+        "experiment": "exp11_view_pipeline",
+        "dataset": BENCH_DATASET,
+        "num_queries": BENCH_NUM_QUERIES,
+        "rounds": BENCH_ROUNDS,
+        "min_speedup_required": MIN_VIEW_SPEEDUP,
+        "speedup": round(speedup, 3),
+        "rows": report.rows,
+        "notes": report.notes,
+    }
+    (results_dir / "exp11_view_pipeline.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    assert speedup >= MIN_VIEW_SPEEDUP

@@ -16,7 +16,7 @@ Quickstart
 ['b', 'c', 's', 't']
 """
 
-from .graph import TemporalEdge, TemporalGraph, TimeInterval
+from .graph import GraphView, SubgraphView, TemporalEdge, TemporalGraph, TimeInterval
 from .graph.builder import TemporalGraphBuilder
 from .core import (
     PathGraph,
@@ -58,6 +58,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "TemporalGraph",
+    "GraphView",
+    "SubgraphView",
     "TemporalEdge",
     "TimeInterval",
     "TemporalGraphBuilder",

@@ -25,10 +25,12 @@ class VUGAlgorithm(TspgAlgorithm):
         self,
         use_tight_upper_bound: bool = True,
         use_lemma10: bool = True,
+        zero_materialization: bool = True,
     ) -> None:
         self._engine = VUG(
             use_tight_upper_bound=use_tight_upper_bound,
             use_lemma10=use_lemma10,
+            zero_materialization=zero_materialization,
         )
 
     def compute(
@@ -71,6 +73,20 @@ class VUGNoLemma10(VUGAlgorithm):
         super().__init__(use_lemma10=False)
 
 
+class VUGMaterializing(VUGAlgorithm):
+    """Reference: the pre-refactor pipeline that materializes ``Gq``/``Gt``.
+
+    Registered so the randomized equivalence oracle and the exp11 benchmark
+    can compare the zero-materialization hot path against the original
+    per-phase graph-building implementation through the same interface.
+    """
+
+    name = "VUG-materializing"
+
+    def __init__(self) -> None:
+        super().__init__(zero_materialization=False)
+
+
 #: All algorithms evaluated in the paper's experiments, keyed by name.
 ALGORITHM_CLASSES: Dict[str, Type[TspgAlgorithm]] = {
     "VUG": VUGAlgorithm,
@@ -80,6 +96,7 @@ ALGORITHM_CLASSES: Dict[str, Type[TspgAlgorithm]] = {
     "Naive": NaiveEnumeration,
     "VUG-noTight": VUGQuickOnly,
     "VUG-noLemma10": VUGNoLemma10,
+    "VUG-materializing": VUGMaterializing,
 }
 
 #: The four algorithms compared throughout Section VI.

@@ -113,7 +113,7 @@ def verify_containment_chain(
     for index in range(len(chain) - 1):
         smaller, larger = chain[index], chain[index + 1]
         if not is_subgraph(smaller, larger):
-            extra = smaller.edge_tuples() - larger.edge_tuples()
+            extra = set(smaller.edge_tuples()) - set(larger.edge_tuples())
             violations.append(
                 f"{names[index]} is not contained in {names[index + 1]}; "
                 f"offending edges: {sorted(extra)[:5]}"

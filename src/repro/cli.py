@@ -8,7 +8,7 @@ main operations:
   cache), optionally booting from a snapshot and/or sharding by time range;
 * ``warm``        — build every index of a graph and save a binary snapshot;
 * ``datasets``    — list the synthetic dataset analogues and their statistics;
-* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp10);
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp11);
 * ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
 """
 
@@ -297,13 +297,13 @@ def _command_experiment(args: argparse.Namespace) -> int:
         report = driver(
             args.dataset, num_queries=args.queries, workers=(1, args.workers)
         )
-    elif name == "exp10":
+    elif name in {"exp10", "exp11"}:
         report = driver(args.dataset, num_queries=args.queries)
     else:
         report = driver(keys=args.datasets, num_queries=args.queries)
     if name in {"exp2", "exp5-fig10", "exp6", "exp7"}:
         x_label = "theta"
-    elif name in {"exp9", "exp10"}:
+    elif name in {"exp9", "exp10", "exp11"}:
         x_label = "mode"
     else:
         x_label = "dataset"

@@ -25,14 +25,20 @@ Two optimisations from Section V are implemented:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..graph.edge import TemporalEdge, TimeInterval, Timestamp, Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
+from ..graph.views import SubgraphView
 from ..paths.temporal_path import TemporalPath
 from .result import PathGraph
 
 EdgeTuple = Tuple[Vertex, Vertex, Timestamp]
+
+#: EEV consumes only the read API shared by graphs and edge-mask views
+#: (``sorted_edges``/``num_edges``/``out_neighbors_view``/``in_neighbors_view``),
+#: so the zero-materialization pipeline feeds it ``Gt`` as a mask view.
+TightGraph = Union[TemporalGraph, SubgraphView]
 
 
 @dataclass
@@ -61,7 +67,7 @@ class EEVStatistics:
 
 
 def escaped_edges_verification(
-    tight_graph: TemporalGraph,
+    tight_graph: TightGraph,
     source: Vertex,
     target: Vertex,
     interval,
@@ -75,6 +81,10 @@ def escaped_edges_verification(
     tight_graph:
         The tight upper-bound graph ``Gt`` (or any upper bound of the ``tspG``
         that is itself a subgraph of ``Gq`` — see the Lemma 10 note below).
+        Accepts a :class:`TemporalGraph` or a zero-copy
+        :class:`~repro.graph.views.SubgraphView`; per-vertex adjacency of a
+        view is materialised lazily and cached inside the view, so the
+        bidirectional searches below pay no repeated mask scans.
     use_lemma10:
         Enable the one-hop confirmation shortcut.  Its proof relies on the
         input being the tight upper-bound graph of the same query; disable it
@@ -157,7 +167,7 @@ def escaped_edges_verification(
 
 
 def _confirm_path_and_replacements(
-    graph: TemporalGraph,
+    graph: TightGraph,
     witness: TemporalPath,
     window: TimeInterval,
     verified: Set[EdgeTuple],
@@ -197,7 +207,7 @@ class BidirectionalSearcher:
 
     def __init__(
         self,
-        graph: TemporalGraph,
+        graph: TightGraph,
         source: Vertex,
         target: Vertex,
         interval: TimeInterval,

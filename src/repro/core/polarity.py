@@ -18,12 +18,14 @@ Fig. 9) advantage of QuickUBG over tgTSG.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from ..graph.edge import TimeInterval, Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
+from ..graph.views import GraphView
 
 INFINITY = float("inf")
 NEG_INFINITY = float("-inf")
@@ -75,6 +77,121 @@ def compute_polarity_times(
         target=target,
         interval=window,
     )
+
+
+def compute_polarity_id_arrays(
+    view: GraphView,
+    source: Vertex,
+    target: Vertex,
+    interval,
+) -> Tuple[List[float], List[float]]:
+    """Algorithm 3 over the frozen CSR view, in interned-id space.
+
+    Returns ``(arrival_by_id, departure_by_id)`` — lists indexed by interned
+    vertex id with the same values :func:`compute_polarity_times` produces
+    (the sweeps converge to the unique earliest-arrival/latest-departure
+    fixed point, so the two implementations are interchangeable).  This is
+    the polarity kernel of the zero-materialization pipeline: dense lists
+    replace hash tables, and the per-vertex timestamp lists the dict-based
+    sweeps rebuild every query are bisected *in place* on the view's
+    CSR-aligned ``out_ts``/``in_ts`` columns instead.
+    """
+    window = as_interval(interval)
+    source_id = view.index_of.get(source)
+    target_id = view.index_of.get(target)
+    arrival = _sweep_arrival_ids(view, source_id, target_id, window)
+    departure = _sweep_departure_ids(view, source_id, target_id, window)
+    return arrival, departure
+
+
+def _sweep_arrival_ids(
+    view: GraphView, source_id, target_id, window: TimeInterval
+) -> List[float]:
+    """Id-space forward sweep (mirror of :func:`_sweep_earliest_arrival`)."""
+    num_vertices = view.num_vertices
+    arrival: List[float] = [INFINITY] * num_vertices
+    if source_id is None:
+        return arrival
+    arrival[source_id] = window.begin - 1
+    queue = deque([source_id])
+    queued = bytearray(num_vertices)
+    queued[source_id] = 1
+    # Lowest out-CSR position already relaxed per vertex (exclusive stop).
+    processed_from: Dict[int, int] = {}
+    offsets, out_ts, out_dst = view.out_offsets, view.out_ts, view.out_dst
+    window_end = window.end
+    floor = window.begin - 1
+    while queue:
+        u = queue.popleft()
+        queued[u] = 0
+        current = arrival[u]
+        begin, end = offsets[u], offsets[u + 1]
+        stop = processed_from.get(u, end)
+        bound = current if current > floor else floor
+        start = bisect_right(out_ts, bound, begin, end)
+        if start >= stop:
+            continue
+        processed_from[u] = start
+        for position in range(start, stop):
+            timestamp = out_ts[position]
+            if timestamp > window_end:
+                break
+            v = out_dst[position]
+            if v == target_id:
+                # Algorithm 3 line 6: do not expand through the target.
+                continue
+            if timestamp >= arrival[v]:
+                continue
+            arrival[v] = timestamp
+            if timestamp != window_end and not queued[v]:
+                queue.append(v)
+                queued[v] = 1
+    return arrival
+
+
+def _sweep_departure_ids(
+    view: GraphView, source_id, target_id, window: TimeInterval
+) -> List[float]:
+    """Id-space backward sweep (mirror of :func:`_sweep_latest_departure`)."""
+    num_vertices = view.num_vertices
+    departure: List[float] = [NEG_INFINITY] * num_vertices
+    if target_id is None:
+        return departure
+    departure[target_id] = window.end + 1
+    queue = deque([target_id])
+    queued = bytearray(num_vertices)
+    queued[target_id] = 1
+    # Highest in-CSR position (exclusive) already relaxed per vertex.
+    processed_to: Dict[int, int] = {}
+    offsets, in_ts, in_src = view.in_offsets, view.in_ts, view.in_src
+    window_begin = window.begin
+    ceiling = window.end + 1
+    while queue:
+        u = queue.popleft()
+        queued[u] = 0
+        current = departure[u]
+        begin, end = offsets[u], offsets[u + 1]
+        start = processed_to.get(u, begin)
+        bound = current if current < ceiling else ceiling
+        stop = bisect_left(in_ts, bound, begin, end)
+        if stop <= start:
+            continue
+        processed_to[u] = stop
+        for position in range(start, stop):
+            timestamp = in_ts[position]
+            if timestamp < window_begin:
+                continue
+            v = in_src[position]
+            if v == source_id:
+                # Mirror of the forward sweep: never expand through s.
+                continue
+            if timestamp <= departure[v]:
+                continue
+            departure[v] = timestamp
+            if timestamp != window_begin and not queued[v]:
+                queue.append(v)
+                queued[v] = 1
+    return departure
 
 
 def _sweep_earliest_arrival(

@@ -5,28 +5,52 @@ one temporal path from ``s`` to ``t`` within ``[τb, τe]`` iff
 ``A(u) < τ < D(v)`` (Lemma 1).  Keeping exactly those edges yields the *quick
 upper-bound graph* ``Gq`` in ``O(m)`` time — a superset of the final ``tspG``
 that already removes every edge violating the temporal constraint.
+
+Zero-materialization kernel: instead of inserting every surviving edge into a
+fresh :class:`~repro.graph.temporal_graph.TemporalGraph` (per-edge sorted
+insertion + cache invalidation), :func:`quick_upper_bound_graph` pre-slices
+the parent's timestamp-sorted edge columns to the query window with two
+bisects, applies the Lemma 1 test over the interned columns, and returns an
+edge-mask :class:`~repro.graph.views.SubgraphView` — no edge storage is
+copied.  Call ``.materialize()`` on the result when a real graph is needed.
+
+The pre-refactor materializing implementation is retained as
+:func:`quick_upper_bound_graph_materializing`; it is the reference baseline
+of the exp11 benchmark and the randomized equivalence oracle.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence, Set, Union
 
 from ..graph.edge import Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
+from ..graph.views import GraphView, SubgraphView
 from .polarity import PolarityTimes, compute_polarity_times
+
+GraphLike = Union[TemporalGraph, GraphView]
+
+
+def _as_view(graph: GraphLike) -> GraphView:
+    """Coerce the input into the frozen columnar view of its graph."""
+    if isinstance(graph, GraphView):
+        return graph
+    return graph.view()
 
 
 def quick_upper_bound_graph(
-    graph: TemporalGraph,
+    graph: GraphLike,
     source: Vertex,
     target: Vertex,
     interval,
     polarity: Optional[PolarityTimes] = None,
-) -> TemporalGraph:
+) -> SubgraphView:
     """Compute the quick upper-bound graph ``Gq`` (Algorithm 2).
 
     Parameters
     ----------
+    graph:
+        The temporal graph ``G`` (or its :class:`GraphView` directly).
     polarity:
         Pre-computed polarity times; when omitted they are computed here
         (Algorithm 3).  Passing them explicitly lets the VUG driver time the
@@ -34,17 +58,88 @@ def quick_upper_bound_graph(
 
     Returns
     -------
-    TemporalGraph
-        The subgraph of ``graph`` whose edges all satisfy ``A(u) < τ < D(v)``.
-        Vertices are exactly the endpoints of surviving edges (Definition of an
-        induced subgraph in Section II).
+    SubgraphView
+        An edge-mask view over ``graph`` whose surviving edges all satisfy
+        ``A(u) < τ < D(v)``; its vertices are exactly the endpoints of
+        surviving edges (Definition of an induced subgraph in Section II).
+        The view implements the read API of a graph — materialize it
+        explicitly with ``.materialize()`` if a mutable graph is required.
+
+    .. versionchanged:: 1.2
+       Returns a zero-copy :class:`SubgraphView` instead of a freshly built
+       :class:`TemporalGraph` (see
+       :func:`quick_upper_bound_graph_materializing` for the old behaviour).
+    """
+    window = as_interval(interval)
+    if polarity is None:
+        if isinstance(graph, GraphView):
+            raise TypeError(
+                "polarity times must be supplied when querying a GraphView "
+                "directly (they are computed over the parent TemporalGraph)"
+            )
+        polarity = compute_polarity_times(graph, source, target, window)
+    view = _as_view(graph)
+    # Re-key the polarity tables from vertex labels to interned ids once
+    # (O(n)); the scan itself is pure array indexing.
+    arrival = polarity.arrival
+    departure = polarity.departure
+    infinity = float("inf")
+    neg_infinity = float("-inf")
+    labels = view.labels
+    arrival_by_id = [arrival.get(label, infinity) for label in labels]
+    departure_by_id = [departure.get(label, neg_infinity) for label in labels]
+    return quick_mask_kernel(view, arrival_by_id, departure_by_id, window)
+
+
+def quick_mask_kernel(
+    view: GraphView,
+    arrival_by_id: Sequence[float],
+    departure_by_id: Sequence[float],
+    window,
+) -> SubgraphView:
+    """The interval-sliced Lemma 1 scan over interned columns (Algorithm 2).
+
+    Pre-slices the timestamp-sorted columns to ``[τb, τe]`` with two bisects
+    — Lemma 1 implies ``τb <= τ <= τe`` for every admissible edge
+    (``A(s) = τb - 1``, ``D(t) = τe + 1``), so edges outside the window need
+    never be scanned.  The loop touches every in-window edge of ``G``, so
+    per-edge overhead matters: it is array indexing plus two comparisons.
+    """
+    lo, hi = view.slice_bounds(window)
+    src, dst, ts = view.src, view.dst, view.ts
+    indices: list = []
+    append = indices.append
+    vids: Set[int] = set()
+    add_vid = vids.add
+    # Iterating zipped array slices keeps the per-edge work in C; ``index``
+    # tracks the position in the parent columns.
+    index = lo
+    for u, v, timestamp in zip(src[lo:hi], dst[lo:hi], ts[lo:hi]):
+        if arrival_by_id[u] < timestamp < departure_by_id[v]:
+            append(index)
+            add_vid(u)
+            add_vid(v)
+        index += 1
+    return SubgraphView(view, indices, vids)
+
+
+def quick_upper_bound_graph_materializing(
+    graph: TemporalGraph,
+    source: Vertex,
+    target: Vertex,
+    interval,
+    polarity: Optional[PolarityTimes] = None,
+) -> TemporalGraph:
+    """Pre-refactor QuickUBG: build ``Gq`` as a fresh :class:`TemporalGraph`.
+
+    Kept as the reference implementation the randomized oracle and the
+    exp11 benchmark compare the zero-materialization kernel against; new
+    code should use :func:`quick_upper_bound_graph`.
     """
     window = as_interval(interval)
     if polarity is None:
         polarity = compute_polarity_times(graph, source, target, window)
     quick = TemporalGraph()
-    # Lemma 1 test inlined over the raw tables: this loop touches every edge
-    # of G, so per-edge function-call overhead matters.
     arrival = polarity.arrival
     departure = polarity.departure
     infinity = float("inf")
@@ -57,7 +152,7 @@ def quick_upper_bound_graph(
 
 def quick_upper_bound_with_polarity(
     graph: TemporalGraph, source: Vertex, target: Vertex, interval
-) -> tuple[TemporalGraph, PolarityTimes]:
+) -> tuple[SubgraphView, PolarityTimes]:
     """Convenience wrapper returning both ``Gq`` and the polarity tables."""
     window = as_interval(interval)
     polarity = compute_polarity_times(graph, source, target, window)

@@ -32,7 +32,6 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from ..graph.edge import TimeInterval, Timestamp, Vertex, as_interval
-from ..graph.temporal_graph import TemporalGraph
 
 Entry = Tuple[Timestamp, FrozenSet[Vertex]]
 
@@ -120,12 +119,17 @@ class TimeStreamCommonVertices:
 
 
 def compute_time_stream_common_vertices(
-    quick_graph: TemporalGraph,
+    quick_graph,
     source: Vertex,
     target: Vertex,
     interval,
 ) -> TimeStreamCommonVertices:
-    """Algorithm 4: compute ``TCV_·(s, ·)`` and ``TCV_·(·, t)`` over ``Gq``."""
+    """Algorithm 4: compute ``TCV_·(s, ·)`` and ``TCV_·(·, t)`` over ``Gq``.
+
+    ``quick_graph`` may be a :class:`TemporalGraph` or an edge-mask
+    :class:`~repro.graph.views.SubgraphView` — both scans consume only the
+    timestamp-sorted ``edge_tuples`` sequence.
+    """
     window = as_interval(interval)
     source_index = _compute_source_side(quick_graph, source, target)
     target_index = _compute_target_side(quick_graph, source, target)
@@ -137,13 +141,15 @@ def compute_time_stream_common_vertices(
 
 
 def _compute_source_side(
-    quick_graph: TemporalGraph, source: Vertex, target: Vertex
+    quick_graph, source: Vertex, target: Vertex
 ) -> TCVIndex:
     """Forward scan computing ``TCV_·(s, u)`` for every vertex ``u``."""
     index = TCVIndex(anchor=source, side="source")
     completed: set = set()
-    for edge in quick_graph.sorted_edges():
-        v, u, timestamp = edge.source, edge.target, edge.timestamp
+    # Plain-tuple iteration over the timestamp-sorted sequence: works
+    # identically for a TemporalGraph and an edge-mask SubgraphView, and
+    # allocates no TemporalEdge objects on the hot path.
+    for v, u, timestamp in quick_graph.edge_tuples():
         if u == target or u == source or u in completed:
             # Algorithm 4 line 8: no entries are maintained for t, and
             # completed vertices already degenerated to {u} (Lemma 7).
@@ -173,7 +179,7 @@ def _compute_source_side(
 
 
 def _compute_target_side(
-    quick_graph: TemporalGraph, source: Vertex, target: Vertex
+    quick_graph, source: Vertex, target: Vertex
 ) -> TCVIndex:
     """Backward scan computing ``TCV_·(u, t)`` for every vertex ``u``."""
     index = TCVIndex(anchor=target, side="target")
@@ -181,8 +187,7 @@ def _compute_target_side(
     # Entries are produced in descending timestamp order; collect per vertex
     # and reverse at the end so the stored lists are ascending for lookups.
     descending: Dict[Vertex, List[Entry]] = {}
-    for edge in quick_graph.sorted_edges(reverse=True):
-        u, v, timestamp = edge.source, edge.target, edge.timestamp
+    for u, v, timestamp in reversed(quick_graph.edge_tuples()):
         if u == source or u == target or u in completed:
             continue
         stored_v = descending.get(v)

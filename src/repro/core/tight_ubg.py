@@ -13,34 +13,101 @@ or entering ``t`` are kept unconditionally (Lemma 2).  The result is still an
 upper bound of the ``tspG`` (Lemma 3 is necessary but not sufficient), but a
 much tighter one than ``Gq`` because it also encodes the simple-path
 constraint.
+
+Zero-materialization kernel: when ``Gq`` arrives as an edge-mask
+:class:`~repro.graph.views.SubgraphView` (the output of the refactored
+QuickUBG), the filter *refines the mask in place of building a graph* — the
+surviving edges share the parent's columnar storage and no per-edge
+insertion happens.  A :class:`~repro.graph.temporal_graph.TemporalGraph`
+input falls back to the pre-refactor materializing scan, also available
+directly as :func:`tight_upper_bound_graph_materializing`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Set, Tuple, Union
 
 from ..graph.edge import Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
+from ..graph.views import SubgraphView
 from .tcv import TimeStreamCommonVertices, compute_time_stream_common_vertices
+
+QuickGraph = Union[TemporalGraph, SubgraphView]
 
 
 def tight_upper_bound_graph(
-    quick_graph: TemporalGraph,
+    quick_graph: QuickGraph,
     source: Vertex,
     target: Vertex,
     interval,
     tcv: Optional[TimeStreamCommonVertices] = None,
-) -> TemporalGraph:
+) -> QuickGraph:
     """Compute the tight upper-bound graph ``Gt`` (Algorithm 5).
 
     Parameters
     ----------
     quick_graph:
         The quick upper-bound graph ``Gq`` produced by
-        :func:`~repro.core.quick_ubg.quick_upper_bound_graph`.
+        :func:`~repro.core.quick_ubg.quick_upper_bound_graph` — an edge-mask
+        :class:`SubgraphView` on the zero-materialization path, or a plain
+        :class:`TemporalGraph` from legacy callers.
     tcv:
         Pre-computed time-stream common vertices; computed here (Algorithm 4)
         when omitted.
+
+    Returns
+    -------
+    SubgraphView or TemporalGraph
+        The same shape as the input: a refined mask view for a view input
+        (zero copies), a freshly built graph for a graph input.
+    """
+    window = as_interval(interval)
+    if tcv is None:
+        tcv = compute_time_stream_common_vertices(quick_graph, source, target, window)
+    if isinstance(quick_graph, SubgraphView):
+        return _tight_mask(quick_graph, source, target, tcv)
+    return tight_upper_bound_graph_materializing(
+        quick_graph, source, target, window, tcv=tcv
+    )
+
+
+def _tight_mask(
+    quick: SubgraphView, source: Vertex, target: Vertex, tcv: TimeStreamCommonVertices
+) -> SubgraphView:
+    """Refine the quick mask with the Lemma 9 filter (no edge copies)."""
+    base = quick.base
+    labels, src, dst, ts = base.labels, base.src, base.dst, base.ts
+    source_id = base.index_of.get(source, -1)
+    target_id = base.index_of.get(target, -1)
+    indices: list = []
+    vids: Set[int] = set()
+    for index in quick.iter_indices():
+        u = src[index]
+        v = dst[index]
+        if u != source_id and v != target_id:
+            # Lemma 9 condition i) via the Algorithm 5 defaults.
+            if not _passes_tcv_filter(tcv, labels[u], labels[v], ts[index]):
+                continue
+        # else: Lemma 2 / Algorithm 5 lines 4-6 — edges incident to the
+        # query endpoints are always part of some temporal simple path.
+        indices.append(index)
+        vids.add(u)
+        vids.add(v)
+    return SubgraphView(base, indices, vids)
+
+
+def tight_upper_bound_graph_materializing(
+    quick_graph: TemporalGraph,
+    source: Vertex,
+    target: Vertex,
+    interval,
+    tcv: Optional[TimeStreamCommonVertices] = None,
+) -> TemporalGraph:
+    """Pre-refactor TightUBG: build ``Gt`` as a fresh :class:`TemporalGraph`.
+
+    Kept as the reference implementation for the randomized oracle and the
+    exp11 benchmark; new code should pass views through
+    :func:`tight_upper_bound_graph`.
     """
     window = as_interval(interval)
     if tcv is None:
@@ -74,8 +141,8 @@ def _passes_tcv_filter(
 
 
 def tight_upper_bound_with_tcv(
-    quick_graph: TemporalGraph, source: Vertex, target: Vertex, interval
-) -> Tuple[TemporalGraph, TimeStreamCommonVertices]:
+    quick_graph: QuickGraph, source: Vertex, target: Vertex, interval
+) -> Tuple[QuickGraph, TimeStreamCommonVertices]:
     """Convenience wrapper returning both ``Gt`` and the TCV tables."""
     window = as_interval(interval)
     tcv = compute_time_stream_common_vertices(quick_graph, source, target, window)

@@ -10,6 +10,17 @@ and returns the exact temporal simple path graph together with the
 intermediate upper-bound graphs and per-phase wall-clock timings (the raw
 material of Exp-4, Exp-5 and Exp-6).
 
+The default pipeline is **zero-materialization**: the intermediate
+upper-bound graphs ``Gq`` and ``Gt`` are edge-mask
+:class:`~repro.graph.views.SubgraphView` objects over the parent graph's
+frozen columnar :class:`~repro.graph.views.GraphView` — no
+:class:`TemporalGraph` is built anywhere on the hot path (call
+``.materialize()`` on a report's upper bounds if a mutable graph is
+needed).  Constructing ``VUG(zero_materialization=False)`` runs the
+pre-refactor pipeline that materializes a fresh graph per phase; it is kept
+as the reference baseline for the randomized equivalence oracle and the
+exp11 benchmark.
+
 :func:`generate_tspg` is the one-call public entry point most users want.
 """
 
@@ -22,11 +33,11 @@ from typing import Optional
 from ..graph.edge import Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
 from .eev import EEVStatistics, escaped_edges_verification
-from .polarity import compute_polarity_times
-from .quick_ubg import quick_upper_bound_graph
+from .polarity import compute_polarity_id_arrays, compute_polarity_times
+from .quick_ubg import quick_mask_kernel, quick_upper_bound_graph_materializing
 from .result import PathGraph, PhaseTimings, VUGReport
 from .tcv import compute_time_stream_common_vertices
-from .tight_ubg import tight_upper_bound_graph
+from .tight_ubg import tight_upper_bound_graph, tight_upper_bound_graph_materializing
 
 
 @dataclass
@@ -44,11 +55,16 @@ class VUG:
         bidirectional search for every escaped edge.
     collect_eev_statistics:
         Attach an :class:`EEVStatistics` to the report.
+    zero_materialization:
+        When ``True`` (the default) the phases exchange edge-mask views and
+        no intermediate :class:`TemporalGraph` is built; ``False`` selects
+        the pre-refactor materializing pipeline (the oracle baseline).
     """
 
     use_tight_upper_bound: bool = True
     use_lemma10: bool = True
     collect_eev_statistics: bool = False
+    zero_materialization: bool = True
 
     def run(
         self,
@@ -60,18 +76,36 @@ class VUG:
         """Execute the full pipeline and return a :class:`VUGReport`."""
         window = as_interval(interval)
         timings = PhaseTimings()
+        tight_phase = (
+            tight_upper_bound_graph
+            if self.zero_materialization
+            else tight_upper_bound_graph_materializing
+        )
 
         # Phase 1: quick upper-bound graph (temporal constraint).
         started = time.perf_counter()
-        polarity = compute_polarity_times(graph, source, target, window)
-        quick = quick_upper_bound_graph(graph, source, target, window, polarity=polarity)
+        if self.zero_materialization:
+            # Interval-sliced kernels over the frozen columnar view: the
+            # polarity sweeps run in interned-id space on the CSR-aligned
+            # timestamp columns and the Lemma 1 scan produces an edge mask —
+            # nothing is materialized anywhere in this pipeline.
+            view = graph.view()
+            arrival_ids, departure_ids = compute_polarity_id_arrays(
+                view, source, target, window
+            )
+            quick = quick_mask_kernel(view, arrival_ids, departure_ids, window)
+        else:
+            polarity = compute_polarity_times(graph, source, target, window)
+            quick = quick_upper_bound_graph_materializing(
+                graph, source, target, window, polarity=polarity
+            )
         timings.quick_ubg = time.perf_counter() - started
 
         # Phase 2: tight upper-bound graph (simple-path constraint).
         started = time.perf_counter()
         if self.use_tight_upper_bound:
             tcv = compute_time_stream_common_vertices(quick, source, target, window)
-            tight = tight_upper_bound_graph(quick, source, target, window, tcv=tcv)
+            tight = tight_phase(quick, source, target, window, tcv=tcv)
             tcv_space = tcv.space_cost()
         else:
             tight = quick

@@ -1,7 +1,36 @@
-"""Temporal graph substrate: data structures, IO, validation and generators."""
+"""Temporal graph substrate: data structures, views, IO, validation, generators.
+
+Layering and access conventions
+-------------------------------
+
+The substrate has two tiers:
+
+* **Mutable storage** — :class:`TemporalGraph`: sorted adjacency, the
+  temporally sorted edge sequence, distinct-timestamp views, and a
+  monotonically increasing mutation ``epoch`` that downstream layers stamp
+  their derived state with.
+* **Frozen read views** — :class:`~repro.graph.views.GraphView` (the CSR
+  columnar projection of a graph, obtained via :meth:`TemporalGraph.view`,
+  cached per epoch) and :class:`~repro.graph.views.SubgraphView` (an edge
+  mask over a ``GraphView`` that filters without copying edge storage).
+  The VUG hot path exchanges these views end to end; they implement the
+  read API of a graph.
+
+Two conventions keep the copy discipline auditable across the codebase:
+
+* ``*_view`` accessors (``out_neighbors_view``/``in_neighbors_view`` on
+  both tiers) are the documented zero-copy escape hatch: they return
+  internal or cached sequences that callers must **not** mutate.  All other
+  accessors return copies.
+* ``.materialize()`` is the single boundary where a frozen view becomes a
+  mutable :class:`TemporalGraph` again (paying the per-edge build cost once,
+  through the bulk ``add_edges`` fast path).  Library code only crosses it
+  at public-result boundaries — never inside the query pipeline.
+"""
 
 from .edge import TemporalEdge, TimeInterval, as_edge, as_interval
 from .temporal_graph import TemporalGraph
+from .views import GraphView, SubgraphView
 from .builder import TemporalGraphBuilder, graph_from_edges, graph_from_temporal_edges
 from .validation import (
     ValidationError,
@@ -28,6 +57,8 @@ __all__ = [
     "TemporalEdge",
     "TimeInterval",
     "TemporalGraph",
+    "GraphView",
+    "SubgraphView",
     "TemporalGraphBuilder",
     "GraphStatistics",
     "ValidationError",

@@ -18,12 +18,21 @@ timestamp) are stored once.
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+import warnings
+from bisect import bisect_left, bisect_right, insort_right
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from .edge import TemporalEdge, TimeInterval, Timestamp, Vertex, as_edge, as_interval
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .views import GraphView
+
 NeighborEntry = Tuple[Vertex, Timestamp]
+
+
+def _entry_timestamp(entry: NeighborEntry) -> Timestamp:
+    """Sort key of a neighbour entry (timestamp ascending, ties stable)."""
+    return entry[1]
 
 
 class TemporalGraph:
@@ -53,9 +62,11 @@ class TemporalGraph:
         "_epoch",
         "_sorted_edges_cache",
         "_sorted_tuples_cache",
+        "_edge_tuples_cache",
         "_ts_cache",
         "_out_ts_cache",
         "_in_ts_cache",
+        "_view_cache",
     )
 
     def __init__(
@@ -74,9 +85,17 @@ class TemporalGraph:
         self._sorted_tuples_cache: Optional[
             List[Tuple[Vertex, Vertex, Timestamp]]
         ] = None
+        # Immutable tuple wrapper over the sorted backing, handed out by
+        # :meth:`edge_tuples` (read-only, so no per-call copy is needed).
+        self._edge_tuples_cache: Optional[
+            Tuple[Tuple[Vertex, Vertex, Timestamp], ...]
+        ] = None
         self._ts_cache: Optional[List[Timestamp]] = None
         self._out_ts_cache: Dict[Vertex, List[Timestamp]] = {}
         self._in_ts_cache: Dict[Vertex, List[Timestamp]] = {}
+        # Frozen CSR columnar projection (see repro.graph.views); rebuilt
+        # lazily after mutation, shared by copies, persisted by snapshots.
+        self._view_cache: Optional["GraphView"] = None
         if vertices is not None:
             for vertex in vertices:
                 self.add_vertex(vertex)
@@ -109,40 +128,69 @@ class TemporalGraph:
         self.add_vertex(source)
         self.add_vertex(target)
         self._edge_set.add(key)
-        self._insert_sorted(self._out[source], (target, timestamp))
-        self._insert_sorted(self._in[target], (source, timestamp))
+        # ``insort_right`` keyed by timestamp preserves the historical tie
+        # behaviour of the hand-rolled shift-insert: equal-timestamp entries
+        # stay in insertion order.
+        insort_right(self._out[source], (target, timestamp), key=_entry_timestamp)
+        insort_right(self._in[target], (source, timestamp), key=_entry_timestamp)
         self._invalidate_caches()
         return True
 
     def add_edges(self, edges: Iterable) -> int:
-        """Add many edges; returns the number of *new* edges inserted."""
-        added = 0
+        """Add many edges; returns the number of *new* edges inserted.
+
+        Bulk fast path: the batch is validated and de-duplicated first, then
+        applied with *one* append-and-sort pass per touched adjacency list
+        (``list.sort`` is stable, so equal-timestamp entries keep the same
+        order per-edge insertion would have produced) and one cache
+        invalidation for the whole batch.  Graph builders and dataset loaders
+        therefore pay O(E log E) once instead of O(E·d) shift-inserts.  The
+        batch is atomic: a self loop anywhere in ``edges`` raises before any
+        edge is applied.
+        """
+        staged: List[Tuple[Vertex, Vertex, Timestamp]] = []
+        staged_seen: Set[Tuple[Vertex, Vertex, Timestamp]] = set()
         for edge in edges:
             e = as_edge(edge)
-            if self.add_edge(e.source, e.target, e.timestamp):
-                added += 1
-        return added
-
-    @staticmethod
-    def _insert_sorted(entries: List[NeighborEntry], entry: NeighborEntry) -> None:
-        """Insert ``entry`` keeping ``entries`` sorted by timestamp."""
-        timestamp = entry[1]
-        lo, hi = 0, len(entries)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if entries[mid][1] <= timestamp:
-                lo = mid + 1
-            else:
-                hi = mid
-        entries.insert(lo, entry)
+            if e.source == e.target:
+                raise ValueError(f"self loops are not allowed: {e.source!r}")
+            key = (e.source, e.target, e.timestamp)
+            if key in self._edge_set or key in staged_seen:
+                continue
+            staged_seen.add(key)
+            staged.append(key)
+        if not staged:
+            return 0
+        if len(staged) == 1:
+            source, target, timestamp = staged[0]
+            self.add_edge(source, target, timestamp)
+            return 1
+        touched_out: Set[Vertex] = set()
+        touched_in: Set[Vertex] = set()
+        for source, target, timestamp in staged:
+            self.add_vertex(source)
+            self.add_vertex(target)
+            self._out[source].append((target, timestamp))
+            self._in[target].append((source, timestamp))
+            touched_out.add(source)
+            touched_in.add(target)
+        for vertex in touched_out:
+            self._out[vertex].sort(key=_entry_timestamp)
+        for vertex in touched_in:
+            self._in[vertex].sort(key=_entry_timestamp)
+        self._edge_set.update(staged)
+        self._invalidate_caches()
+        return len(staged)
 
     def _invalidate_caches(self) -> None:
         self._epoch += 1
         self._sorted_edges_cache = None
         self._sorted_tuples_cache = None
+        self._edge_tuples_cache = None
         self._ts_cache = None
         self._out_ts_cache.clear()
         self._in_ts_cache.clear()
+        self._view_cache = None
 
     @property
     def epoch(self) -> int:
@@ -187,8 +235,38 @@ class TemporalGraph:
         for source, target, timestamp in self._edge_set:
             yield TemporalEdge(source, target, timestamp)
 
-    def edge_tuples(self) -> Set[Tuple[Vertex, Vertex, Timestamp]]:
-        """Return a copy of the edge set as plain tuples."""
+    def edge_tuples(self) -> Sequence[Tuple[Vertex, Vertex, Timestamp]]:
+        """All edges as plain ``(u, v, τ)`` tuples, sorted temporally.
+
+        Returns the sorted tuple backing as a *read-only sequence* (an
+        immutable tuple shared across calls — no per-call copy), so
+        iteration order is deterministic: non-descending timestamp, ties in
+        a fixed per-graph order.  Callers needing set semantics should wrap
+        the result in ``set(...)``.
+
+        .. versionchanged:: 1.2
+           Previously returned a freshly-allocated :class:`set` with
+           nondeterministic iteration order; use :meth:`edge_tuple_set` for
+           the old shape.
+        """
+        if self._edge_tuples_cache is None:
+            self._edge_tuples_cache = tuple(self._sorted_tuple_backing())
+        return self._edge_tuples_cache
+
+    def edge_tuple_set(self) -> Set[Tuple[Vertex, Vertex, Timestamp]]:
+        """Deprecated: a copy of the edge set as plain tuples (old shape).
+
+        .. deprecated:: 1.2
+           :meth:`edge_tuples` now returns the temporally sorted read-only
+           sequence; wrap it in ``set(...)`` where set semantics are needed.
+        """
+        warnings.warn(
+            "TemporalGraph.edge_tuple_set() is deprecated: edge_tuples() "
+            "returns a deterministic read-only sequence; wrap it in set(...) "
+            "for set semantics",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return set(self._edge_set)
 
     def sorted_edges(self, reverse: bool = False) -> List[TemporalEdge]:
@@ -321,11 +399,31 @@ class TemporalGraph:
         for vertex in self._out:
             self.out_timestamps(vertex)
             self.in_timestamps(vertex)
+        view = self.view()
         return {
             "sorted_edges": num_sorted,
             "distinct_timestamps": len(timestamps),
             "vertex_timestamp_views": len(self._out_ts_cache) + len(self._in_ts_cache),
+            "view_edges": view.num_edges,
         }
+
+    def view(self) -> "GraphView":
+        """The frozen CSR columnar projection of this graph (built lazily).
+
+        The view is the zero-materialization substrate of the VUG hot path
+        (see :mod:`repro.graph.views`): vertex-id interning, parallel
+        ``src``/``dst``/``ts`` arrays sorted by timestamp, and offset-indexed
+        per-vertex out/in slices.  It is immutable and epoch-stamped; any
+        mutation of this graph invalidates the cached view and the next call
+        rebuilds it.  :meth:`copy` shares the warmed view (safe — views are
+        frozen) and snapshots persist it so a snapshot boot is view-servable
+        without any rebuild.
+        """
+        if self._view_cache is None:
+            from .views import GraphView  # deferred: views imports this module
+
+            self._view_cache = GraphView.from_graph(self)
+        return self._view_cache
 
     # Range queries over the sorted adjacency lists -----------------------
     def out_neighbors_after(
@@ -386,10 +484,14 @@ class TemporalGraph:
             clone._sorted_edges_cache = list(self._sorted_edges_cache)
         if self._sorted_tuples_cache is not None:
             clone._sorted_tuples_cache = list(self._sorted_tuples_cache)
+        clone._edge_tuples_cache = self._edge_tuples_cache
         if self._ts_cache is not None:
             clone._ts_cache = list(self._ts_cache)
         clone._out_ts_cache = {v: list(ts) for v, ts in self._out_ts_cache.items()}
         clone._in_ts_cache = {v: list(ts) for v, ts in self._in_ts_cache.items()}
+        # Views are frozen, so the clone can share the warmed columnar
+        # projection outright; a mutation on either side rebuilds its own.
+        clone._view_cache = self._view_cache
         clone._epoch = self._epoch
         return clone
 
@@ -411,6 +513,7 @@ class TemporalGraph:
             "timestamps": list(self._ts_cache),
             "out_timestamps": {v: list(ts) for v, ts in self._out_ts_cache.items()},
             "in_timestamps": {v: list(ts) for v, ts in self._in_ts_cache.items()},
+            "view": self.view().columns(),
             "epoch": self._epoch,
         }
 
@@ -437,30 +540,39 @@ class TemporalGraph:
         graph._out_ts_cache = dict(state["out_timestamps"])
         graph._in_ts_cache = dict(state["in_timestamps"])
         graph._epoch = int(state["epoch"])
+        view_columns = state.get("view")
+        if view_columns is not None:
+            from .views import GraphView  # deferred: views imports this module
+
+            graph._view_cache = GraphView.from_columns(
+                view_columns, epoch=graph._epoch
+            )
         return graph
 
     def project(self, interval) -> "TemporalGraph":
         """The projected graph ``G[τb, τe]`` (Section II).
 
         Keeps exactly the edges with timestamp in the closed interval and the
-        vertices incident to at least one such edge.
+        vertices incident to at least one such edge.  The window is located
+        with two bisects on the temporally sorted backing and the slice is
+        bulk-loaded (no per-edge sorted insertion).
         """
         window = as_interval(interval)
-        projected = TemporalGraph()
-        for (u, v, t) in self._edge_set:
-            if window.contains(t):
-                projected.add_edge(u, v, t)
-        return projected
+        backing = self._sorted_tuple_backing()
+        times = [t for (_, _, t) in backing]
+        lo = bisect_left(times, window.begin)
+        hi = bisect_right(times, window.end)
+        return TemporalGraph(edges=backing[lo:hi])
 
     def edge_induced_subgraph(self, edges: Iterable) -> "TemporalGraph":
         """Subgraph induced by ``edges`` (must all exist in this graph)."""
-        sub = TemporalGraph()
+        members = []
         for edge in edges:
             e = as_edge(edge)
             if not self.has_edge(e.source, e.target, e.timestamp):
                 raise KeyError(f"edge {e!r} is not part of the graph")
-            sub.add_edge(e.source, e.target, e.timestamp)
-        return sub
+            members.append(e)
+        return TemporalGraph(edges=members)
 
     def reverse(self) -> "TemporalGraph":
         """Return the graph with every edge direction flipped (timestamps kept)."""

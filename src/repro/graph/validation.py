@@ -27,7 +27,7 @@ def validate_graph(graph: TemporalGraph) -> None:
       versa (out and in views agree);
     * no self loops are present.
     """
-    edge_set = graph.edge_tuples()
+    edge_set = set(graph.edge_tuples())
     seen_out = set()
     for u in graph.vertices():
         entries = graph.out_neighbors(u)
@@ -58,18 +58,23 @@ def _check_sorted(entries: List, what: str) -> None:
         raise ValidationError(f"{what} are not sorted by timestamp: {times}")
 
 
-def is_subgraph(sub: TemporalGraph, graph: TemporalGraph) -> bool:
-    """Return ``True`` iff every vertex and edge of ``sub`` appears in ``graph``."""
+def is_subgraph(sub, graph) -> bool:
+    """Return ``True`` iff every vertex and edge of ``sub`` appears in ``graph``.
+
+    Both arguments may be :class:`TemporalGraph` objects or edge-mask
+    :class:`~repro.graph.views.SubgraphView` objects (anything exposing
+    ``vertices``/``has_vertex``/``edge_tuples``).
+    """
     for vertex in sub.vertices():
         if not graph.has_vertex(vertex):
             return False
-    return sub.edge_tuples() <= graph.edge_tuples()
+    return set(sub.edge_tuples()) <= set(graph.edge_tuples())
 
 
-def assert_subgraph(sub: TemporalGraph, graph: TemporalGraph, what: str = "subgraph") -> None:
+def assert_subgraph(sub, graph, what: str = "subgraph") -> None:
     """Raise :class:`ValidationError` unless ``sub`` ⊆ ``graph``."""
     if not is_subgraph(sub, graph):
-        missing = sub.edge_tuples() - graph.edge_tuples()
+        missing = set(sub.edge_tuples()) - set(graph.edge_tuples())
         raise ValidationError(f"{what} is not contained in the host graph; extra edges: {sorted(missing)[:5]}")
 
 

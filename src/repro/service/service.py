@@ -2,9 +2,11 @@
 
 :class:`TspgService` is the serving layer over the VUG pipeline.  It owns one
 :class:`~repro.graph.temporal_graph.TemporalGraph`, warms the per-graph
-indices exactly once (sorted edge list, distinct timestamps, per-vertex
-``T_out``/``T_in`` views — previously rebuilt lazily on first use per query),
-memoizes results in a bounded LRU keyed by
+indices exactly once per epoch (sorted edge list, distinct timestamps,
+per-vertex ``T_out``/``T_in`` views, and the frozen columnar
+:class:`~repro.graph.views.GraphView` the zero-materialization query pipeline
+runs on — previously rebuilt lazily on first use per query), memoizes
+results in a bounded LRU keyed by
 ``(source, target, interval, algorithm)``, and executes batches either
 serially or on a ``concurrent.futures`` thread pool with a per-batch
 wall-clock budget (the paper's "INF" cut-off, applied to a batch instead of a

@@ -2,9 +2,12 @@
 
 A snapshot captures *everything* :meth:`TemporalGraph.warm_indices` builds —
 the sorted adjacency lists, the temporally sorted edge list, the distinct
-timestamp set and the per-vertex ``T_out(u)`` / ``T_in(u)`` views — so a
-long-lived service can cold-start in O(read) instead of re-inserting and
-re-sorting every edge (O(E log E + E·d)).
+timestamp set, the per-vertex ``T_out(u)`` / ``T_in(u)`` views and (since
+format version 2) the frozen CSR columnar :class:`~repro.graph.views.GraphView`
+arrays — so a long-lived service can cold-start in O(read) instead of
+re-inserting and re-sorting every edge (O(E log E + E·d)), and boots straight
+into view-servable state: the zero-materialization query pipeline needs no
+per-edge warm-up at all.
 
 File layout::
 
@@ -40,7 +43,13 @@ from ..graph.temporal_graph import TemporalGraph
 SNAPSHOT_MAGIC = b"TSPGSNAP"
 
 #: Current format version; bump when the payload layout changes.
-SNAPSHOT_VERSION = 1
+#: Version 2 added the columnar GraphView arrays to the warmed state.
+SNAPSHOT_VERSION = 2
+
+#: Versions this build can still read.  Version 1 payloads simply lack the
+#: ``view`` columns; the graph restores fine and builds its view lazily on
+#: first query, so old snapshots keep their O(read) boot.
+SUPPORTED_SNAPSHOT_VERSIONS = (1, SNAPSHOT_VERSION)
 
 #: Header layout: magic, version, epoch, |V|, |E|, |T|, payload length, CRC-32.
 _HEADER_STRUCT = struct.Struct(">8sHQQQQQI")
@@ -134,10 +143,11 @@ def _read_header(handle: BinaryIO, path: str) -> tuple:
     )
     if magic != SNAPSHOT_MAGIC:
         raise SnapshotError(f"{path}: not a tspG snapshot (bad magic {magic!r})")
-    if version != SNAPSHOT_VERSION:
+    if version not in SUPPORTED_SNAPSHOT_VERSIONS:
         raise SnapshotError(
             f"{path}: unsupported snapshot format version {version} "
-            f"(this build reads version {SNAPSHOT_VERSION})"
+            f"(this build reads versions "
+            f"{', '.join(str(v) for v in SUPPORTED_SNAPSHOT_VERSIONS)})"
         )
     return version, epoch, n_vertices, n_edges, n_ts, payload_len, crc
 

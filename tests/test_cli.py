@@ -102,7 +102,7 @@ class TestWarmCommand:
             "warm", "--edge-list", str(edge_list), "--output", str(snapshot),
         ]) == 0
         out = capsys.readouterr().out
-        assert "snapshot v1 written" in out
+        assert "snapshot v2 written" in out
         info = peek_snapshot(snapshot)
         assert info.num_edges == 3
 

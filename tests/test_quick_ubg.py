@@ -16,7 +16,7 @@ class TestPaperExample:
     def test_gq_matches_figure3c(self, paper_query):
         graph, source, target, interval = paper_query
         quick = quick_upper_bound_graph(graph, source, target, interval)
-        assert quick.edge_tuples() == PAPER_GQ_EDGES
+        assert set(quick.edge_tuples()) == PAPER_GQ_EDGES
 
     def test_excluded_edges_of_example4(self, paper_query):
         graph, source, target, interval = paper_query
@@ -52,7 +52,7 @@ class TestBehaviour:
     def test_wrapper_returns_both_products(self, paper_query):
         graph, source, target, interval = paper_query
         quick, polarity = quick_upper_bound_with_polarity(graph, source, target, interval)
-        assert quick.edge_tuples() == PAPER_GQ_EDGES
+        assert set(quick.edge_tuples()) == PAPER_GQ_EDGES
         assert polarity.earliest_arrival("b") == 2
 
     def test_unreachable_query_gives_empty_graph(self, unreachable_graph):
@@ -63,12 +63,12 @@ class TestBehaviour:
     def test_single_edge_query(self):
         graph = TemporalGraph(edges=[("s", "t", 5)])
         quick = quick_upper_bound_graph(graph, "s", "t", (1, 10))
-        assert quick.edge_tuples() == {("s", "t", 5)}
+        assert set(quick.edge_tuples()) == {("s", "t", 5)}
 
     def test_edge_outside_interval_removed(self):
         graph = TemporalGraph(edges=[("s", "t", 5), ("s", "t", 50)])
         quick = quick_upper_bound_graph(graph, "s", "t", (1, 10))
-        assert quick.edge_tuples() == {("s", "t", 5)}
+        assert set(quick.edge_tuples()) == {("s", "t", 5)}
 
     def test_source_in_edges_and_target_out_edges_removed(self):
         graph = TemporalGraph(

@@ -13,6 +13,7 @@ from repro.service import TspgService
 from repro.store import (
     HEADER_SIZE,
     SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
     GraphStore,
     InMemoryGraphStore,
     SnapshotError,
@@ -138,7 +139,7 @@ class TestCorruption:
 
     def test_peek_reads_header_only(self, snapshot):
         info = peek_snapshot(snapshot)
-        assert info.version == 1
+        assert info.version == SNAPSHOT_VERSION
         assert info.num_edges > 0
         assert os.path.getsize(snapshot) == HEADER_SIZE + info.payload_bytes
 
@@ -168,6 +169,35 @@ class TestCorruption:
         bad.write_bytes(bytes(raw))
         with pytest.raises(SnapshotError, match="unsupported snapshot format version 99"):
             load_snapshot(bad)
+
+    def test_version1_snapshot_still_loads(self, tmp_path):
+        # A pre-view snapshot (format v1: no "view" columns in the payload)
+        # must keep its O(read) boot; the view is rebuilt lazily instead.
+        import pickle
+        import zlib
+
+        graph = _random_graph(seed=21)
+        state = graph.warmed_state()
+        state.pop("view")
+        payload = zlib.compress(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+        header = struct.pack(
+            ">8sHQQQQQI",
+            SNAPSHOT_MAGIC,
+            1,
+            graph.epoch,
+            graph.num_vertices,
+            graph.num_edges,
+            len(graph.timestamps()),
+            len(payload),
+            zlib.crc32(payload) & 0xFFFFFFFF,
+        )
+        old = tmp_path / "v1.tspgsnap"
+        old.write_bytes(header + payload)
+        assert peek_snapshot(old).version == 1
+        loaded = load_snapshot(old)
+        assert loaded == graph
+        assert loaded._view_cache is None  # nothing adopted…
+        assert loaded.view().num_edges == graph.num_edges  # …built on demand
 
     def test_truncated_payload(self, tmp_path, snapshot):
         raw = snapshot.read_bytes()

@@ -23,7 +23,7 @@ class TestPaperExample:
     def test_gt_matches_figure4c(self, paper_query, paper_quick):
         _, source, target, interval = paper_query
         tight = tight_upper_bound_graph(paper_quick, source, target, interval)
-        assert tight.edge_tuples() == PAPER_GT_EDGES
+        assert set(tight.edge_tuples()) == PAPER_GT_EDGES
 
     def test_cycle_edge_excluded(self, paper_query, paper_quick):
         # e(e, c, 6) only appears on temporal paths with a cycle (Section III
@@ -53,12 +53,12 @@ class TestPaperExample:
         tight = tight_upper_bound_graph(paper_quick, source, target, interval)
         tspg = brute_force_tspg(graph, source, target, interval)
         assert is_subgraph(tight, paper_quick)
-        assert set(tspg.edges) <= tight.edge_tuples()
+        assert set(tspg.edges) <= set(tight.edge_tuples())
 
     def test_wrapper_returns_tcv(self, paper_query, paper_quick):
         _, source, target, interval = paper_query
         tight, tcv = tight_upper_bound_with_tcv(paper_quick, source, target, interval)
-        assert tight.edge_tuples() == PAPER_GT_EDGES
+        assert set(tight.edge_tuples()) == PAPER_GT_EDGES
         assert tcv.from_source("b", 2) == {"b"}
 
 
@@ -76,7 +76,7 @@ class TestContainmentOnOtherGraphs:
         quick = quick_upper_bound_graph(graph, source, target, interval)
         tight = tight_upper_bound_graph(quick, source, target, interval)
         tspg = brute_force_tspg(graph, source, target, interval)
-        assert set(tspg.edges) <= tight.edge_tuples()
+        assert set(tspg.edges) <= set(tight.edge_tuples())
         assert is_subgraph(tight, quick)
 
     def test_empty_quick_graph_gives_empty_tight_graph(self):
@@ -102,4 +102,4 @@ class TestContainmentOnOtherGraphs:
         tight = tight_upper_bound_graph(quick, "s", "t", (1, 5))
         assert not tight.has_edge("m", "n", 3)
         tspg = brute_force_tspg(graph, "s", "t", (1, 5))
-        assert set(tspg.edges) <= tight.edge_tuples()
+        assert set(tspg.edges) <= set(tight.edge_tuples())
