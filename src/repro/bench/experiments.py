@@ -20,6 +20,8 @@ Function                  Paper artifact
 ``exp8_case_study``       Fig. 13   — SFMTA transit case study
 ``exp9_batch_throughput`` (new)     — batch service: serial vs parallel vs cached
 ``exp10_store_and_shards`` (new)    — snapshot boot vs cold boot; sharded batches
+``exp11_view_pipeline``   (new)     — zero-materialization vs materializing VUG
+``exp12_process_shards``  (new)     — thread vs snapshot-booted process backend
 ========================  =======================================================
 
 All drivers take ``num_queries`` / dataset-key parameters so the pytest
@@ -30,6 +32,7 @@ them up.
 from __future__ import annotations
 
 import os
+import shutil
 import tempfile
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -796,6 +799,128 @@ def exp11_view_pipeline(
     return report
 
 
+# ----------------------------------------------------------------------
+# Exp-12 (process-parallel sharded serving; no paper analogue)
+# ----------------------------------------------------------------------
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def exp12_process_shards(
+    dataset_key: str = "D10",
+    num_queries: int = DEFAULT_NUM_QUERIES,
+    algorithm: str = "VUG",
+    workers: int = 4,
+    num_shards: int = 4,
+    overlap: Optional[int] = None,
+    shard_dir: Optional[str] = None,
+    time_budget_seconds: float = DEFAULT_TIME_BUDGET_SECONDS,
+    seed: int = 7,
+) -> ExperimentReport:
+    """Exp-12: process-parallel sharded serving from per-shard snapshots.
+
+    One workload, three execution regimes over the same graph:
+
+    * ``serial`` — the flat service, one thread;
+    * ``threads-N`` — the sharded router fanning shard groups out over a
+      thread pool (GIL-bound for the pure-Python hot path);
+    * ``processes-N`` — a router booted with
+      :meth:`~repro.service.ShardedTspgService.from_shard_snapshots` from
+      the shard set written by :meth:`~repro.service.ShardedTspgService.save_shards`,
+      fanning shard groups out over a ``ProcessPoolExecutor`` whose workers
+      boot from their shard's snapshot file.
+
+    Every regime's per-query results are cross-checked against the serial
+    baseline (``identical`` column); the wall-clock ratio of the thread and
+    process rows is the multi-core speedup the process backend exists for
+    (meaningful only when more than one CPU is actually available — the
+    note records the visible CPU count).
+    """
+    report = ExperimentReport(
+        experiment=f"Exp-12 (process shards, {dataset_key})",
+        description=(
+            f"Thread vs snapshot-booted process batch backend for "
+            f"{num_queries} queries ({algorithm}, {num_shards} shards, "
+            f"{workers} workers)"
+        ),
+    )
+    graph = _load(dataset_key)
+    spec = get_dataset(dataset_key)
+    shard_overlap = overlap if overlap is not None else spec.default_theta
+    queries = list(_workload(graph, dataset_key, num_queries, seed=seed))
+
+    cleanup = shard_dir is None
+    if shard_dir is None:
+        shard_dir = tempfile.mkdtemp(suffix=".tspgshards")
+    try:
+        router = ShardedTspgService(
+            graph, num_shards, overlap=shard_overlap, default_algorithm=algorithm
+        )
+        manifest = router.save_shards(shard_dir)
+        serial = TspgService(graph, default_algorithm=algorithm).run_batch(
+            queries, use_cache=False, time_budget_seconds=time_budget_seconds
+        )
+        threaded = router.run_batch(
+            queries, max_workers=workers, use_cache=False, executor="threads",
+            time_budget_seconds=time_budget_seconds,
+        )
+        booted = ShardedTspgService.from_shard_snapshots(
+            shard_dir, default_algorithm=algorithm
+        )
+        processed = booted.run_batch(
+            queries, max_workers=workers, use_cache=False, executor="processes",
+            time_budget_seconds=time_budget_seconds,
+        )
+    finally:
+        if cleanup:
+            shutil.rmtree(shard_dir, ignore_errors=True)
+
+    def matches_serial(batch) -> bool:
+        return all(
+            item.completed
+            and base.completed
+            and item.outcome.result.vertices == base.outcome.result.vertices
+            and item.outcome.result.edges == base.outcome.result.edges
+            for item, base in zip(batch.items, serial.items)
+        )
+
+    for mode, batch, identical in (
+        ("serial", serial, True),
+        (f"threads-{workers}", threaded, matches_serial(threaded)),
+        (f"processes-{workers}", processed, matches_serial(processed)),
+    ):
+        report.add_row(
+            mode=mode,
+            executor=batch.executor,
+            wall_s=round(batch.wall_seconds, 4),
+            qps=round(batch.queries_per_second, 1),
+            identical=identical,
+        )
+        report.add_point("wall_s", mode, round(batch.wall_seconds, 4))
+    speedup = (
+        threaded.wall_seconds / processed.wall_seconds
+        if processed.wall_seconds > 0
+        else float("inf")
+    )
+    report.add_note(
+        f"process backend is {speedup:.2f}x the thread backend "
+        f"({available_cpus()} CPUs visible; the GIL keeps threads ≈ serial "
+        f"on the pure-Python hot path)"
+    )
+    report.add_note(
+        f"shard manifest: {manifest.num_shards} shards, overlap "
+        f"{manifest.overlap}, epoch {manifest.epoch}, span {manifest.span}"
+    )
+    report.add_note(
+        f"processes routed={dict(sorted(processed.routed.items()))} "
+        f"(fallback={processed.num_fallback}, ran on the parent's threads)"
+    )
+    return report
+
+
 #: Registry used by the CLI ("run experiment by name").
 EXPERIMENTS = {
     "table1": table1_datasets,
@@ -812,4 +937,5 @@ EXPERIMENTS = {
     "exp9": exp9_batch_throughput,
     "exp10": exp10_store_and_shards,
     "exp11": exp11_view_pipeline,
+    "exp12": exp12_process_shards,
 }

@@ -5,10 +5,12 @@ main operations:
 
 * ``query``       — run one tspG query on an edge-list file or a built-in dataset;
 * ``batch``       — serve many queries through the batch service (worker pool +
-  cache), optionally booting from a snapshot and/or sharding by time range;
-* ``warm``        — build every index of a graph and save a binary snapshot;
+  cache), optionally booting from a snapshot (or a per-shard snapshot set),
+  sharding by time range and/or fanning out over worker processes;
+* ``warm``        — build every index of a graph and save a binary snapshot
+  (or, with ``--shards N``, a directory of per-shard snapshots + manifest);
 * ``datasets``    — list the synthetic dataset analogues and their statistics;
-* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp11);
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp12);
 * ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
 """
 
@@ -29,7 +31,7 @@ from .graph.statistics import compute_statistics
 from .core.vug import generate_tspg_report
 from .queries.query import TspgQuery
 from .queries.workload import generate_workload
-from .service import ShardedTspgService, TspgService
+from .service import EXECUTOR_BACKENDS, ShardedTspgService, TspgService
 from .store import SnapshotError, SnapshotGraphStore
 
 
@@ -61,6 +63,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch_source.add_argument(
         "--snapshot", help="boot from a warmed index snapshot (see 'tspg warm')"
     )
+    batch_source.add_argument(
+        "--shard-snapshots",
+        help="boot a sharded router from a per-shard snapshot directory "
+        "(see 'tspg warm --shards N'); shard count and overlap come from "
+        "its manifest",
+    )
     batch.add_argument(
         "--queries-file",
         help="file with one 'source target begin end' query per line "
@@ -72,7 +80,13 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--algorithm", default="VUG", choices=available_algorithms(), help="algorithm to use"
     )
-    batch.add_argument("--workers", type=int, default=1, help="worker threads (1 = serial)")
+    batch.add_argument("--workers", type=int, default=1, help="worker count (1 = serial)")
+    batch.add_argument(
+        "--executor", choices=EXECUTOR_BACKENDS, default="threads",
+        help="batch backend: GIL-bound threads, or processes booted from "
+        "snapshots (needs --shard-snapshots, or --snapshot without "
+        "--shards; falls back to threads otherwise, with a note)",
+    )
     batch.add_argument("--budget", type=float, default=None, help="batch time budget in seconds")
     batch.add_argument(
         "--repeat", type=int, default=1, help="run the batch N times (repeats hit the cache)"
@@ -95,7 +109,21 @@ def build_parser() -> argparse.ArgumentParser:
     warm_source = warm.add_mutually_exclusive_group(required=True)
     warm_source.add_argument("--edge-list", help="path to a 'u v t' edge-list file")
     warm_source.add_argument("--dataset", choices=dataset_keys(), help="built-in dataset key")
-    warm.add_argument("--output", required=True, help="snapshot file to write")
+    warm.add_argument(
+        "--output", required=True,
+        help="snapshot file to write (a directory of per-shard snapshots "
+        "plus manifest.json when --shards > 1)",
+    )
+    warm.add_argument(
+        "--shards", type=int, default=1,
+        help="write one snapshot per time-range shard instead of a single "
+        "full-graph snapshot (1 = single snapshot)",
+    )
+    warm.add_argument(
+        "--shard-overlap", type=int, default=0,
+        help="extent overlap between shards in timestamps (pick the "
+        "workload's typical theta)",
+    )
 
     sub.add_parser("datasets", help="list the synthetic dataset analogues")
 
@@ -106,7 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--queries", type=int, default=bench_experiments.DEFAULT_NUM_QUERIES)
     experiment.add_argument("--thetas", type=int, nargs="*", default=[6, 8, 10, 12])
     experiment.add_argument(
-        "--workers", type=int, default=4, help="worker-pool width for exp9"
+        "--workers", type=int, default=4, help="worker-pool width for exp9/exp12"
     )
 
     sub.add_parser("case-study", help="reproduce the SFMTA transit case study")
@@ -193,30 +221,62 @@ def _command_batch(args: argparse.Namespace) -> int:
         raise SystemExit("--shards must be at least 1")
     if args.shard_overlap is not None and args.shard_overlap < 0:
         raise SystemExit("--shard-overlap must be non-negative")
+    if args.shard_snapshots and args.shards > 1:
+        raise SystemExit(
+            "--shards conflicts with --shard-snapshots (the manifest fixes "
+            "the shard count)"
+        )
+    if args.shard_snapshots and args.shard_overlap is not None:
+        raise SystemExit(
+            "--shard-overlap conflicts with --shard-snapshots (the manifest "
+            "fixes the overlap)"
+        )
+    service = None
     if args.edge_list:
         graph = load_edge_list(args.edge_list)
+    elif args.shard_snapshots:
+        try:
+            service = ShardedTspgService.from_shard_snapshots(
+                args.shard_snapshots,
+                default_algorithm=args.algorithm, cache_size=args.cache_size,
+            )
+        except SnapshotError as exc:
+            raise SystemExit(str(exc)) from None
+        # The union of the shard graphs — only needed here to sample the
+        # random workload / coerce query vertices, never re-read from disk.
+        graph = service.graph
     elif args.snapshot:
         try:
-            graph = SnapshotGraphStore(args.snapshot).load()
+            if args.shards > 1:
+                graph = SnapshotGraphStore(args.snapshot).load()
+            else:
+                # Boot through from_snapshot so the snapshot stays attached
+                # and --executor processes has a file to boot workers from.
+                service = TspgService.from_snapshot(
+                    args.snapshot,
+                    default_algorithm=args.algorithm, cache_size=args.cache_size,
+                )
+                graph = service.graph
         except SnapshotError as exc:
             raise SystemExit(str(exc)) from None
     else:
         graph = get_dataset(args.dataset).load()
     queries = _load_batch_queries(args, graph)
-    if args.shards > 1:
-        overlap = (
-            args.shard_overlap
-            if args.shard_overlap is not None
-            else _batch_theta(args, graph)
-        )
-        service = ShardedTspgService(
-            graph, args.shards, overlap=overlap,
-            default_algorithm=args.algorithm, cache_size=args.cache_size,
-        )
-    else:
-        service = TspgService(
-            graph, default_algorithm=args.algorithm, cache_size=args.cache_size
-        )
+    if service is None:
+        if args.shards > 1:
+            overlap = (
+                args.shard_overlap
+                if args.shard_overlap is not None
+                else _batch_theta(args, graph)
+            )
+            service = ShardedTspgService(
+                graph, args.shards, overlap=overlap,
+                default_algorithm=args.algorithm, cache_size=args.cache_size,
+            )
+        else:
+            service = TspgService(
+                graph, default_algorithm=args.algorithm, cache_size=args.cache_size
+            )
     use_cache = not args.no_cache
     rows = []
     for pass_no in range(1, max(1, args.repeat) + 1):
@@ -225,13 +285,18 @@ def _command_batch(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             use_cache=use_cache,
             time_budget_seconds=args.budget,
+            executor=args.executor,
         )
         rows.append({"pass": pass_no, **report.as_row()})
-    source = (
-        f"snapshot {args.snapshot}" if args.snapshot
-        else (args.edge_list or args.dataset)
-    )
-    shard_note = f", {args.shards} shards" if args.shards > 1 else ""
+    if args.shard_snapshots:
+        source = f"shard snapshots {args.shard_snapshots}"
+        shard_note = f", {service.num_shards} shards"
+    else:
+        source = (
+            f"snapshot {args.snapshot}" if args.snapshot
+            else (args.edge_list or args.dataset)
+        )
+        shard_note = f", {args.shards} shards" if args.shards > 1 else ""
     print(
         render_table(
             rows,
@@ -245,10 +310,24 @@ def _command_batch(args: argparse.Namespace) -> int:
         f"cache: {stats.hits} hits, {stats.misses} misses, {stats.evictions} evictions "
         f"(hit rate {stats.hit_rate:.0%}); indices warmed once: {service.index_stats}"
     )
+    if args.executor == "processes" and all(
+        row["executor"] != "processes" for row in rows
+    ):
+        print(
+            "note: no pass ran on the process backend — it needs --workers "
+            "> 1 (1 means serial) and snapshots attached to this topology "
+            "(use --shard-snapshots, or --snapshot without --shards), and "
+            "does not engage when every query is cache-served; computation "
+            "ran on threads"
+        )
     return 0
 
 
 def _command_warm(args: argparse.Namespace) -> int:
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    if args.shard_overlap < 0:
+        raise SystemExit("--shard-overlap must be non-negative")
     if args.edge_list:
         graph = load_edge_list(args.edge_list)
         source = args.edge_list
@@ -256,6 +335,22 @@ def _command_warm(args: argparse.Namespace) -> int:
         graph = get_dataset(args.dataset).load()
         source = args.dataset
     started = time.perf_counter()
+    if args.shards > 1:
+        router = ShardedTspgService(
+            graph, args.shards, overlap=args.shard_overlap
+        )
+        manifest = router.save_shards(args.output)
+        elapsed = time.perf_counter() - started
+        print(
+            f"warmed {source}: |V|={graph.num_vertices} |E|={graph.num_edges} "
+            f"epoch={manifest.epoch} span={manifest.span}"
+        )
+        print(
+            f"shard set v{manifest.version} written to {args.output} "
+            f"({manifest.num_shards} shards, overlap {manifest.overlap}, "
+            f"{elapsed:.3f}s); boot it with 'tspg batch --shard-snapshots'"
+        )
+        return 0
     info = SnapshotGraphStore(args.output).save(graph)
     elapsed = time.perf_counter() - started
     print(
@@ -297,13 +392,15 @@ def _command_experiment(args: argparse.Namespace) -> int:
         report = driver(
             args.dataset, num_queries=args.queries, workers=(1, args.workers)
         )
+    elif name == "exp12":
+        report = driver(args.dataset, num_queries=args.queries, workers=args.workers)
     elif name in {"exp10", "exp11"}:
         report = driver(args.dataset, num_queries=args.queries)
     else:
         report = driver(keys=args.datasets, num_queries=args.queries)
     if name in {"exp2", "exp5-fig10", "exp6", "exp7"}:
         x_label = "theta"
-    elif name in {"exp9", "exp10", "exp11"}:
+    elif name in {"exp9", "exp10", "exp11", "exp12"}:
         x_label = "mode"
     else:
         x_label = "dataset"

@@ -35,6 +35,30 @@ def _entry_timestamp(entry: NeighborEntry) -> Timestamp:
     return entry[1]
 
 
+def _edge_sort_key(edge: Tuple[Vertex, Vertex, Timestamp]):
+    """Total order for the sorted edge backing: timestamp, then vertex reprs.
+
+    The backing is sorted out of ``_edge_set`` — a :class:`set`, whose
+    iteration order varies with ``PYTHONHASHSEED`` for string vertices.  A
+    timestamp-only key would make equal-timestamp tie order hash-seed
+    dependent, so two graphs with identical edges (e.g. a
+    ``SubgraphView.materialize()`` next to its source view) could disagree
+    on ``edge_tuples()`` order between runs.  Tie-breaking on ``repr``
+    (vertices may be arbitrary hashables — ints, strings, tuples — which
+    cannot be compared directly) makes the sorted edge sequence (and the
+    columnar view built from it) a pure function of the edge *set*:
+    stable across processes, hash seeds and machines.  (Whole snapshot
+    payloads are *not* byte-reproducible across differently-built graphs:
+    the persisted adjacency dicts still carry insertion order.)
+    """
+    source, target, timestamp = edge
+    # Caveat: repr must be value-based for the guarantee to hold.  Every
+    # vertex type the library ships (ints, strings, tuples of those) is;
+    # a custom vertex class relying on the default object repr (memory
+    # address) falls back to stable-sort input order for its ties.
+    return (timestamp, repr(source), repr(target))
+
+
 class TemporalGraph:
     """A directed temporal multigraph ``G = (V, E)``.
 
@@ -241,8 +265,9 @@ class TemporalGraph:
         Returns the sorted tuple backing as a *read-only sequence* (an
         immutable tuple shared across calls — no per-call copy), so
         iteration order is deterministic: non-descending timestamp, ties in
-        a fixed per-graph order.  Callers needing set semantics should wrap
-        the result in ``set(...)``.
+        a fixed order that depends only on the edge set (see
+        :func:`_edge_sort_key` — stable across processes and hash seeds).
+        Callers needing set semantics should wrap the result in ``set(...)``.
 
         .. versionchanged:: 1.2
            Previously returned a freshly-allocated :class:`set` with
@@ -292,11 +317,15 @@ class TemporalGraph:
         return list(self._sorted_edges_cache)
 
     def _sorted_tuple_backing(self) -> List[Tuple[Vertex, Vertex, Timestamp]]:
-        """The temporally sorted plain-tuple edge list (built on first use)."""
+        """The temporally sorted plain-tuple edge list (built on first use).
+
+        Equal-timestamp ties follow :func:`_edge_sort_key`, so the order is
+        a deterministic function of the edge set — identical across
+        processes and hash seeds (snapshot-loaded graphs adopt their
+        persisted backing as-is, which was produced by this same key).
+        """
         if self._sorted_tuples_cache is None:
-            self._sorted_tuples_cache = sorted(
-                self._edge_set, key=lambda edge: edge[2]
-            )
+            self._sorted_tuples_cache = sorted(self._edge_set, key=_edge_sort_key)
         return self._sorted_tuples_cache
 
     def timestamps(self) -> List[Timestamp]:
@@ -518,7 +547,9 @@ class TemporalGraph:
         }
 
     @classmethod
-    def from_warmed_state(cls, state: Dict[str, object]) -> "TemporalGraph":
+    def from_warmed_state(
+        cls, state: Dict[str, object], *, trust_order: bool = True
+    ) -> "TemporalGraph":
         """Rebuild a fully-warmed graph from :meth:`warmed_state` output.
 
         Ownership of ``state`` transfers to the new graph (the containers are
@@ -529,24 +560,31 @@ class TemporalGraph:
         :class:`TemporalEdge` objects lazily on first use.  Reconstruction is
         therefore O(E) dict/set building in C instead of the
         O(E log E + E·d) cold build.
+
+        ``trust_order=False`` (used for snapshots written by builds whose
+        tie order was hash-seed dependent, i.e. format version < 3) skips
+        adopting the sorted backing and the view: both rebuild lazily under
+        the current deterministic :func:`_edge_sort_key`, at one
+        O(E log E) pass on first use.
         """
         graph = cls()
         graph._out = dict(state["out"])
         graph._in = dict(state["in"])
         sorted_tuples = [tuple(edge) for edge in state["sorted_edges"]]
         graph._edge_set = set(sorted_tuples)
-        graph._sorted_tuples_cache = sorted_tuples
         graph._ts_cache = list(state["timestamps"])
         graph._out_ts_cache = dict(state["out_timestamps"])
         graph._in_ts_cache = dict(state["in_timestamps"])
         graph._epoch = int(state["epoch"])
-        view_columns = state.get("view")
-        if view_columns is not None:
-            from .views import GraphView  # deferred: views imports this module
+        if trust_order:
+            graph._sorted_tuples_cache = sorted_tuples
+            view_columns = state.get("view")
+            if view_columns is not None:
+                from .views import GraphView  # deferred: views imports this
 
-            graph._view_cache = GraphView.from_columns(
-                view_columns, epoch=graph._epoch
-            )
+                graph._view_cache = GraphView.from_columns(
+                    view_columns, epoch=graph._epoch
+                )
         return graph
 
     def project(self, interval) -> "TemporalGraph":

@@ -87,6 +87,11 @@ class QueryRunner:
         across this many time-range shards (``shard_overlap`` widens their
         extents).  Results are identical to the unsharded path; only the
         serving topology changes.
+    executor:
+        Default batch backend of every service this runner builds
+        (``"threads"`` or ``"processes"``); the process backend additionally
+        needs snapshots to boot workers from (``graph_from_snapshot`` /
+        ``graph_from_shard_snapshots``), degrading to threads otherwise.
     """
 
     time_budget_seconds: Optional[float] = None
@@ -94,6 +99,7 @@ class QueryRunner:
     use_cache: bool = False
     num_shards: int = 1
     shard_overlap: int = 0
+    executor: str = "threads"
     # One service per graph so index warming and (optional) memoization are
     # shared across run_workload/run_all/run_single calls.  Keyed by id();
     # the strong reference keeps each graph alive, so ids cannot be reused.
@@ -110,10 +116,11 @@ class QueryRunner:
             # submit, so toggling it after the first call still works.
             if self.num_shards > 1:
                 service = ShardedTspgService(
-                    graph, self.num_shards, overlap=self.shard_overlap
+                    graph, self.num_shards, overlap=self.shard_overlap,
+                    executor=self.executor,
                 )
             else:
-                service = TspgService(graph)
+                service = TspgService(graph, executor=self.executor)
             self._services[id(graph)] = service
         return service
 
@@ -124,12 +131,52 @@ class QueryRunner:
         ``run_workload``/``run_single`` call against it reuses the
         snapshot-warmed indices instead of rebuilding them — the O(read)
         cold-start path of :meth:`TspgService.from_snapshot`, kept behind the
-        runner's one-service-per-graph bookkeeping.
+        runner's one-service-per-graph bookkeeping.  On an unsharded runner
+        the snapshot path stays attached to the service, so
+        ``executor="processes"`` batches can boot their workers from it.
         """
-        from ..store import load_snapshot  # deferred: store imports graph
+        from ..service import ShardedTspgService, TspgService  # deferred: cycle
 
-        graph = load_snapshot(path)
-        self._service_for(graph)
+        if self.num_shards > 1:
+            from ..store import load_snapshot  # deferred: store imports graph
+
+            graph = load_snapshot(path)
+            self._services[id(graph)] = ShardedTspgService(
+                graph, self.num_shards, overlap=self.shard_overlap,
+                executor=self.executor,
+            )
+        else:
+            service = TspgService.from_snapshot(path, executor=self.executor)
+            graph = service.graph
+            self._services[id(graph)] = service
+        return graph
+
+    def graph_from_shard_snapshots(self, path) -> TemporalGraph:
+        """Boot a sharded router from a per-shard snapshot set directory.
+
+        The counterpart of :meth:`graph_from_snapshot` for
+        :class:`~repro.store.ShardSnapshotSet` directories (written by
+        ``tspg warm --shards N`` or
+        :meth:`~repro.service.ShardedTspgService.save_shards`): the router
+        boots one shard service per snapshot file and keeps the files
+        attached so ``executor="processes"`` batches fan out over worker
+        processes.
+
+        Note the runner keys its service registry by graph identity and
+        hands workloads the graph object, so *this* entry point
+        materialises the full-graph union up front — callers that want the
+        router's full-graph-free boot (the union built only if a spanning
+        query ever needs it) should use
+        :meth:`~repro.service.ShardedTspgService.from_shard_snapshots`
+        directly.
+        """
+        from ..service import ShardedTspgService  # deferred: cycle
+
+        router = ShardedTspgService.from_shard_snapshots(
+            path, executor=self.executor
+        )
+        graph = router.graph
+        self._services[id(graph)] = router
         return graph
 
     def run_workload(

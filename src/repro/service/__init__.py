@@ -12,7 +12,11 @@ This package is the scale layer of the library: where
   dictionary-lookup time;
 * executing batches on a configurable ``concurrent.futures`` worker pool with
   a per-batch wall-clock budget (the batch analogue of the paper's 12-hour
-  "INF" cut-off).
+  "INF" cut-off) — either the in-process thread backend or, when the service
+  (or each shard of a :class:`ShardedTspgService`) has a binary snapshot to
+  boot workers from, a true multi-core ``ProcessPoolExecutor`` backend
+  (``run_batch(executor="processes")``) that sidesteps the GIL on the
+  pure-Python hot path.
 
 Quickstart
 ----------
@@ -36,7 +40,13 @@ serial / parallel / cached regimes against each other.
 """
 
 from .cache import CacheStats, ResultCache
-from .service import DEFAULT_CACHE_SIZE, BatchItem, BatchReport, TspgService
+from .service import (
+    DEFAULT_CACHE_SIZE,
+    EXECUTOR_BACKENDS,
+    BatchItem,
+    BatchReport,
+    TspgService,
+)
 from .sharding import (
     FALLBACK_SHARD,
     ShardedBatchReport,
@@ -52,6 +62,7 @@ __all__ = [
     "ResultCache",
     "CacheStats",
     "DEFAULT_CACHE_SIZE",
+    "EXECUTOR_BACKENDS",
     "ShardedTspgService",
     "ShardedBatchReport",
     "ShardSpec",

@@ -8,9 +8,23 @@ per-vertex ``T_out``/``T_in`` views, and the frozen columnar
 runs on — previously rebuilt lazily on first use per query), memoizes
 results in a bounded LRU keyed by
 ``(source, target, interval, algorithm)``, and executes batches either
-serially or on a ``concurrent.futures`` thread pool with a per-batch
+serially or on a ``concurrent.futures`` worker pool with a per-batch
 wall-clock budget (the paper's "INF" cut-off, applied to a batch instead of a
 workload).
+
+Two batch execution backends exist (``run_batch(executor=...)``):
+
+* ``"threads"`` — a ``ThreadPoolExecutor`` sharing this process's warmed
+  graph.  Zero start-up cost, but the pure-Python VUG hot path is GIL-bound,
+  so threads only overlap the small C-level portions.
+* ``"processes"`` — a ``ProcessPoolExecutor`` whose workers boot their own
+  service from the binary index snapshot this service was started from
+  (:meth:`TspgService.from_snapshot`), run a contiguous chunk of the batch
+  serially, and return their pickled :class:`BatchReport`.  True multi-core
+  parallelism for the GIL-bound hot path; falls back to threads
+  automatically when no snapshot is attached (nothing for a worker to boot
+  from), when the graph has mutated since the snapshot was taken, or when
+  the algorithm was passed as an instance instead of a registry name.
 
 Every algorithm registered in :mod:`repro.algorithms` is available by name;
 instances are created once per service and shared across worker threads —
@@ -23,9 +37,15 @@ from __future__ import annotations
 import threading
 import time
 import warnings
-from concurrent.futures import FIRST_EXCEPTION, Future, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..algorithms import get_algorithm
 from ..baselines.interface import AlgorithmResult, TspgAlgorithm
@@ -41,6 +61,82 @@ AlgorithmSpec = Union[str, TspgAlgorithm]
 
 #: Default capacity of the per-service result cache.
 DEFAULT_CACHE_SIZE = 1024
+
+#: Batch execution backends accepted by ``run_batch(executor=...)``.
+EXECUTOR_BACKENDS = ("threads", "processes")
+
+
+def _validate_executor(executor: str) -> str:
+    if executor not in EXECUTOR_BACKENDS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of "
+            f"{', '.join(EXECUTOR_BACKENDS)}"
+        )
+    return executor
+
+
+def _chunk_positions(count: int, chunks: int) -> List[List[int]]:
+    """Split ``range(count)`` into ≤``chunks`` contiguous near-equal runs."""
+    chunks = max(1, min(chunks, count))
+    size, remainder = divmod(count, chunks)
+    out: List[List[int]] = []
+    begin = 0
+    for index in range(chunks):
+        end = begin + size + (1 if index < remainder else 0)
+        out.append(list(range(begin, end)))
+        begin = end
+    return out
+
+
+#: Per-worker-process cache of snapshot-booted services, keyed by snapshot
+#: path.  Lives only inside pool workers (the parent never calls the worker
+#: function), so a worker that receives several chunks of the same batch —
+#: or several batches from the same pool — boots its service exactly once.
+_WORKER_SERVICES: Dict[str, "TspgService"] = {}
+
+
+def _snapshot_worker_run_batch(
+    snapshot_path: str,
+    queries: List[TspgQuery],
+    algorithm: Optional[str],
+    *,
+    default_algorithm: str = "VUG",
+    algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
+    use_cache: bool = True,
+    deadline_unix: Optional[float] = None,
+    max_workers: int = 1,
+) -> BatchReport:
+    """Process-pool worker: boot from a snapshot, answer a sub-batch.
+
+    Runs inside a ``ProcessPoolExecutor`` worker.  Everything crossing the
+    process boundary is picklable by construction: the snapshot *path* in,
+    frozen :class:`~repro.queries.query.TspgQuery` dataclasses in, and a
+    plain :class:`BatchReport` of frozen results out.
+
+    The batch budget crosses as an absolute wall-clock ``deadline_unix``
+    rather than a duration: a chunk may sit queued behind a full pool, and
+    a duration captured at submit time would silently extend the whole
+    batch past its budget.  ``time.time()`` is shared between parent and
+    (local) workers, so the remaining budget is recomputed on entry.
+    """
+    service = _WORKER_SERVICES.get(snapshot_path)
+    if service is None:
+        service = TspgService.from_snapshot(
+            snapshot_path,
+            default_algorithm=default_algorithm,
+            algorithm_options=algorithm_options,
+        )
+        _WORKER_SERVICES[snapshot_path] = service
+    remaining: Optional[float] = None
+    if deadline_unix is not None:
+        remaining = max(0.0, deadline_unix - time.time())
+    return service.run_batch(
+        queries,
+        algorithm,
+        max_workers=max_workers,
+        use_cache=use_cache,
+        time_budget_seconds=remaining,
+    )
 
 
 @dataclass
@@ -74,6 +170,12 @@ class BatchReport:
     wall_seconds: float = 0.0
     num_workers: int = 1
     timed_out: bool = False
+    #: Backend that actually executed the computed queries: ``"threads"``
+    #: (also used for serial runs) or ``"processes"``.  Records the
+    #: *effective* backend — a ``processes`` request that fell back (no
+    #: snapshot attached), or whose every query was answered from the
+    #: parent-side result cache so no worker ever ran, shows ``"threads"``.
+    executor: str = "threads"
 
     @property
     def num_queries(self) -> int:
@@ -103,6 +205,7 @@ class BatchReport:
         return {
             "algorithm": self.algorithm,
             "workers": self.num_workers,
+            "executor": self.executor,
             "queries": f"{self.num_completed}/{self.num_queries}",
             "wall_s": round(self.wall_seconds, 4),
             "qps": round(self.queries_per_second, 1),
@@ -126,6 +229,11 @@ class TspgService:
         Capacity of the LRU result cache (``0`` disables memoization).
     max_workers:
         Default worker count for :meth:`run_batch`; ``1`` means serial.
+    executor:
+        Default batch backend for :meth:`run_batch`: ``"threads"`` or
+        ``"processes"`` (the latter needs a snapshot to boot workers from —
+        see :meth:`from_snapshot` — and silently degrades to threads
+        otherwise).
 
     Examples
     --------
@@ -147,6 +255,7 @@ class TspgService:
         default_algorithm: str = "VUG",
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int = 1,
+        executor: str = "threads",
         algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> None:
         if max_workers < 1:
@@ -155,6 +264,11 @@ class TspgService:
         self._default_algorithm = default_algorithm
         self._cache: ResultCache[AlgorithmResult] = ResultCache(cache_size)
         self._max_workers = max_workers
+        self._default_executor = _validate_executor(executor)
+        # Set by from_snapshot: where process-pool workers can boot an
+        # identical service from, and the graph epoch that file describes.
+        self._snapshot_path: Optional[str] = None
+        self._snapshot_epoch: Optional[int] = None
         self._algorithm_options = dict(algorithm_options or {})
         self._algorithms: Dict[str, TspgAlgorithm] = {}
         self._algorithms_lock = threading.Lock()
@@ -190,10 +304,21 @@ class TspgService:
         reading and decoding the file.  Raises
         :class:`~repro.store.SnapshotError` on a corrupt or incompatible
         file.
+
+        The snapshot path is remembered: it is what the
+        ``executor="processes"`` batch backend hands to its pool workers so
+        each can boot an identical service in O(read).  The association is
+        epoch-guarded — mutating the graph afterwards disables the process
+        backend (workers would boot a stale graph) until a fresh snapshot
+        is attached.
         """
         from ..store.graph_store import SnapshotGraphStore  # deferred: cycle
 
-        return cls.from_store(SnapshotGraphStore(path), **kwargs)
+        store = SnapshotGraphStore(path)
+        service = cls.from_store(store, **kwargs)
+        service._snapshot_path = store.path
+        service._snapshot_epoch = service.graph.epoch
+        return service
 
     # ------------------------------------------------------------------
     # accessors
@@ -360,6 +485,7 @@ class TspgService:
         max_workers: Optional[int] = None,
         use_cache: bool = True,
         time_budget_seconds: Optional[float] = None,
+        executor: Optional[str] = None,
     ) -> BatchReport:
         """Answer a batch of queries, optionally in parallel.
 
@@ -368,21 +494,31 @@ class TspgService:
         queries:
             The batch; a :class:`QueryWorkload` is accepted directly.
         max_workers:
-            Thread-pool width; ``1`` (the default from the constructor)
+            Worker-pool width; ``1`` (the default from the constructor)
             executes serially in submission order.
         time_budget_seconds:
             Wall-clock budget for the whole batch.  Queries that have not
             *finished* when the budget expires are reported as skipped
             (``BatchItem.skipped``) and the report is flagged ``timed_out`` —
             the batch analogue of the paper's 12-hour "INF" cut-off.
+        executor:
+            ``"threads"`` (default) or ``"processes"``.  The process backend
+            fans contiguous chunks of the batch out to a
+            ``ProcessPoolExecutor`` whose workers boot from this service's
+            snapshot (:meth:`from_snapshot`) — true multi-core parallelism
+            for the GIL-bound hot path.  It degrades to threads
+            automatically when no current snapshot is attached or the
+            algorithm is an unregistered instance;
+            :attr:`BatchReport.executor` records the backend actually used.
 
         Returns
         -------
         BatchReport
             Per-query outcomes aligned with the input order plus wall-clock
             and throughput aggregates.  Results are identical regardless of
-            worker count: every query runs against the same immutable warmed
-            graph, and result objects are frozen.
+            worker count and backend: every query runs against the same
+            immutable warmed graph (or a snapshot-booted copy of it), and
+            result objects are frozen.
         """
         query_list = list(queries)
         self._ensure_current()
@@ -390,6 +526,9 @@ class TspgService:
         workers = max_workers if max_workers is not None else self._max_workers
         if workers < 1:
             raise ValueError("max_workers must be at least 1")
+        executor_kind = _validate_executor(
+            executor if executor is not None else self._default_executor
+        )
         report = BatchReport(
             algorithm=resolved.name,
             items=[BatchItem(query=query) for query in query_list],
@@ -398,12 +537,31 @@ class TspgService:
         started = time.perf_counter()
         if workers == 1 or len(query_list) <= 1:
             self._run_batch_serial(report, resolved, use_cache, time_budget_seconds, started)
+        elif executor_kind == "processes" and self._process_backend_ready(algorithm):
+            self._run_batch_processes(
+                report, algorithm, resolved, workers, use_cache,
+                time_budget_seconds, started,
+            )
         else:
             self._run_batch_parallel(
                 report, resolved, workers, use_cache, time_budget_seconds, started
             )
         report.wall_seconds = time.perf_counter() - started
         return report
+
+    def _process_backend_ready(self, algorithm: Optional[AlgorithmSpec]) -> bool:
+        """Whether a ``processes`` request can actually use the process pool.
+
+        Requires a snapshot taken at the current graph epoch (workers boot
+        from it) and a registry-name algorithm (instances are configured
+        in-process and are not shipped across the boundary).  When this is
+        ``False`` the batch silently runs on the thread backend instead.
+        """
+        return (
+            self._snapshot_path is not None
+            and self._snapshot_epoch == self._graph.epoch
+            and not isinstance(algorithm, TspgAlgorithm)
+        )
 
     def _run_one(
         self, item: BatchItem, algorithm: TspgAlgorithm, use_cache: bool
@@ -452,14 +610,29 @@ class TspgService:
             remaining: Optional[float] = None
             if time_budget_seconds is not None:
                 remaining = max(0.0, time_budget_seconds - (time.perf_counter() - started))
-            _, not_done = wait(futures, timeout=remaining, return_when=FIRST_EXCEPTION)
-            for future in not_done:
+            done, not_done = wait(futures, timeout=remaining, return_when=FIRST_EXCEPTION)
+            failed = any(
+                not future.cancelled() and future.exception() is not None
+                for future in done
+            )
+            if failed:
+                # A worker blew up: cancel whatever has not started so the
+                # error surfaces promptly (raised below, after the pool
+                # joins).  This is not a budget cut-off — neither `skipped`
+                # nor `timed_out` is touched, so an error can never
+                # masquerade as a clean budget skip.
+                for future in not_done:
+                    future.cancel()
+            else:
+                # `wait` only returns with pending futures (and no failure)
+                # when the timeout fired, i.e. the budget actually expired.
                 # Queries that never started are dropped; in-flight ones
                 # finish (threads cannot be interrupted) but stay skipped so
                 # the report reflects the budget faithfully.
-                future.cancel()
-                futures[future].skipped = True
-                report.timed_out = True
+                for future in not_done:
+                    future.cancel()
+                    futures[future].skipped = True
+                    report.timed_out = True
         # The pool has joined: every non-cancelled future — including ones
         # that were in flight at the budget cut-off — is finished, so worker
         # exceptions surface instead of masquerading as budget skips.
@@ -469,3 +642,115 @@ class TspgService:
             exc = future.exception()
             if exc is not None:
                 raise exc
+
+    def _cache_lookup(self, item: BatchItem, resolved: TspgAlgorithm) -> bool:
+        """Fill ``item`` from the result cache; ``True`` on a hit.
+
+        The parent-side peek the process backend uses so memoized queries
+        never cross the process boundary (worker processes cannot see this
+        cache); mirrors :meth:`submit`'s hit path exactly.
+        """
+        key = self._cache_key(item.query, resolved)
+        started = time.perf_counter()
+        cached = self._cache.get(key)
+        if cached is None:
+            return False
+        item.outcome = AlgorithmResult(
+            algorithm=cached.algorithm,
+            result=cached.result,
+            elapsed_seconds=time.perf_counter() - started,
+            space_cost=cached.space_cost,
+            timed_out=cached.timed_out,
+            extras={**cached.extras, "cache_hit": True},
+        )
+        item.cache_hit = True
+        item.elapsed_seconds = item.outcome.elapsed_seconds
+        return True
+
+    def _cache_store(self, item: BatchItem, resolved: TspgAlgorithm) -> None:
+        """Memoize a worker-computed outcome in the parent's cache.
+
+        Counterpart of :meth:`_cache_lookup`: results shipped back from a
+        worker process would otherwise die with its pool, making repeat
+        batches recompute everything.  Skips, cut-offs and hits are never
+        stored (same rules as :meth:`submit`).
+        """
+        outcome = item.outcome
+        if outcome is None or outcome.timed_out or item.cache_hit or item.skipped:
+            return
+        self._cache.put(self._cache_key(item.query, resolved), outcome)
+
+    def _run_batch_processes(
+        self,
+        report: BatchReport,
+        algorithm: Optional[AlgorithmSpec],
+        resolved: TspgAlgorithm,
+        workers: int,
+        use_cache: bool,
+        time_budget_seconds: Optional[float],
+        started: float,
+    ) -> None:
+        """Fan contiguous chunks of the batch out to snapshot-booted processes.
+
+        Each worker boots a :class:`TspgService` from :attr:`_snapshot_path`
+        (cached per worker process), answers its chunk serially, and ships
+        the sub-report back; chunks are merged in submission order, so the
+        merged report is bit-identical to a serial run.  The parent's result
+        cache stays authoritative: hits are answered here before anything is
+        shipped, and worker outcomes are stored back on return, so repeat
+        batches keep their dictionary-lookup cost.  Worker exceptions
+        re-raise here via ``Future.result()``.
+        """
+        name = algorithm if isinstance(algorithm, str) else None
+        pending = list(range(len(report.items)))
+        if use_cache:
+            pending = [
+                position
+                for position in pending
+                if not self._cache_lookup(report.items[position], resolved)
+            ]
+        if not pending:
+            # Everything was answered from the cache — no worker ran, so
+            # the report keeps the default backend label.
+            return
+        report.executor = "processes"
+        deadline_unix: Optional[float] = None
+        if time_budget_seconds is not None:
+            deadline_unix = time.time() + max(
+                0.0, time_budget_seconds - (time.perf_counter() - started)
+            )
+        chunks = [
+            [pending[offset] for offset in chunk]
+            for chunk in _chunk_positions(len(pending), workers)
+        ]
+        submitted: List[Tuple[List[int], Future]] = []
+        pool = ProcessPoolExecutor(max_workers=len(chunks))
+        try:
+            for chunk in chunks:
+                submitted.append(
+                    (
+                        chunk,
+                        pool.submit(
+                            _snapshot_worker_run_batch,
+                            self._snapshot_path,
+                            [report.items[position].query for position in chunk],
+                            name,
+                            default_algorithm=self._default_algorithm,
+                            algorithm_options=self._algorithm_options,
+                            use_cache=use_cache,
+                            deadline_unix=deadline_unix,
+                        ),
+                    )
+                )
+            for chunk, future in submitted:
+                sub_report = future.result()  # re-raises worker exceptions
+                report.timed_out = report.timed_out or sub_report.timed_out
+                for position, item in zip(chunk, sub_report.items):
+                    report.items[position] = item
+                    if use_cache:
+                        self._cache_store(item, resolved)
+        finally:
+            # cancel_futures is a no-op on the success path (every future
+            # already resolved); on an exception it stops queued chunks from
+            # computing results that would only be discarded.
+            pool.shutdown(cancel_futures=True)

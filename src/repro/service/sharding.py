@@ -22,6 +22,17 @@ and answers it bit-identically to the full graph.
   routed shard, fans the groups out concurrently, and merges the per-shard
   :class:`~repro.service.service.BatchReport` objects into one report in the
   original submission order.
+* **Persistence & process parallelism** — :meth:`ShardedTspgService.save_shards`
+  writes one v2 snapshot per shard extent plus a manifest
+  (:class:`~repro.store.ShardSnapshotSet`), and
+  :meth:`ShardedTspgService.from_shard_snapshots` boots a router from that
+  directory in O(read) *without touching the full graph* (the full-graph
+  fallback is materialised lazily as the union of the shard graphs only if
+  a spanning query ever needs it).  With shard snapshots attached,
+  ``run_batch(executor="processes")`` fans the shard groups out over a
+  ``ProcessPoolExecutor`` — each worker boots from its shard's snapshot
+  file — sidestepping the GIL for the pure-Python hot path; it falls back
+  to threads automatically when snapshots are absent or stale.
 
 The router is epoch-aware like the flat service: mutating the source graph
 bumps its :attr:`~repro.graph.temporal_graph.TemporalGraph.epoch`, and the
@@ -32,16 +43,27 @@ from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..algorithms import get_algorithm
 from ..baselines.interface import AlgorithmResult, TspgAlgorithm
 from ..graph.edge import TimeInterval, Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
 from ..queries.query import QueryWorkload, TspgQuery
+from ..store.shard_set import ShardSetManifest, ShardSnapshotSet
 from .cache import CacheStats
-from .service import DEFAULT_CACHE_SIZE, AlgorithmSpec, BatchItem, BatchReport, TspgService
+from .service import (
+    DEFAULT_CACHE_SIZE,
+    AlgorithmSpec,
+    BatchItem,
+    BatchReport,
+    TspgService,
+    _chunk_positions,
+    _snapshot_worker_run_batch,
+    _validate_executor,
+)
 
 
 @dataclass(frozen=True)
@@ -156,6 +178,11 @@ class ShardedTspgService:
     max_workers:
         Default fan-out width for :meth:`run_batch` (shard groups run
         concurrently, each group serially inside its shard service).
+    executor:
+        Default batch backend for :meth:`run_batch`: ``"threads"`` or
+        ``"processes"`` (the latter needs per-shard snapshots — see
+        :meth:`save_shards` / :meth:`from_shard_snapshots` — and degrades
+        to threads otherwise).
 
     Examples
     --------
@@ -179,6 +206,7 @@ class ShardedTspgService:
         default_algorithm: str = "VUG",
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int = 1,
+        executor: str = "threads",
         algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> None:
         if num_shards < 1:
@@ -187,10 +215,36 @@ class ShardedTspgService:
             raise ValueError("overlap must be non-negative")
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
+        self._init_runtime(
+            graph=graph,
+            num_shards=num_shards,
+            overlap=overlap,
+            default_algorithm=default_algorithm,
+            cache_size=cache_size,
+            max_workers=max_workers,
+            executor=executor,
+            algorithm_options=algorithm_options,
+        )
+        self._topology = self._build_topology()
+
+    def _init_runtime(
+        self,
+        *,
+        graph: Optional[TemporalGraph],
+        num_shards: int,
+        overlap: int,
+        default_algorithm: str,
+        cache_size: int,
+        max_workers: int,
+        executor: str,
+        algorithm_options: Optional[Dict[str, Dict[str, object]]],
+    ) -> None:
+        """State shared by ``__init__`` and :meth:`from_shard_snapshots`."""
         self._graph = graph
         self._num_shards = num_shards
         self._overlap = overlap
         self._max_workers = max_workers
+        self._default_executor = _validate_executor(executor)
         self._service_kwargs: Dict[str, object] = {
             "default_algorithm": default_algorithm,
             "cache_size": cache_size,
@@ -198,12 +252,134 @@ class ShardedTspgService:
         }
         self._rebuild_lock = threading.Lock()
         self._fallback_lock = threading.Lock()
+        # Guards the one-time union-graph materialisation of a
+        # snapshot-booted router (separate from _fallback_lock: building
+        # the fallback service reads the graph property while holding it).
+        self._union_lock = threading.Lock()
         # The full-graph fallback service is built lazily on first use (it
         # would otherwise double the warm-up cost even when every query is
         # shard-local) and survives repartitions: its own epoch tracking
         # rewarm-on-mutation makes it always current.
         self._fallback_service: Optional[TspgService] = None
-        self._topology = self._build_topology()
+        # Where each shard's snapshot file lives (set by save_shards /
+        # from_shard_snapshots) and the topology epoch those files describe;
+        # the process batch backend boots its workers from them.
+        self._shard_snapshot_paths: Optional[Tuple[str, ...]] = None
+        self._shard_snapshot_epoch: Optional[int] = None
+        # Edge-less source vertices a snapshot boot carries outside the
+        # shard projections; folded back in when the union materialises.
+        self._extra_vertices: Tuple[Vertex, ...] = ()
+
+    # ------------------------------------------------------------------
+    # per-shard snapshot persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_shard_snapshots(
+        cls,
+        path,
+        *,
+        default_algorithm: str = "VUG",
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        max_workers: int = 1,
+        executor: str = "threads",
+        algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
+    ) -> "ShardedTspgService":
+        """Boot a router from a :class:`~repro.store.ShardSnapshotSet` directory.
+
+        Each shard service loads its own (already view-servable) snapshot in
+        O(read); the full graph is **never** read or reconstructed up front.
+        The full-graph fallback stays lazy: only a query wider than every
+        shard extent materialises it, as the union of the shard graphs
+        (shard extents cover the whole span, so the union is exactly the
+        edge set the snapshots were cut from).
+
+        Raises :class:`~repro.store.SnapshotError` on a missing/malformed
+        manifest or any per-shard checksum or count mismatch.
+        """
+        shard_set = ShardSnapshotSet(path)
+        manifest = shard_set.manifest()
+        router = cls.__new__(cls)
+        router._init_runtime(
+            graph=None,
+            num_shards=max(1, manifest.num_shards),
+            overlap=manifest.overlap,
+            default_algorithm=default_algorithm,
+            cache_size=cache_size,
+            max_workers=max_workers,
+            executor=executor,
+            algorithm_options=algorithm_options,
+        )
+        shards: List[ShardSpec] = []
+        services: List[TspgService] = []
+        for entry in manifest.shards:
+            graph = shard_set.load_shard(entry)
+            shards.append(
+                ShardSpec(
+                    index=entry.index,
+                    core=TimeInterval(*entry.core),
+                    extent=TimeInterval(*entry.extent),
+                    num_edges=graph.num_edges,
+                    num_vertices=graph.num_vertices,
+                )
+            )
+            services.append(TspgService(graph, **router._service_kwargs))
+        router._topology = _Topology(
+            shards=tuple(shards),
+            services=tuple(services),
+            span=None if manifest.span is None else TimeInterval(*manifest.span),
+            epoch=manifest.epoch,
+        )
+        router._shard_snapshot_paths = tuple(
+            shard_set.file_path(entry.filename) for entry in manifest.shards
+        )
+        router._shard_snapshot_epoch = manifest.epoch
+        router._extra_vertices = tuple(shard_set.load_isolated(manifest))
+        return router
+
+    def save_shards(self, path) -> ShardSetManifest:
+        """Persist one snapshot per shard extent plus the manifest to ``path``.
+
+        The written :class:`~repro.store.ShardSnapshotSet` lets
+        :meth:`from_shard_snapshots` boot an identical router in O(read) and
+        is immediately attached to *this* router too, enabling the
+        ``executor="processes"`` batch backend without a reload.  Returns
+        the manifest that was written.
+        """
+        topology = self._current_topology()
+        shard_set = ShardSnapshotSet(path)
+        # Shard projections only keep edge-incident vertices; whatever the
+        # source graph holds beyond their union (edge-less vertices) rides
+        # along in a separate snapshot so a booted union loses nothing.
+        covered = set()
+        for service in topology.services:
+            covered.update(service.graph.vertices())
+        covered.update(self._extra_vertices)
+        source = self._graph
+        stranded = (
+            [v for v in source.vertices() if v not in covered]
+            if source is not None
+            else []
+        )
+        isolated = list(self._extra_vertices) + stranded
+        manifest = shard_set.save(
+            [
+                (
+                    spec.core.as_tuple(),
+                    spec.extent.as_tuple(),
+                    service.graph,
+                )
+                for spec, service in zip(topology.shards, topology.services)
+            ],
+            span=None if topology.span is None else topology.span.as_tuple(),
+            overlap=self._overlap,
+            epoch=topology.epoch,
+            isolated=TemporalGraph(vertices=isolated) if isolated else None,
+        )
+        self._shard_snapshot_paths = tuple(
+            shard_set.file_path(entry.filename) for entry in manifest.shards
+        )
+        self._shard_snapshot_epoch = topology.epoch
+        return manifest
 
     # ------------------------------------------------------------------
     # shard construction
@@ -238,9 +414,16 @@ class ShardedTspgService:
         return _Topology(tuple(shards), tuple(services), span, epoch)
 
     def _current_topology(self) -> "_Topology":
-        """Return a self-consistent topology, repartitioning after mutations."""
+        """Return a self-consistent topology, repartitioning after mutations.
+
+        A snapshot-booted router has no source graph until someone asks for
+        it (``self._graph is None``); its topology is frozen at the manifest
+        epoch, so there is nothing to compare against until the union graph
+        is materialised (after which mutations of *that* graph repartition
+        as usual).
+        """
         topology = self._topology
-        if self._graph.epoch == topology.epoch:
+        if self._graph is None or self._graph.epoch == topology.epoch:
             return topology
         with self._rebuild_lock:
             topology = self._topology
@@ -256,16 +439,47 @@ class ShardedTspgService:
             with self._fallback_lock:
                 service = self._fallback_service
                 if service is None:
-                    service = TspgService(self._graph, **self._service_kwargs)
+                    service = TspgService(self.graph, **self._service_kwargs)
                     self._fallback_service = service
         return service
+
+    def _materialize_union(self) -> TemporalGraph:
+        """Reconstruct the full graph as the union of the shard graphs.
+
+        Only reached on a snapshot-booted router, and only when something
+        actually needs the full graph (a fallback-routed query, or the
+        :attr:`graph` accessor).  Shard extents cover the entire span, so
+        the union holds exactly the edges the snapshots were cut from;
+        overlap duplicates collapse in the edge set.
+        """
+        topology = self._topology
+        union = TemporalGraph()
+        for service in topology.services:
+            union.add_edges(service.graph.edge_tuples())
+        for vertex in self._extra_vertices:
+            union.add_vertex(vertex)
+        # Pin the union to the manifest epoch the topology carries:
+        # building it is a reconstruction, not a mutation, and must not
+        # trigger a repartition.  (Private access is deliberate — the graph
+        # API has no way to "set" an epoch, by design.)
+        union._epoch = topology.epoch
+        return union
 
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     @property
     def graph(self) -> TemporalGraph:
-        """The full source graph (what the fallback service answers over)."""
+        """The full source graph (what the fallback service answers over).
+
+        On a router booted by :meth:`from_shard_snapshots` the full graph
+        does not exist until first asked for; this accessor materialises it
+        as the union of the shard graphs.
+        """
+        if self._graph is None:
+            with self._union_lock:
+                if self._graph is None:
+                    self._graph = self._materialize_union()
         return self._graph
 
     @property
@@ -316,15 +530,26 @@ class ShardedTspgService:
         return totals
 
     def describe(self) -> List[Dict[str, object]]:
-        """One row per shard plus the fallback (for the CLI and reports)."""
-        rows = [shard.as_row() for shard in self._current_topology().shards]
+        """One row per shard plus the fallback (for the CLI and reports).
+
+        The fallback row reports the warmed state faithfully: until the
+        lazy full-graph service is actually built its ``built`` flag is
+        ``False`` and its counts are 0 — consistent with
+        :attr:`index_stats` / :meth:`cache_stats`, which only aggregate
+        over built services.  (It previously advertised full-graph counts
+        even when nothing had been warmed, misrepresenting a freshly
+        booted router.)
+        """
+        rows = [dict(shard.as_row(), built=True) for shard in self._current_topology().shards]
+        fallback = self._fallback_service
         rows.append(
             {
                 "shard": FALLBACK_SHARD,
                 "core": None,
                 "extent": None,
-                "vertices": self._graph.num_vertices,
-                "edges": self._graph.num_edges,
+                "vertices": fallback.graph.num_vertices if fallback else 0,
+                "edges": fallback.graph.num_edges if fallback else 0,
+                "built": fallback is not None,
             }
         )
         return rows
@@ -412,6 +637,7 @@ class ShardedTspgService:
         max_workers: Optional[int] = None,
         use_cache: bool = True,
         time_budget_seconds: Optional[float] = None,
+        executor: Optional[str] = None,
     ) -> ShardedBatchReport:
         """Fan a batch out across the shards and merge the reports.
 
@@ -423,12 +649,24 @@ class ShardedTspgService:
         every sub-batch receives only the wall-clock budget still remaining
         when it starts, so the merged report is complete no later than the
         budget (plus one in-flight query, exactly like the flat service).
+
+        ``executor="processes"`` runs each shard group in a worker *process*
+        that boots from the shard's snapshot file — true multi-core
+        parallelism for the GIL-bound hot path.  It needs current per-shard
+        snapshots (:meth:`save_shards` or :meth:`from_shard_snapshots`) and
+        a registry-name algorithm; otherwise the group silently runs on the
+        thread backend (fallback-routed queries always do — the full graph
+        has no per-shard file).  :attr:`BatchReport.executor` records the
+        backend actually used.
         """
         topology = self._current_topology()
         query_list = list(queries)
         workers = max_workers if max_workers is not None else self._max_workers
         if workers < 1:
             raise ValueError("max_workers must be at least 1")
+        executor_kind = _validate_executor(
+            executor if executor is not None else self._default_executor
+        )
 
         groups: Dict[int, List[int]] = {}
         for position, query in enumerate(query_list):
@@ -454,6 +692,89 @@ class ShardedTspgService:
             for index, positions in ordered
         }
 
+        use_processes = (
+            executor_kind == "processes"
+            and workers > 1  # workers=1 means serial, as on the flat service
+            and self._shard_snapshot_paths is not None
+            and self._shard_snapshot_epoch == topology.epoch
+            and len(self._shard_snapshot_paths) == len(topology.shards)
+            and not isinstance(algorithm, TspgAlgorithm)
+        )
+        # Shard groups are handed to the process pool from *this* thread,
+        # before any fan-out thread exists (workers fork at first submit;
+        # forking a process that is already running threads is fragile).
+        # Only the fallback group — the full graph has no per-shard file —
+        # stays on the thread path below.
+        thread_groups = ordered
+        process_pool: Optional[ProcessPoolExecutor] = None
+        process_tasks: List[Tuple[int, List[int], Future]] = []
+        if use_processes:
+            shard_groups = [g for g in ordered if g[0] != FALLBACK_SHARD]
+            if shard_groups:
+                thread_groups = [g for g in ordered if g[0] == FALLBACK_SHARD]
+                # A skewed routing distribution must not degenerate to one
+                # serial worker: each group is split into its proportional
+                # share of the worker budget (inner_workers), every chunk
+                # its own pool task — chunks of one shard share the worker
+                # side's per-path booted service.  The parent shard
+                # service's result cache stays authoritative: hits are
+                # answered here, worker outcomes stored back on merge.
+                chunks: List[Tuple[int, List[int]]] = []
+                for index, positions in shard_groups:
+                    service = topology.services[index]
+                    resolved = service._resolve(algorithm)
+                    report.algorithm = resolved.name
+                    if use_cache:
+                        positions = [
+                            position
+                            for position in positions
+                            if not service._cache_lookup(
+                                report.items[position], resolved
+                            )
+                        ]
+                    for chunk in _chunk_positions(
+                        len(positions), inner_workers[index]
+                    ):
+                        if chunk:
+                            chunks.append(
+                                (index, [positions[offset] for offset in chunk])
+                            )
+                if chunks:
+                    report.executor = "processes"
+                    # The budget crosses as an absolute deadline: chunks
+                    # beyond the pool width sit queued, and a duration
+                    # captured now would let them overshoot the batch
+                    # budget once they finally start.
+                    deadline_unix: Optional[float] = None
+                    if time_budget_seconds is not None:
+                        deadline_unix = time.time() + max(
+                            0.0,
+                            time_budget_seconds
+                            - (time.perf_counter() - started),
+                        )
+                    process_pool = ProcessPoolExecutor(
+                        max_workers=min(workers, len(chunks))
+                    )
+                    for index, chunk in chunks:
+                        process_tasks.append(
+                            (
+                                index,
+                                chunk,
+                                process_pool.submit(
+                                    _snapshot_worker_run_batch,
+                                    self._shard_snapshot_paths[index],
+                                    [query_list[position] for position in chunk],
+                                    algorithm,
+                                    default_algorithm=self.default_algorithm,
+                                    algorithm_options=self._service_kwargs[
+                                        "algorithm_options"
+                                    ],
+                                    use_cache=use_cache,
+                                    deadline_unix=deadline_unix,
+                                ),
+                            )
+                        )
+
         def run_group(index: int, positions: List[int]) -> BatchReport:
             remaining: Optional[float] = None
             if time_budget_seconds is not None:
@@ -472,30 +793,56 @@ class ShardedTspgService:
                 time_budget_seconds=remaining,
             )
 
-        if len(ordered) <= 1 or workers == 1:
-            sub_reports = [run_group(index, positions) for index, positions in ordered]
-        else:
-            with ThreadPoolExecutor(
-                max_workers=min(workers, len(ordered)),
-                thread_name_prefix="tspg-shard",
-            ) as executor:
-                futures = [
-                    executor.submit(run_group, index, positions)
-                    for index, positions in ordered
+        try:
+            if len(thread_groups) <= 1 or workers == 1:
+                sub_reports = [
+                    run_group(index, positions) for index, positions in thread_groups
                 ]
-                sub_reports = [future.result() for future in futures]
+            else:
+                with ThreadPoolExecutor(
+                    max_workers=min(workers, len(thread_groups)),
+                    thread_name_prefix="tspg-shard",
+                ) as thread_pool:
+                    futures = [
+                        thread_pool.submit(run_group, index, positions)
+                        for index, positions in thread_groups
+                    ]
+                    sub_reports = [future.result() for future in futures]
 
-        for (index, positions), sub_report in zip(ordered, sub_reports):
-            report.algorithm = sub_report.algorithm
-            report.timed_out = report.timed_out or sub_report.timed_out
-            for position, item in zip(positions, sub_report.items):
-                report.items[position] = item
-        if not ordered:
-            # Empty batch: report the algorithm name without warming any
-            # service (building the fallback here would defeat its laziness).
+            for (index, positions), sub_report in zip(thread_groups, sub_reports):
+                report.algorithm = sub_report.algorithm
+                report.timed_out = report.timed_out or sub_report.timed_out
+                for position, item in zip(positions, sub_report.items):
+                    report.items[position] = item
+            for index, chunk, future in process_tasks:
+                sub_report = future.result()  # re-raises worker exceptions
+                report.algorithm = sub_report.algorithm
+                report.timed_out = report.timed_out or sub_report.timed_out
+                service = topology.services[index]
+                resolved = service._resolve(algorithm)
+                for position, item in zip(chunk, sub_report.items):
+                    report.items[position] = item
+                    if use_cache:
+                        service._cache_store(item, resolved)
+        finally:
+            if process_pool is not None:
+                # cancel_futures is a no-op on the success path (every
+                # future already resolved); on an exception it stops queued
+                # chunks from running to completion just to be discarded.
+                process_pool.shutdown(cancel_futures=True)
+
+        if not report.algorithm:
+            # Nothing ran (empty batch, or every query answered from the
+            # parent-side caches) — resolve the name through the registry
+            # anyway, so an unknown name raises the same KeyError the flat
+            # service produces instead of silently succeeding, without
+            # warming any service (building the fallback here would defeat
+            # its laziness).
             if isinstance(algorithm, TspgAlgorithm):
                 report.algorithm = algorithm.name
             else:
-                report.algorithm = algorithm or self.default_algorithm
+                name = algorithm or self.default_algorithm
+                options = self._service_kwargs["algorithm_options"] or {}
+                report.algorithm = get_algorithm(name, **options.get(name, {})).name
         report.wall_seconds = time.perf_counter() - started
         return report

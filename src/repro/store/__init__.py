@@ -5,8 +5,20 @@ This package is the boundary between *building* a temporal graph and
 (process memory or a binary snapshot file), and :mod:`repro.store.snapshot`
 implements the versioned on-disk format — header with format version, graph
 epoch, counts and a CRC-32 checksum, followed by the complete warmed index
-state — so ``TspgService.from_snapshot(path)`` cold-starts in O(read)
+state (including, since format version 2, the columnar ``GraphView``
+arrays) — so ``TspgService.from_snapshot(path)`` cold-starts in O(read)
 instead of rebuilding and re-sorting every index.
+
+:class:`ShardSnapshotSet` (:mod:`repro.store.shard_set`) extends the same
+format to time-range-sharded serving: a directory of one v2 snapshot per
+shard extent plus a versioned JSON manifest recording the span, shard
+count, overlap, source-graph epoch and per-shard CRC-32 checksums.
+``ShardedTspgService.save_shards(path)`` writes one and
+``ShardedTspgService.from_shard_snapshots(path)`` boots a router's N shard
+services from it in O(read) without touching the full graph — it is also
+what the ``executor="processes"`` batch backend hands to its worker
+processes, one shard file per worker.  Any checksum, count or manifest
+mismatch raises :class:`SnapshotError` on load.
 
 Quickstart
 ----------
@@ -24,6 +36,13 @@ True
 """
 
 from .graph_store import GraphStore, InMemoryGraphStore, SnapshotGraphStore, store_for
+from .shard_set import (
+    SHARD_MANIFEST_NAME,
+    SHARD_MANIFEST_VERSION,
+    ShardSetManifest,
+    ShardSnapshotEntry,
+    ShardSnapshotSet,
+)
 from .snapshot import (
     HEADER_SIZE,
     SNAPSHOT_MAGIC,
@@ -50,4 +69,9 @@ __all__ = [
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",
     "HEADER_SIZE",
+    "ShardSnapshotSet",
+    "ShardSetManifest",
+    "ShardSnapshotEntry",
+    "SHARD_MANIFEST_NAME",
+    "SHARD_MANIFEST_VERSION",
 ]

@@ -44,12 +44,18 @@ SNAPSHOT_MAGIC = b"TSPGSNAP"
 
 #: Current format version; bump when the payload layout changes.
 #: Version 2 added the columnar GraphView arrays to the warmed state.
-SNAPSHOT_VERSION = 2
+#: Version 3 changed no bytes but tightened the ordering contract: the
+#: persisted sorted-edge backing (and the view columns aligned with it)
+#: break equal-timestamp ties with the deterministic repr-based key, not
+#: the writer's hash-seed-dependent set order.
+SNAPSHOT_VERSION = 3
 
 #: Versions this build can still read.  Version 1 payloads simply lack the
-#: ``view`` columns; the graph restores fine and builds its view lazily on
-#: first query, so old snapshots keep their O(read) boot.
-SUPPORTED_SNAPSHOT_VERSIONS = (1, SNAPSHOT_VERSION)
+#: ``view`` columns; version ≤ 2 payloads may carry the old nondeterministic
+#: tie order, so their sorted backing and view are *not* adopted — the graph
+#: restores fine and re-sorts/rebuilds them lazily on first use (one
+#: O(E log E) pass; fresh snapshots keep the full O(read) boot).
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2, SNAPSHOT_VERSION)
 
 #: Header layout: magic, version, epoch, |V|, |E|, |T|, payload length, CRC-32.
 _HEADER_STRUCT = struct.Struct(">8sHQQQQQI")
@@ -189,7 +195,7 @@ def load_snapshot(path: PathLike) -> TemporalGraph:
     except OSError as exc:
         raise SnapshotError(f"{path}: cannot open snapshot: {exc}") from exc
     with handle:
-        _, epoch, n_vertices, n_edges, n_ts, payload_len, crc = _read_header(
+        version, epoch, n_vertices, n_edges, n_ts, payload_len, crc = _read_header(
             handle, path
         )
         payload = handle.read(payload_len + 1)
@@ -207,7 +213,12 @@ def load_snapshot(path: PathLike) -> TemporalGraph:
     except Exception as exc:  # zlib.error, pickle errors, ...
         raise SnapshotError(f"{path}: cannot decode snapshot payload: {exc}") from exc
     try:
-        graph = TemporalGraph.from_warmed_state(state)
+        # Pre-v3 writers sorted equal-timestamp ties in hash-seed order;
+        # adopting their backing/view would leak that stale order into a
+        # build whose fresh graphs use the deterministic key.
+        graph = TemporalGraph.from_warmed_state(
+            state, trust_order=version >= 3
+        )
     except (KeyError, TypeError, ValueError) as exc:
         raise SnapshotError(f"{path}: malformed snapshot state: {exc}") from exc
     if (

@@ -96,7 +96,7 @@ class TestTableAndFigureDrivers:
         assert set(experiments.EXPERIMENTS) == {
             "table1", "exp1", "exp2", "exp3", "exp4",
             "exp5-table2", "exp5-fig9", "exp5-fig10",
-            "exp6", "exp7", "exp8", "exp9", "exp10", "exp11",
+            "exp6", "exp7", "exp8", "exp9", "exp10", "exp11", "exp12",
         }
 
     def test_exp10_store_and_shards(self):
@@ -114,3 +114,15 @@ class TestTableAndFigureDrivers:
         assert {"zero-materialization", "materializing"} == set(by_mode)
         # The driver cross-checks bit-identity internally; the note records it.
         assert any("bit-identical" in note for note in report.notes)
+
+    def test_exp12_process_shards(self, tmp_path):
+        report = experiments.exp12_process_shards(
+            "D1", num_queries=4, workers=2, num_shards=2,
+            shard_dir=str(tmp_path / "shards"),
+        )
+        by_mode = {row["mode"]: row for row in report.rows}
+        assert {"serial", "threads-2", "processes-2"} == set(by_mode)
+        assert all(row["identical"] is True for row in report.rows)
+        # The comparison is only honest if the process row really ran on
+        # the process backend (snapshots present, name-resolved algorithm).
+        assert by_mode["processes-2"]["executor"] == "processes"

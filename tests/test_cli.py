@@ -102,13 +102,41 @@ class TestWarmCommand:
             "warm", "--edge-list", str(edge_list), "--output", str(snapshot),
         ]) == 0
         out = capsys.readouterr().out
-        assert "snapshot v2 written" in out
+        assert "snapshot v3 written" in out
         info = peek_snapshot(snapshot)
         assert info.num_edges == 3
 
     def test_warm_requires_a_source(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["warm", "--output", "x.tspgsnap"])
+
+    def test_warm_shards_writes_a_bootable_shard_set(self, tmp_path, capsys):
+        from repro.store import ShardSnapshotSet
+
+        graph = TemporalGraph(
+            edges=[("s", "b", 2), ("b", "t", 6), ("b", "c", 3), ("c", "t", 7)]
+        )
+        edge_list = tmp_path / "graph.txt"
+        save_edge_list(graph, edge_list)
+        shard_dir = tmp_path / "shards"
+        assert main([
+            "warm", "--edge-list", str(edge_list),
+            "--shards", "2", "--shard-overlap", "3",
+            "--output", str(shard_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard set v1 written" in out
+        assert "2 shards" in out
+        manifest = ShardSnapshotSet(shard_dir).manifest()
+        assert manifest.num_shards == 2
+        assert manifest.overlap == 3
+
+    def test_warm_validates_shard_flags(self, tmp_path):
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["warm", "--dataset", "D1", "--shards", "0", "--output", "x"])
+        with pytest.raises(SystemExit, match="--shard-overlap"):
+            main(["warm", "--dataset", "D1", "--shards", "2",
+                  "--shard-overlap", "-1", "--output", "x"])
 
 
 class TestBatchCommand:
@@ -160,6 +188,36 @@ class TestBatchCommand:
         out = capsys.readouterr().out
         assert "3 shards" in out
         assert "5/5" in out
+
+    def test_batch_from_shard_snapshots_with_process_executor(self, tmp_path, capsys):
+        edge_list = self._edge_list(tmp_path)
+        shard_dir = tmp_path / "shards"
+        assert main(["warm", "--edge-list", str(edge_list),
+                     "--shards", "2", "--shard-overlap", "3",
+                     "--output", str(shard_dir)]) == 0
+        capsys.readouterr()
+        assert main([
+            "batch", "--shard-snapshots", str(shard_dir),
+            "--num-queries", "5", "--theta", "4",
+            "--workers", "2", "--executor", "processes",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard snapshots" in out
+        assert "2 shards" in out
+        assert "5/5" in out
+
+    def test_batch_shard_snapshots_conflicts_with_shards_flag(self, tmp_path):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(["batch", "--shard-snapshots", str(tmp_path),
+                  "--shards", "2", "--num-queries", "2"])
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(["batch", "--shard-snapshots", str(tmp_path),
+                  "--shard-overlap", "6", "--num-queries", "2"])
+
+    def test_batch_rejects_missing_shard_set(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot open shard manifest"):
+            main(["batch", "--shard-snapshots", str(tmp_path / "nope"),
+                  "--num-queries", "2"])
 
     def test_batch_rejects_corrupt_snapshot(self, tmp_path):
         bad = tmp_path / "bad.tspgsnap"

@@ -250,6 +250,32 @@ class TestEdgeTuplesSequence:
         assert old_shape == set(graph.edge_tuples())
         assert isinstance(old_shape, set)
 
+    def test_tie_order_is_a_function_of_the_edge_set(self):
+        # Regression: the backing used to sort the edge *set* keyed on
+        # timestamp only, so equal-timestamp tie order leaked the set's
+        # hash-seed/insertion-dependent iteration order — a materialized
+        # view could disagree with its source on edge_tuples() order
+        # (flaked at ~1 in 10 PYTHONHASHSEEDs).  Same edges, any insertion
+        # history → same order.
+        edges = [("f", "b", 5), ("f", "e", 5), ("a", "b", 5),
+                 ("s", "b", 2), ("b", "e", 5), ("e", "f", 2)]
+        forward = TemporalGraph(edges=edges)
+        backward = TemporalGraph(edges=list(reversed(edges)))
+        one_by_one = TemporalGraph()
+        for u, v, t in sorted(edges, key=lambda e: repr(e)):
+            one_by_one.add_edge(u, v, t)
+        assert tuple(forward.edge_tuples()) == tuple(backward.edge_tuples())
+        assert tuple(forward.edge_tuples()) == tuple(one_by_one.edge_tuples())
+
+    def test_materialized_view_preserves_edge_order(self):
+        # The concrete shape of the old flake: the quick-UBG mask view and
+        # its materialization must agree element-for-element, ties included.
+        graph = paper_running_example()
+        quick = quick_upper_bound_graph(graph, "s", "t", (2, 7))
+        assert tuple(quick.edge_tuples()) == tuple(
+            quick.materialize().edge_tuples()
+        )
+
 
 class TestBulkAddEdges:
     def test_bulk_equals_incremental(self):
