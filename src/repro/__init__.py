@@ -19,6 +19,7 @@ Quickstart
 from .graph import GraphView, SubgraphView, TemporalEdge, TemporalGraph, TimeInterval
 from .graph.builder import TemporalGraphBuilder
 from .core import (
+    Deadline,
     PathGraph,
     VUG,
     VUGReport,
@@ -43,7 +44,13 @@ from .paths import (
     enumerate_temporal_simple_paths,
 )
 from .queries import QueryRunner, QueryWorkload, TspgQuery, generate_workload
-from .service import BatchReport, ShardedTspgService, TspgService
+from .service import (
+    BatchReport,
+    ShardedTspgService,
+    TspgService,
+    WorkerPool,
+    WorkerPoolError,
+)
 from .store import (
     GraphStore,
     InMemoryGraphStore,
@@ -91,6 +98,9 @@ __all__ = [
     "TspgService",
     "ShardedTspgService",
     "BatchReport",
+    "WorkerPool",
+    "WorkerPoolError",
+    "Deadline",
     "GraphStore",
     "InMemoryGraphStore",
     "SnapshotGraphStore",

@@ -11,6 +11,7 @@ from typing import Dict, List, Optional, Type
 
 from .baselines.ep_algorithms import EPdtTSG, EPesTSG, EPtgTSG, NaiveEnumeration
 from .baselines.interface import AlgorithmResult, TspgAlgorithm
+from .core.deadline import Deadline
 from .core.vug import VUG
 from .graph.edge import Vertex, as_interval
 from .graph.temporal_graph import TemporalGraph
@@ -39,19 +40,24 @@ class VUGAlgorithm(TspgAlgorithm):
         source: Vertex,
         target: Vertex,
         interval,
+        deadline: Optional[Deadline] = None,
     ) -> AlgorithmResult:
         window = as_interval(interval)
-        report = self._engine.run(graph, source, target, window)
+        report = self._engine.run(graph, source, target, window, deadline=deadline)
+        extras: Dict[str, object] = {"phase_timings": report.timings.as_dict()}
+        # A deadline cut-off may have stopped the pipeline before either
+        # upper bound existed; report whatever phases actually completed.
+        if report.upper_bound_quick is not None:
+            extras["quick_ubg_edges"] = report.upper_bound_quick.num_edges
+        if report.upper_bound_tight is not None:
+            extras["tight_ubg_edges"] = report.upper_bound_tight.num_edges
         return AlgorithmResult(
             algorithm=self.name,
             result=report.result,
             elapsed_seconds=report.timings.total,
             space_cost=report.space_cost,
-            extras={
-                "quick_ubg_edges": report.upper_bound_quick.num_edges,
-                "tight_ubg_edges": report.upper_bound_tight.num_edges,
-                "phase_timings": report.timings.as_dict(),
-            },
+            timed_out=report.timed_out,
+            extras=extras,
         )
 
 

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from ..graph.edge import Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
+from ..core.deadline import Deadline
 from ..core.result import PathGraph
 from .enumeration import EnumerationBudgetExceeded, tspg_by_enumeration
 from .interface import AlgorithmResult, TspgAlgorithm
@@ -45,12 +46,25 @@ class _EnumerationBaseline(TspgAlgorithm):
         source: Vertex,
         target: Vertex,
         interval,
+        deadline: Optional[Deadline] = None,
     ) -> AlgorithmResult:
         window = as_interval(interval)
         if self.reduction is None:
             upper_bound = graph
         else:
             upper_bound = type(self).reduction(graph, source, target, window)  # type: ignore[misc]
+        # Cooperative cut-off at the reduction → enumeration boundary: the
+        # coarsest useful check point for the baselines (enumeration has its
+        # own ``max_paths`` budget for the exploding-path case).
+        if deadline is not None and deadline.expired():
+            return AlgorithmResult(
+                algorithm=self.name,
+                result=PathGraph.empty(source, target, window),
+                elapsed_seconds=0.0,
+                space_cost=0,
+                timed_out=True,
+                extras={"upper_bound_edges": upper_bound.num_edges},
+            )
         try:
             outcome = tspg_by_enumeration(
                 upper_bound, source, target, window, max_paths=self.max_paths

@@ -8,12 +8,14 @@ are interchangeable and directly comparable.
 from __future__ import annotations
 
 import abc
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..core.deadline import Deadline
 from ..core.result import PathGraph
-from ..graph.edge import Vertex
+from ..graph.edge import Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
 
 
@@ -52,7 +54,31 @@ class TspgAlgorithm(abc.ABC):
         target: Vertex,
         interval,
     ) -> AlgorithmResult:
-        """Compute the ``tspG`` for one query; implementations fill the extras."""
+        """Compute the ``tspG`` for one query; implementations fill the extras.
+
+        Implementations may additionally declare a ``deadline`` keyword
+        parameter (an optional :class:`~repro.core.deadline.Deadline`) to
+        receive the cooperative per-query cut-off :meth:`run` was called
+        with; implementations that do not declare it simply never see it —
+        the expired-on-arrival guard in :meth:`run` still applies either
+        way, only the mid-query polls are opt-in.
+        """
+
+    def _compute_accepts_deadline(self) -> bool:
+        """Whether this implementation's ``compute`` declares ``deadline``.
+
+        Cached per class: the signature inspection runs once, then every
+        :meth:`run` call is a plain attribute read.  Keeps pre-deadline
+        subclasses (e.g. ad-hoc test algorithms) working unchanged.
+        """
+        cached = type(self).__dict__.get("_accepts_deadline_cache")
+        if cached is None:
+            parameters = inspect.signature(self.compute).parameters
+            cached = "deadline" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+            )
+            type(self)._accepts_deadline_cache = cached
+        return cached
 
     def run(
         self,
@@ -60,10 +86,32 @@ class TspgAlgorithm(abc.ABC):
         source: Vertex,
         target: Vertex,
         interval,
+        deadline: Optional[Deadline] = None,
     ) -> AlgorithmResult:
-        """Timed wrapper around :meth:`compute` (records wall-clock seconds)."""
+        """Timed wrapper around :meth:`compute` (records wall-clock seconds).
+
+        ``deadline`` is the cooperative per-query cut-off: a query whose
+        deadline has *already* expired returns an empty ``timed_out``
+        result immediately — no phase of any algorithm runs — and an
+        in-flight query is cut off at the implementation's documented check
+        points (for VUG: the phase boundaries and every EEV search
+        expansion).  Queries that finish in budget return bit-identical
+        results with and without a deadline; a ``timed_out`` result is
+        never memoized by the service layer.
+        """
+        if deadline is not None and deadline.expired():
+            return AlgorithmResult(
+                algorithm=self.name,
+                result=PathGraph.empty(source, target, as_interval(interval)),
+                elapsed_seconds=0.0,
+                timed_out=True,
+                extras={"deadline_expired_on_arrival": True},
+            )
         started = time.perf_counter()
-        outcome = self.compute(graph, source, target, interval)
+        if deadline is not None and self._compute_accepts_deadline():
+            outcome = self.compute(graph, source, target, interval, deadline=deadline)
+        else:
+            outcome = self.compute(graph, source, target, interval)
         outcome.elapsed_seconds = time.perf_counter() - started
         return outcome
 

@@ -22,6 +22,7 @@ Function                  Paper artifact
 ``exp10_store_and_shards`` (new)    — snapshot boot vs cold boot; sharded batches
 ``exp11_view_pipeline``   (new)     — zero-materialization vs materializing VUG
 ``exp12_process_shards``  (new)     — thread vs snapshot-booted process backend
+``exp13_serving_pool``    (new)     — persistent worker pool + per-query deadlines
 ========================  =======================================================
 
 All drivers take ``num_queries`` / dataset-key parameters so the pytest
@@ -59,7 +60,7 @@ from ..paths.counting import count_temporal_simple_paths_capped
 from ..queries.query import QueryWorkload
 from ..queries.runner import QueryRunner
 from ..queries.workload import generate_workload
-from ..service import ShardedTspgService, TspgService
+from ..service import ShardedTspgService, TspgService, WorkerPool
 from ..store import SnapshotGraphStore
 from .reporting import ExperimentReport
 
@@ -802,11 +803,9 @@ def exp11_view_pipeline(
 # ----------------------------------------------------------------------
 # Exp-12 (process-parallel sharded serving; no paper analogue)
 # ----------------------------------------------------------------------
-def available_cpus() -> int:
-    """CPUs this process may actually run on (affinity-aware)."""
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
+# Re-exported from the pool module (the canonical home since WorkerPool
+# sizes itself with it); the benchmarks keep importing it from here.
+from ..service.pool import available_cpus  # noqa: E402  (section grouping)
 
 
 def exp12_process_shards(
@@ -921,6 +920,155 @@ def exp12_process_shards(
     return report
 
 
+# ----------------------------------------------------------------------
+# Exp-13 (persistent serving pool + cooperative deadlines; no paper analogue)
+# ----------------------------------------------------------------------
+def exp13_serving_pool(
+    dataset_key: str = "D10",
+    num_queries: int = DEFAULT_NUM_QUERIES,
+    algorithm: str = "VUG",
+    workers: int = 4,
+    num_batches: int = 2,
+    snapshot_path: Optional[str] = None,
+    time_budget_seconds: float = DEFAULT_TIME_BUDGET_SECONDS,
+    seed: int = 7,
+) -> ExperimentReport:
+    """Exp-13: persistent serving pools and cooperative per-query deadlines.
+
+    Two serving-loop regimes answer the *same* sequence of identical
+    batches through the process backend, from the same snapshot:
+
+    * ``per-batch-boot-K`` — a plain :class:`TspgService` builds (and tears
+      down) a fresh ``ProcessPoolExecutor`` per batch, so every batch pays
+      worker fork + snapshot boot again — the pre-pool behaviour;
+    * ``pool-K`` — the same service with a persistent
+      :class:`~repro.service.WorkerPool` attached: batch 1 boots the
+      workers, every later batch reuses them warm.
+
+    The ratio of the last per-batch-boot batch over the last pool batch is
+    the amortisation the pool exists for.  A third regime, ``deadline-cutoff``,
+    runs the workload serially under a deliberately too-small budget and
+    reports the cut-off *overshoot* — how far past the budget the batch
+    ran — which the cooperative per-query deadlines keep within the
+    documented slack (one uninterruptible phase of a single query) instead
+    of one whole in-flight query of arbitrary cost.
+
+    Every regime's in-budget results are cross-checked against a serial
+    no-deadline baseline (``identical`` column) — deadline polls are
+    read-only, so finishing in budget must be bit-identical.
+    """
+    report = ExperimentReport(
+        experiment=f"Exp-13 (serving pool, {dataset_key})",
+        description=(
+            f"Per-batch worker boot vs persistent pool, and deadline "
+            f"cut-off promptness, for {num_batches}x{num_queries} queries "
+            f"({algorithm}, {workers} workers)"
+        ),
+    )
+    graph = _load(dataset_key)
+    queries = list(_workload(graph, dataset_key, num_queries, seed=seed))
+
+    cleanup = snapshot_path is None
+    if snapshot_path is None:
+        handle, snapshot_path = tempfile.mkstemp(suffix=".tspgsnap")
+        os.close(handle)
+    try:
+        SnapshotGraphStore(snapshot_path).save(graph)
+        serial = TspgService(graph, default_algorithm=algorithm).run_batch(
+            queries, use_cache=False, time_budget_seconds=time_budget_seconds
+        )
+
+        def matches_serial(batch) -> bool:
+            return all(
+                item.completed
+                and base.completed
+                and not item.outcome.timed_out
+                and item.outcome.result.vertices == base.outcome.result.vertices
+                and item.outcome.result.edges == base.outcome.result.edges
+                for item, base in zip(batch.items, serial.items)
+            )
+
+        def run_batches(service) -> List:
+            # Caching is off: the point is measuring the compute path, and
+            # a warm parent cache would short-circuit every repeat batch.
+            return [
+                service.run_batch(
+                    queries, max_workers=workers, use_cache=False,
+                    executor="processes",
+                    time_budget_seconds=time_budget_seconds,
+                )
+                for _ in range(num_batches)
+            ]
+
+        cold_batches = run_batches(
+            TspgService.from_snapshot(snapshot_path, default_algorithm=algorithm)
+        )
+        with WorkerPool(max_workers=workers) as pool:
+            pool_batches = run_batches(
+                TspgService.from_snapshot(
+                    snapshot_path, default_algorithm=algorithm, pool=pool
+                )
+            )
+            pool_stats = pool.stats()
+
+        for prefix, batches in (
+            ("per-batch-boot", cold_batches),
+            ("pool", pool_batches),
+        ):
+            for index, batch in enumerate(batches, start=1):
+                mode = f"{prefix}-{index}"
+                report.add_row(
+                    mode=mode,
+                    executor=batch.executor,
+                    wall_s=round(batch.wall_seconds, 4),
+                    qps=round(batch.queries_per_second, 1),
+                    identical=matches_serial(batch),
+                    budget_s=None,
+                    overshoot_s=None,
+                )
+                report.add_point("wall_s", mode, round(batch.wall_seconds, 4))
+
+        warm_speedup = (
+            cold_batches[-1].wall_seconds / pool_batches[-1].wall_seconds
+            if pool_batches[-1].wall_seconds > 0
+            else float("inf")
+        )
+        report.add_note(
+            f"warm pool batch is {warm_speedup:.2f}x the per-batch-boot "
+            f"batch (pool generation {pool_stats['generation']}, "
+            f"{pool_stats['batches_served']} batches served by one worker "
+            f"set; per-batch boot re-forks and re-boots every time)"
+        )
+
+        # Deadline promptness: a serial run under a budget that expires
+        # mid-batch must land within one query's cut-off slack of it.
+        budget = max(0.02, serial.wall_seconds / 3.0)
+        cut = TspgService(graph, default_algorithm=algorithm).run_batch(
+            queries, use_cache=False, time_budget_seconds=budget
+        )
+        overshoot = max(0.0, cut.wall_seconds - budget)
+        refused = cut.num_timed_out + sum(1 for item in cut.items if item.skipped)
+        report.add_row(
+            mode="deadline-cutoff",
+            executor=cut.executor,
+            wall_s=round(cut.wall_seconds, 4),
+            qps=round(cut.queries_per_second, 1),
+            identical=None,
+            budget_s=round(budget, 4),
+            overshoot_s=round(overshoot, 4),
+        )
+        report.add_point("wall_s", "deadline-cutoff", round(cut.wall_seconds, 4))
+        report.add_note(
+            f"deadline-cutoff: budget {budget:.4f}s, finished "
+            f"{overshoot:.4f}s past it with {refused} of {len(queries)} "
+            f"queries refused/cut off (timed_out={cut.timed_out})"
+        )
+    finally:
+        if cleanup and os.path.exists(snapshot_path):
+            os.unlink(snapshot_path)
+    return report
+
+
 #: Registry used by the CLI ("run experiment by name").
 EXPERIMENTS = {
     "table1": table1_datasets,
@@ -938,4 +1086,5 @@ EXPERIMENTS = {
     "exp10": exp10_store_and_shards,
     "exp11": exp11_view_pipeline,
     "exp12": exp12_process_shards,
+    "exp13": exp13_serving_pool,
 }

@@ -7,21 +7,25 @@ main operations:
 * ``batch``       — serve many queries through the batch service (worker pool +
   cache), optionally booting from a snapshot (or a per-shard snapshot set),
   sharding by time range and/or fanning out over worker processes;
+* ``serve``       — long-lived stdin/JSONL request loop over a persistent
+  worker pool (boot once, answer batch after batch with warm workers);
 * ``warm``        — build every index of a graph and save a binary snapshot
   (or, with ``--shards N``, a directory of per-shard snapshots + manifest);
 * ``datasets``    — list the synthetic dataset analogues and their statistics;
-* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp12);
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp13);
 * ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, TextIO
 
 from .algorithms import available_algorithms, get_algorithm
+from .core.deadline import Deadline
 from .bench import experiments as bench_experiments
 from .bench.reporting import render_table
 from .datasets.registry import dataset_keys, get_dataset
@@ -31,7 +35,13 @@ from .graph.statistics import compute_statistics
 from .core.vug import generate_tspg_report
 from .queries.query import TspgQuery
 from .queries.workload import generate_workload
-from .service import EXECUTOR_BACKENDS, ShardedTspgService, TspgService
+from .service import (
+    EXECUTOR_BACKENDS,
+    ShardedTspgService,
+    TspgService,
+    WorkerPool,
+    WorkerPoolError,
+)
 from .store import SnapshotError, SnapshotGraphStore
 
 
@@ -103,6 +113,55 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: the workload's theta, so typical queries stay on one shard)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived JSONL request loop over a persistent worker pool",
+        description=(
+            "Boot a service once, then answer one JSON request per stdin "
+            "line until EOF. Requests: "
+            '{"source": S, "target": T, "begin": B, "end": E, '
+            '"algorithm"?, "deadline_ms"?} for one query; '
+            '{"queries": [[S, T, B, E], ...], "algorithm"?, "budget_ms"?, '
+            '"workers"?} for a batch; {"op": "stats"} for counters; '
+            '{"op": "quit"} to stop. One JSON response per line on stdout.'
+        ),
+    )
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument("--edge-list", help="path to a 'u v t' edge-list file")
+    serve_source.add_argument("--dataset", choices=dataset_keys(), help="built-in dataset key")
+    serve_source.add_argument(
+        "--snapshot", help="boot from a warmed index snapshot (see 'tspg warm')"
+    )
+    serve_source.add_argument(
+        "--shard-snapshots",
+        help="boot a sharded router from a per-shard snapshot directory "
+        "(see 'tspg warm --shards N')",
+    )
+    serve.add_argument(
+        "--algorithm", default="VUG", choices=available_algorithms(),
+        help="default algorithm (requests may override per line)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker count per batch request (1 = serial) and the "
+        "persistent pool's width",
+    )
+    serve.add_argument(
+        "--executor", choices=EXECUTOR_BACKENDS, default="processes",
+        help="batch backend; 'processes' (default) attaches a persistent "
+        "worker pool so repeated batches reuse booted workers",
+    )
+    serve.add_argument(
+        "--budget", type=float, default=None,
+        help="default per-batch time budget in seconds (requests may "
+        "override with budget_ms)",
+    )
+    serve.add_argument("--cache-size", type=int, default=1024, help="LRU capacity (0 disables)")
+    serve.add_argument(
+        "--input", default=None,
+        help="read requests from this file instead of stdin (scripting/tests)",
+    )
+
     warm = sub.add_parser(
         "warm", help="warm every graph index and save a binary snapshot"
     )
@@ -134,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--queries", type=int, default=bench_experiments.DEFAULT_NUM_QUERIES)
     experiment.add_argument("--thetas", type=int, nargs="*", default=[6, 8, 10, 12])
     experiment.add_argument(
-        "--workers", type=int, default=4, help="worker-pool width for exp9/exp12"
+        "--workers", type=int, default=4, help="worker-pool width for exp9/exp12/exp13"
     )
 
     sub.add_parser("case-study", help="reproduce the SFMTA transit case study")
@@ -313,13 +372,242 @@ def _command_batch(args: argparse.Namespace) -> int:
     if args.executor == "processes" and all(
         row["executor"] != "processes" for row in rows
     ):
-        print(
-            "note: no pass ran on the process backend — it needs --workers "
-            "> 1 (1 means serial) and snapshots attached to this topology "
-            "(use --shard-snapshots, or --snapshot without --shards), and "
-            "does not engage when every query is cache-served; computation "
-            "ran on threads"
+        # Name the *specific* degrade condition(s) instead of re-listing
+        # every possibility: the service knows exactly why it fell back.
+        reasons = service.process_fallback_reasons(max_workers=args.workers)
+        if len(queries) <= 1:
+            # Batch-size is the one degrade condition only the caller can
+            # see (run_batch executes <=1-query batches serially).
+            reasons.append("a batch of one query runs serially")
+        fallback_routed = sum(row.get("fallback") or 0 for row in rows)
+        if not reasons and fallback_routed:
+            # A sharded batch whose queries all routed to the full-graph
+            # fallback never engages workers either — the fallback has no
+            # per-shard file and always runs on the parent's threads.
+            reasons.append(
+                f"{fallback_routed} quer{'y was' if fallback_routed == 1 else 'ies were'} "
+                "routed to the full-graph fallback (interval wider than "
+                "every shard extent), which always runs on the parent's "
+                "threads — widen --shard-overlap to keep them shard-local"
+            )
+        if reasons:
+            print(
+                "note: no pass ran on the process backend — "
+                + "; ".join(reasons)
+                + " — computation ran on threads"
+            )
+        else:
+            print(
+                "note: no pass ran on the process backend — every query "
+                "was answered from the result cache, so no worker process "
+                "was needed"
+            )
+    return 0
+
+
+def _serve_service(args: argparse.Namespace, pool: Optional[WorkerPool]):
+    """Boot the service a ``tspg serve`` session answers from."""
+    if args.shard_snapshots:
+        service = ShardedTspgService.from_shard_snapshots(
+            args.shard_snapshots,
+            default_algorithm=args.algorithm, cache_size=args.cache_size,
+            pool=pool,
         )
+        return service, f"shard snapshots {args.shard_snapshots}"
+    if args.snapshot:
+        service = TspgService.from_snapshot(
+            args.snapshot,
+            default_algorithm=args.algorithm, cache_size=args.cache_size,
+            pool=pool,
+        )
+        return service, f"snapshot {args.snapshot}"
+    if args.edge_list:
+        graph = load_edge_list(args.edge_list)
+        source = args.edge_list
+    else:
+        graph = get_dataset(args.dataset).load()
+        source = args.dataset
+    service = TspgService(
+        graph, default_algorithm=args.algorithm, cache_size=args.cache_size,
+        pool=pool,
+    )
+    return service, source
+
+
+def _serve_parse_query(request: dict, graph) -> TspgQuery:
+    """Decode one query request; ``graph`` only needs ``has_vertex``.
+
+    The serve loop passes the *service* here, not ``service.graph``: on a
+    snapshot-booted sharded router the ``graph`` accessor would
+    materialise the full-graph union just to coerce a vertex label, which
+    ``ShardedTspgService.has_vertex`` answers union-free.
+    """
+    missing = [key for key in ("source", "target", "begin", "end") if key not in request]
+    if missing:
+        raise ValueError(f"query request is missing {', '.join(missing)}")
+    return TspgQuery(
+        _coerce_vertex(str(request["source"]), graph),
+        _coerce_vertex(str(request["target"]), graph),
+        (int(request["begin"]), int(request["end"])),
+    )
+
+
+def _serve_handle(request: dict, service, args, pool: Optional[WorkerPool]) -> dict:
+    """Answer one decoded JSONL request (see the ``serve`` parser help)."""
+    operation = request.get("op")
+    if operation is None:
+        operation = "batch" if "queries" in request else "query"
+    algorithm = request.get("algorithm")
+    if algorithm is not None and algorithm not in available_algorithms():
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; available: "
+            f"{', '.join(available_algorithms())}"
+        )
+    if operation == "stats":
+        stats = service.cache_stats()
+        response = {
+            "ok": True,
+            "op": "stats",
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "size": stats.size,
+            },
+            "index": dict(service.index_stats),
+        }
+        if pool is not None:
+            response["pool"] = pool.stats()
+        return response
+    if operation == "query":
+        query = _serve_parse_query(request, service)
+        deadline = None
+        if request.get("deadline_ms") is not None:
+            deadline = Deadline.after(float(request["deadline_ms"]) / 1000.0)
+        outcome = service.submit(query, algorithm, deadline=deadline)
+        return {
+            "ok": True,
+            "op": "query",
+            "algorithm": outcome.algorithm,
+            "num_vertices": outcome.result.num_vertices,
+            "num_edges": outcome.result.num_edges,
+            "elapsed_ms": round(outcome.elapsed_seconds * 1000.0, 3),
+            "timed_out": outcome.timed_out,
+            "cache_hit": bool(outcome.extras.get("cache_hit")),
+        }
+    if operation == "batch":
+        raw = request.get("queries")
+        if not isinstance(raw, list) or not raw:
+            raise ValueError("batch request needs a non-empty 'queries' list")
+        queries = []
+        for entry in raw:
+            if isinstance(entry, dict):
+                queries.append(_serve_parse_query(entry, service))
+            else:
+                if len(entry) != 4:
+                    raise ValueError(
+                        "each batch query must be [source, target, begin, end]"
+                    )
+                queries.append(
+                    _serve_parse_query(
+                        dict(zip(("source", "target", "begin", "end"), entry)),
+                        service,
+                    )
+                )
+        budget = args.budget
+        if request.get("budget_ms") is not None:
+            budget = float(request["budget_ms"]) / 1000.0
+        workers = int(request.get("workers", args.workers))
+        report = service.run_batch(
+            queries,
+            algorithm,
+            max_workers=workers,
+            time_budget_seconds=budget,
+            executor=args.executor,
+        )
+        row = report.as_row()
+        row["num_timed_out"] = report.num_timed_out
+        return {"ok": True, "op": "batch", **row}
+    raise ValueError(f"unknown op {operation!r} (expected query, batch, stats or quit)")
+
+
+def _command_serve(args: argparse.Namespace, stdin: Optional[TextIO] = None) -> int:
+    """The persistent serving loop: boot once, answer JSONL until EOF.
+
+    Responses go to stdout (one JSON object per line, always with an
+    ``ok`` flag); the human-facing banner goes to stderr so stdout stays
+    machine-parseable.  A malformed request answers ``ok: false`` and the
+    loop continues — only EOF or ``{"op": "quit"}`` ends the session.
+    """
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.cache_size < 0:
+        raise SystemExit("--cache-size must be non-negative")
+    pool = WorkerPool(max_workers=args.workers) if args.executor == "processes" else None
+    opened = None
+    try:
+        try:
+            service, source = _serve_service(args, pool)
+        except SnapshotError as exc:
+            raise SystemExit(str(exc)) from None
+        reasons = (
+            service.process_fallback_reasons(max_workers=args.workers)
+            if args.executor == "processes"
+            else []
+        )
+        print(
+            f"serving {source} (algorithm {args.algorithm}, "
+            f"{args.workers} workers, executor {args.executor}"
+            + (
+                "; note: process batches will degrade to threads — "
+                + "; ".join(reasons)
+                if reasons
+                else ""
+            )
+            + "); one JSON request per line, EOF or {\"op\": \"quit\"} ends",
+            file=sys.stderr,
+        )
+        if stdin is None:
+            if args.input:
+                stdin = opened = open(args.input, "r", encoding="utf-8")
+            else:
+                stdin = sys.stdin
+        served = 0
+        for line in stdin:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                print(json.dumps({"ok": False, "error": str(exc)}), flush=True)
+                continue
+            if request.get("op") == "quit":
+                break
+            try:
+                response = _serve_handle(request, service, args, pool)
+            except WorkerPoolError as exc:
+                # A worker died mid-batch.  The pool has already discarded
+                # its broken worker set and will fork a fresh one on the
+                # next batch — the session must survive to serve it.
+                response = {"ok": False, "error": str(exc), "retryable": True}
+            except SnapshotError as exc:
+                # A worker failed to boot (snapshot deleted/rewritten
+                # under a live session).  Only EOF or quit may end the
+                # session; the operator decides whether to re-warm.
+                response = {"ok": False, "error": str(exc)}
+            except (KeyError, TypeError, ValueError) as exc:
+                response = {"ok": False, "error": str(exc)}
+            print(json.dumps(response), flush=True)
+            served += 1
+        print(f"served {served} requests from {source}", file=sys.stderr)
+    finally:
+        if opened is not None:
+            opened.close()
+        if pool is not None:
+            pool.close()
     return 0
 
 
@@ -392,7 +680,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         report = driver(
             args.dataset, num_queries=args.queries, workers=(1, args.workers)
         )
-    elif name == "exp12":
+    elif name in {"exp12", "exp13"}:
         report = driver(args.dataset, num_queries=args.queries, workers=args.workers)
     elif name in {"exp10", "exp11"}:
         report = driver(args.dataset, num_queries=args.queries)
@@ -400,7 +688,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         report = driver(keys=args.datasets, num_queries=args.queries)
     if name in {"exp2", "exp5-fig10", "exp6", "exp7"}:
         x_label = "theta"
-    elif name in {"exp9", "exp10", "exp11", "exp12"}:
+    elif name in {"exp9", "exp10", "exp11", "exp12", "exp13"}:
         x_label = "mode"
     else:
         x_label = "dataset"
@@ -429,6 +717,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "query": _command_query,
         "batch": _command_batch,
+        "serve": _command_serve,
         "warm": _command_warm,
         "datasets": _command_datasets,
         "experiment": _command_experiment,

@@ -1,14 +1,22 @@
 """VUG core: the paper's contribution (QuickUBG, TightUBG, EEV, VUG)."""
 
+from .deadline import Deadline
 from .result import PathGraph, PhaseTimings, VUGReport
 from .polarity import PolarityTimes, compute_polarity_times
 from .quick_ubg import quick_upper_bound_graph, quick_upper_bound_with_polarity
 from .tcv import TCVIndex, TimeStreamCommonVertices, compute_time_stream_common_vertices
+from .eev import (
+    BidirectionalSearcher,
+    EEVDeadlineExpired,
+    EEVStatistics,
+    escaped_edges_verification,
+)
 from .tight_ubg import tight_upper_bound_graph, tight_upper_bound_with_tcv
-from .eev import BidirectionalSearcher, EEVStatistics, escaped_edges_verification
 from .vug import VUG, generate_tspg, generate_tspg_report
 
 __all__ = [
+    "Deadline",
+    "EEVDeadlineExpired",
     "PathGraph",
     "PhaseTimings",
     "VUGReport",

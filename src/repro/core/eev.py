@@ -31,7 +31,19 @@ from ..graph.edge import TemporalEdge, TimeInterval, Timestamp, Vertex, as_inter
 from ..graph.temporal_graph import TemporalGraph
 from ..graph.views import SubgraphView
 from ..paths.temporal_path import TemporalPath
+from .deadline import Deadline
 from .result import PathGraph
+
+
+class EEVDeadlineExpired(RuntimeError):
+    """Raised by :func:`escaped_edges_verification` when its deadline expires.
+
+    The cooperative cut-off signal of the EEV phase: the caller (VUG's
+    pipeline) catches it and reports the query as ``timed_out``.  Raised at
+    most one node expansion past the deadline instant — the search polls at
+    every expansion — so the cut-off slack is bounded by a single edge
+    expansion, not by a whole witness search.
+    """
 
 EdgeTuple = Tuple[Vertex, Vertex, Timestamp]
 
@@ -73,6 +85,7 @@ def escaped_edges_verification(
     interval,
     use_lemma10: bool = True,
     collect_statistics: bool = False,
+    deadline: Optional[Deadline] = None,
 ) -> PathGraph | Tuple[PathGraph, EEVStatistics]:
     """Algorithm 6: produce the exact ``tspG`` from the tight upper-bound graph.
 
@@ -91,6 +104,13 @@ def escaped_edges_verification(
         when verifying edges of an arbitrary upper bound.
     collect_statistics:
         Also return an :class:`EEVStatistics` with per-rule counters.
+    deadline:
+        Optional cooperative cut-off.  Polled before every escaped-edge
+        search *and* at every node expansion inside the bidirectional
+        search; on expiry :class:`EEVDeadlineExpired` is raised promptly
+        (slack: one edge expansion).  Queries that finish before the
+        deadline produce bit-identical results to a deadline-free run —
+        the polls are read-only.
     """
     window = as_interval(interval)
     stats = EEVStatistics(edges_total=tight_graph.num_edges)
@@ -141,11 +161,18 @@ def escaped_edges_verification(
     # ------------------------------------------------------------------
     # Lines 6-19: bidirectional search for each remaining escaped edge.
     # ------------------------------------------------------------------
-    searcher = BidirectionalSearcher(tight_graph, source, target, window)
+    searcher = BidirectionalSearcher(
+        tight_graph, source, target, window, deadline=deadline
+    )
     for edge in ordered_edges:
         key = edge.as_tuple()
         if key in verified:
             continue
+        if deadline is not None and deadline.expired():
+            raise EEVDeadlineExpired(
+                f"deadline expired after {stats.searches_performed} of the "
+                f"escaped-edge searches"
+            )
         stats.searches_performed += 1
         witness = searcher.find_witness_path(edge)
         if witness is None:
@@ -211,11 +238,24 @@ class BidirectionalSearcher:
         source: Vertex,
         target: Vertex,
         interval: TimeInterval,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         self._graph = graph
         self._source = source
         self._target = target
         self._interval = interval
+        self._deadline = deadline
+
+    def _check_deadline(self) -> None:
+        """Cooperative poll, one per node expansion (no-op without a deadline).
+
+        A single witness search can visit exponentially many states on an
+        adversarial graph, so polling only *between* searches would leave
+        the cut-off slack unbounded; polling at every expansion bounds it
+        by one edge expansion.
+        """
+        if self._deadline is not None and self._deadline.expired():
+            raise EEVDeadlineExpired("deadline expired inside a witness search")
 
     # ------------------------------------------------------------------
     def find_witness_path(self, edge: TemporalEdge) -> Optional[TemporalPath]:
@@ -275,6 +315,7 @@ class BidirectionalSearcher:
     # ------------------------------------------------------------------
     def _forward_paths(self, vertex: Vertex, last_time: Timestamp, visited: Set[Vertex]):
         """Yield forward half-paths as edge lists; ``visited`` reflects the current path."""
+        self._check_deadline()
         # Non-ascending exploration order (optimisation ii).
         entries = [
             (w, ts)
@@ -305,6 +346,7 @@ class BidirectionalSearcher:
     # ------------------------------------------------------------------
     def _backward_paths(self, vertex: Vertex, next_time: Timestamp, visited: Set[Vertex]):
         """Yield backward half-paths (already oriented s → … → vertex)."""
+        self._check_deadline()
         # Non-descending exploration order (optimisation ii).
         entries = [
             (w, ts)

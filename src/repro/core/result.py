@@ -222,6 +222,10 @@ class VUGReport:
     timings: PhaseTimings = field(default_factory=PhaseTimings)
     space_cost: int = 0
     eev_statistics: Optional[object] = None
+    #: ``True`` when a cooperative :class:`~repro.core.deadline.Deadline`
+    #: cut the pipeline off before the exact result was produced; the
+    #: ``result`` is then the empty path graph, never a partial one.
+    timed_out: bool = False
 
     @property
     def tspg(self) -> PathGraph:

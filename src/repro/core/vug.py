@@ -32,7 +32,8 @@ from typing import Optional
 
 from ..graph.edge import Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
-from .eev import EEVStatistics, escaped_edges_verification
+from .deadline import Deadline
+from .eev import EEVDeadlineExpired, EEVStatistics, escaped_edges_verification
 from .polarity import compute_polarity_id_arrays, compute_polarity_times
 from .quick_ubg import quick_mask_kernel, quick_upper_bound_graph_materializing
 from .result import PathGraph, PhaseTimings, VUGReport
@@ -72,10 +73,24 @@ class VUG:
         source: Vertex,
         target: Vertex,
         interval,
+        deadline: Optional[Deadline] = None,
     ) -> VUGReport:
-        """Execute the full pipeline and return a :class:`VUGReport`."""
+        """Execute the full pipeline and return a :class:`VUGReport`.
+
+        ``deadline`` is the cooperative per-query cut-off.  It is polled at
+        the three phase boundaries (before QuickUBG, before TightUBG,
+        before EEV) and — because EEV's search loop is where unbounded work
+        lives — at every escaped-edge search and node expansion inside EEV.
+        On expiry the report comes back with ``timed_out=True``, the empty
+        result and the phase timings accumulated so far; the cut-off slack
+        is bounded by one uninterruptible stretch of work (a single
+        QuickUBG or TightUBG phase, or one EEV edge expansion).  A query
+        that finishes in budget is bit-identical to a deadline-free run.
+        """
         window = as_interval(interval)
         timings = PhaseTimings()
+        if deadline is not None and deadline.expired():
+            return self._timed_out_report(source, target, window, timings)
         tight_phase = (
             tight_upper_bound_graph
             if self.zero_materialization
@@ -100,6 +115,10 @@ class VUG:
                 graph, source, target, window, polarity=polarity
             )
         timings.quick_ubg = time.perf_counter() - started
+        if deadline is not None and deadline.expired():
+            return self._timed_out_report(
+                source, target, window, timings, upper_bound_quick=quick
+            )
 
         # Phase 2: tight upper-bound graph (simple-path constraint).
         started = time.perf_counter()
@@ -111,17 +130,30 @@ class VUG:
             tight = quick
             tcv_space = 0
         timings.tight_ubg = time.perf_counter() - started
+        if deadline is not None and deadline.expired():
+            return self._timed_out_report(
+                source, target, window, timings,
+                upper_bound_quick=quick, upper_bound_tight=tight,
+            )
 
         # Phase 3: escaped edges verification (exact result).
         started = time.perf_counter()
-        eev_output = escaped_edges_verification(
-            tight,
-            source,
-            target,
-            window,
-            use_lemma10=self.use_lemma10 and self.use_tight_upper_bound,
-            collect_statistics=self.collect_eev_statistics,
-        )
+        try:
+            eev_output = escaped_edges_verification(
+                tight,
+                source,
+                target,
+                window,
+                use_lemma10=self.use_lemma10 and self.use_tight_upper_bound,
+                collect_statistics=self.collect_eev_statistics,
+                deadline=deadline,
+            )
+        except EEVDeadlineExpired:
+            timings.eev = time.perf_counter() - started
+            return self._timed_out_report(
+                source, target, window, timings,
+                upper_bound_quick=quick, upper_bound_tight=tight,
+            )
         timings.eev = time.perf_counter() - started
 
         statistics: Optional[EEVStatistics] = None
@@ -149,6 +181,32 @@ class VUG:
             timings=timings,
             space_cost=space_cost,
             eev_statistics=statistics,
+        )
+
+    @staticmethod
+    def _timed_out_report(
+        source: Vertex,
+        target: Vertex,
+        window,
+        timings: PhaseTimings,
+        upper_bound_quick=None,
+        upper_bound_tight=None,
+    ) -> VUGReport:
+        """The report of a deadline-cut-off query: empty result, flag set.
+
+        The result is deliberately the *empty* path graph rather than a
+        partial one — a half-verified edge set is an upper bound of
+        nothing useful, and serving it as if it were the tspG would be a
+        correctness bug.  Whatever upper bounds were completed before the
+        cut-off ride along for diagnostics.
+        """
+        return VUGReport(
+            result=PathGraph.empty(source, target, window),
+            upper_bound_quick=upper_bound_quick,
+            upper_bound_tight=upper_bound_tight,
+            timings=timings,
+            space_cost=0,
+            timed_out=True,
         )
 
     # Alias matching the paper's "query" phrasing.

@@ -92,6 +92,12 @@ class QueryRunner:
         (``"threads"`` or ``"processes"``); the process backend additionally
         needs snapshots to boot workers from (``graph_from_snapshot`` /
         ``graph_from_shard_snapshots``), degrading to threads otherwise.
+    pool:
+        Optional persistent :class:`~repro.service.WorkerPool` attached to
+        every service this runner builds, so repeated process-backend
+        batches reuse the same long-lived workers instead of re-booting a
+        fresh executor per batch.  The pool's lifecycle stays the
+        caller's — the runner never closes it.
     """
 
     time_budget_seconds: Optional[float] = None
@@ -100,6 +106,7 @@ class QueryRunner:
     num_shards: int = 1
     shard_overlap: int = 0
     executor: str = "threads"
+    pool: Optional[object] = None
     # One service per graph so index warming and (optional) memoization are
     # shared across run_workload/run_all/run_single calls.  Keyed by id();
     # the strong reference keeps each graph alive, so ids cannot be reused.
@@ -117,10 +124,12 @@ class QueryRunner:
             if self.num_shards > 1:
                 service = ShardedTspgService(
                     graph, self.num_shards, overlap=self.shard_overlap,
-                    executor=self.executor,
+                    executor=self.executor, pool=self.pool,
                 )
             else:
-                service = TspgService(graph, executor=self.executor)
+                service = TspgService(
+                    graph, executor=self.executor, pool=self.pool
+                )
             self._services[id(graph)] = service
         return service
 
@@ -143,10 +152,12 @@ class QueryRunner:
             graph = load_snapshot(path)
             self._services[id(graph)] = ShardedTspgService(
                 graph, self.num_shards, overlap=self.shard_overlap,
-                executor=self.executor,
+                executor=self.executor, pool=self.pool,
             )
         else:
-            service = TspgService.from_snapshot(path, executor=self.executor)
+            service = TspgService.from_snapshot(
+                path, executor=self.executor, pool=self.pool
+            )
             graph = service.graph
             self._services[id(graph)] = service
         return graph
@@ -173,7 +184,7 @@ class QueryRunner:
         from ..service import ShardedTspgService  # deferred: cycle
 
         router = ShardedTspgService.from_shard_snapshots(
-            path, executor=self.executor
+            path, executor=self.executor, pool=self.pool
         )
         graph = router.graph
         self._services[id(graph)] = router

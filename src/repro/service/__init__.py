@@ -34,12 +34,23 @@ Quickstart
 >>> repeat.num_cache_hits
 2
 
-The CLI exposes the same machinery as ``tspg batch`` and the throughput
-benchmark ``benchmarks/bench_exp9_batch_throughput.py`` measures the
-serial / parallel / cached regimes against each other.
+For high-QPS serving loops a persistent :class:`WorkerPool` keeps the
+process backend's workers — and their snapshot-booted services, warmed
+views and caches — alive across batches (``tspg serve`` drives one), and
+batch budgets travel as cooperative per-query
+:class:`~repro.core.deadline.Deadline` objects so an expired query frees
+its worker promptly.  See ``docs/serving.md`` for the full serving-layer
+tour.
+
+The CLI exposes the same machinery as ``tspg batch`` / ``tspg serve`` and
+the throughput benchmarks (``bench_exp9`` serial/parallel/cached,
+``bench_exp12`` thread/process backends, ``bench_exp13`` persistent pool +
+deadlines) measure the regimes against each other.
 """
 
+from ..core.deadline import Deadline
 from .cache import CacheStats, ResultCache
+from .pool import WorkerPool, WorkerPoolError
 from .service import (
     DEFAULT_CACHE_SIZE,
     EXECUTOR_BACKENDS,
@@ -61,8 +72,11 @@ __all__ = [
     "BatchItem",
     "ResultCache",
     "CacheStats",
+    "Deadline",
     "DEFAULT_CACHE_SIZE",
     "EXECUTOR_BACKENDS",
+    "WorkerPool",
+    "WorkerPoolError",
     "ShardedTspgService",
     "ShardedBatchReport",
     "ShardSpec",

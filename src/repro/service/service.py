@@ -26,6 +26,17 @@ Two batch execution backends exist (``run_batch(executor=...)``):
   from), when the graph has mutated since the snapshot was taken, or when
   the algorithm was passed as an instance instead of a registry name.
 
+The process backend's executor is per-batch by default (created and torn
+down inside ``run_batch``); attaching a persistent
+:class:`~repro.service.pool.WorkerPool` (the ``pool=`` constructor argument
+or :meth:`TspgService.attach_pool`) makes repeated batches reuse the same
+long-lived worker processes — and therefore their snapshot-booted services,
+warmed views and worker-side caches — amortising the fork + boot cost to
+zero after the first batch.  Batch budgets and per-query cut-offs travel as
+cooperative :class:`~repro.core.deadline.Deadline` objects all the way into
+the algorithms, so an expired query yields a ``timed_out`` row promptly
+instead of squatting on a worker past the budget.
+
 Every algorithm registered in :mod:`repro.algorithms` is available by name;
 instances are created once per service and shared across worker threads —
 legal because every :meth:`~repro.baselines.interface.TspgAlgorithm.compute`
@@ -34,6 +45,7 @@ implementation in the library keeps its state on the stack.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 import warnings
@@ -49,10 +61,12 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..algorithms import get_algorithm
 from ..baselines.interface import AlgorithmResult, TspgAlgorithm
+from ..core.deadline import Deadline
 from ..graph.edge import Vertex
 from ..graph.temporal_graph import TemporalGraph
 from ..queries.query import QueryWorkload, TspgQuery
 from .cache import CacheKey, CacheStats, ResultCache
+from .pool import WorkerPool
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..store.graph_store import GraphStore
@@ -75,6 +89,33 @@ def _validate_executor(executor: str) -> str:
     return executor
 
 
+def _usable_pool(pool: Optional[WorkerPool]) -> Optional[WorkerPool]:
+    """``pool`` if it is attached and can still serve, else ``None``."""
+    if pool is not None and not pool.closed:
+        return pool
+    return None
+
+
+def _common_fallback_reasons(
+    workers: int, algorithm: Optional[AlgorithmSpec]
+) -> List[str]:
+    """Degrade-to-threads reasons shared by the flat and sharded services.
+
+    The snapshot-specific reasons differ per service and are appended by
+    each ``process_fallback_reasons`` implementation; keeping the common
+    wording here stops the two CLI notes from drifting apart.
+    """
+    reasons: List[str] = []
+    if workers == 1:
+        reasons.append("max_workers=1 requests a serial run")
+    if isinstance(algorithm, TspgAlgorithm):
+        reasons.append(
+            "the algorithm is a configured instance, not a registry "
+            "name, and cannot be shipped to worker processes"
+        )
+    return reasons
+
+
 def _chunk_positions(count: int, chunks: int) -> List[List[int]]:
     """Split ``range(count)`` into ≤``chunks`` contiguous near-equal runs."""
     chunks = max(1, min(chunks, count))
@@ -88,11 +129,34 @@ def _chunk_positions(count: int, chunks: int) -> List[List[int]]:
     return out
 
 
-#: Per-worker-process cache of snapshot-booted services, keyed by snapshot
-#: path.  Lives only inside pool workers (the parent never calls the worker
-#: function), so a worker that receives several chunks of the same batch —
-#: or several batches from the same pool — boots its service exactly once.
-_WORKER_SERVICES: Dict[str, "TspgService"] = {}
+#: Per-worker-process cache of snapshot-booted services, keyed by
+#: ``(snapshot path, expected epoch, algorithm options)``.  Lives only
+#: inside pool workers (the parent never calls the worker function), so a
+#: worker that receives several chunks of the same batch — or several
+#: batches from the same pool — boots its service exactly once.  The epoch
+#: and options are part of the key because a *persistent* pool outlives
+#: service generations: re-warming a different graph over the same path
+#: (or booting a same-path service with different options) must re-boot
+#: here instead of silently serving the stale cached service.  Older
+#: entries for the same path are evicted on insert, so the cache holds at
+#: most one generation per file (differently-configured services sharing
+#: one file coexist).  Each entry also carries the file's stat signature
+#: from boot time, re-validated on every call: epochs are per-graph
+#: counters and *can* coincide across different graphs, but a rewritten
+#: file cannot keep its ``(mtime_ns, inode, size)``.
+_WORKER_SERVICES: Dict[
+    Tuple[str, Optional[int], str, str],
+    Tuple["TspgService", Optional[Tuple[int, int, int]]],
+] = {}
+
+
+def _snapshot_file_signature(path: str) -> Optional[Tuple[int, int, int]]:
+    """Cheap identity of the snapshot file's current bytes (None if gone)."""
+    try:
+        stat = os.stat(path)
+    except OSError:
+        return None
+    return (stat.st_mtime_ns, stat.st_ino, stat.st_size)
 
 
 def _snapshot_worker_run_batch(
@@ -103,7 +167,8 @@ def _snapshot_worker_run_batch(
     default_algorithm: str = "VUG",
     algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
     use_cache: bool = True,
-    deadline_unix: Optional[float] = None,
+    deadline_at: Optional[float] = None,
+    snapshot_epoch: Optional[int] = None,
     max_workers: int = 1,
 ) -> BatchReport:
     """Process-pool worker: boot from a snapshot, answer a sub-batch.
@@ -113,29 +178,75 @@ def _snapshot_worker_run_batch(
     frozen :class:`~repro.queries.query.TspgQuery` dataclasses in, and a
     plain :class:`BatchReport` of frozen results out.
 
-    The batch budget crosses as an absolute wall-clock ``deadline_unix``
-    rather than a duration: a chunk may sit queued behind a full pool, and
-    a duration captured at submit time would silently extend the whole
-    batch past its budget.  ``time.time()`` is shared between parent and
-    (local) workers, so the remaining budget is recomputed on entry.
+    The batch budget crosses as an absolute ``deadline_at`` instant on the
+    monotonic clock rather than a duration: a chunk may sit queued behind
+    a full pool, and a duration captured at submit time would silently
+    extend the whole batch past its budget.  ``time.monotonic()`` is
+    system-wide per boot, so the reconstructed :class:`Deadline` marks the
+    same instant in a (local) worker — and travels on into the
+    algorithms, so a query the budget has expired on cuts itself off
+    inside this worker too.
+
+    In a persistent :class:`~repro.service.pool.WorkerPool` the module-level
+    service cache outlives the batch: the second batch served by this
+    worker finds its booted service (warmed view, result cache and all)
+    already here.
     """
-    service = _WORKER_SERVICES.get(snapshot_path)
-    if service is None:
+    cache_key = (
+        snapshot_path, snapshot_epoch, default_algorithm, repr(algorithm_options)
+    )
+    file_sig = _snapshot_file_signature(snapshot_path)
+    cached = _WORKER_SERVICES.get(cache_key)
+    if cached is not None and cached[1] == file_sig:
+        service = cached[0]
+    else:
         service = TspgService.from_snapshot(
             snapshot_path,
             default_algorithm=default_algorithm,
             algorithm_options=algorithm_options,
         )
-        _WORKER_SERVICES[snapshot_path] = service
-    remaining: Optional[float] = None
-    if deadline_unix is not None:
-        remaining = max(0.0, deadline_unix - time.time())
+        if snapshot_epoch is not None and service.graph.epoch != snapshot_epoch:
+            # The file was rewritten (by another writer) between the
+            # parent attaching it and this worker booting: serving from
+            # it would silently answer over a *different* graph than the
+            # parent's.  Fail loudly instead — backends must stay
+            # bit-identical.
+            from ..store import SnapshotError  # deferred: cycle
+
+            raise SnapshotError(
+                f"{snapshot_path}: snapshot was rewritten since the "
+                f"serving side attached it (worker booted epoch "
+                f"{service.graph.epoch}, expected {snapshot_epoch}); "
+                f"re-warm and re-attach before using the process backend"
+            )
+        # One generation per file: drop services booted from an *older
+        # write* of this path.  Entries whose signature still matches the
+        # file stay — two differently-configured services sharing a pool
+        # (and a snapshot) must not evict each other's boots every batch.
+        for key, entry in list(_WORKER_SERVICES.items()):
+            if key[0] == snapshot_path and entry[1] != file_sig:
+                del _WORKER_SERVICES[key]
+        # Bound the same-signature variants too: repr() of exotic option
+        # values (default object reprs embed addresses) changes per
+        # pickle round-trip, which would otherwise grow one dead entry —
+        # each holding a fully booted service — per batch, forever.
+        same_path = [
+            key
+            for key, entry in _WORKER_SERVICES.items()
+            if key[0] == snapshot_path
+        ]
+        while len(same_path) >= 4:  # insertion order ⇒ oldest first
+            del _WORKER_SERVICES[same_path.pop(0)]
+        _WORKER_SERVICES[cache_key] = (service, file_sig)
+    deadline: Optional[Deadline] = None
+    if deadline_at is not None:
+        deadline = Deadline(at_monotonic=deadline_at)
     return service.run_batch(
         queries,
         algorithm,
         max_workers=max_workers,
         use_cache=use_cache,
-        time_budget_seconds=remaining,
+        deadline=deadline,
     )
 
 
@@ -172,9 +283,26 @@ class BatchReport:
     timed_out: bool = False
     #: Backend that actually executed the computed queries: ``"threads"``
     #: (also used for serial runs) or ``"processes"``.  Records the
-    #: *effective* backend — a ``processes`` request that fell back (no
-    #: snapshot attached), or whose every query was answered from the
-    #: parent-side result cache so no worker ever ran, shows ``"threads"``.
+    #: *effective* backend, which is ``"threads"`` for a ``processes``
+    #: request whenever any of the degrade conditions held:
+    #:
+    #: * **no snapshot** — the service was not booted via
+    #:   :meth:`TspgService.from_snapshot` (flat) /
+    #:   ``save_shards``/``from_shard_snapshots`` (sharded), so workers
+    #:   have no file to boot from;
+    #: * **stale snapshot** — the graph mutated since the snapshot was
+    #:   taken (the epoch guard), so workers would boot an old edge set;
+    #: * **instance algorithm** — the algorithm was passed as a configured
+    #:   instance rather than a registry name and cannot be shipped across
+    #:   the process boundary;
+    #: * **serial request** — ``max_workers=1`` (or a ≤1-query batch)
+    #:   always runs serially, on no backend at all;
+    #: * **all cache hits** — every query was answered from the
+    #:   parent-side result cache, so no worker ever ran.
+    #:
+    #: :meth:`TspgService.process_fallback_reasons` reports which of these
+    #: applied (the CLI's explanatory note is built from it); ``as_row()``
+    #: exposes this field as the ``executor`` column.
     executor: str = "threads"
 
     @property
@@ -188,6 +316,23 @@ class BatchReport:
     @property
     def num_cache_hits(self) -> int:
         return sum(1 for item in self.items if item.cache_hit)
+
+    @property
+    def num_timed_out(self) -> int:
+        """Queries whose own run was cut off (deadline or algorithm budget).
+
+        Distinct from ``skipped`` (never started because the batch budget
+        was already gone): these ran, hit their cooperative deadline — or
+        an algorithm-internal budget such as the enumeration baselines'
+        ``max_paths`` — and reported a ``timed_out`` outcome.
+        """
+        return sum(
+            1
+            for item in self.items
+            if item.outcome is not None
+            and item.outcome.timed_out
+            and not item.skipped
+        )
 
     @property
     def queries_per_second(self) -> float:
@@ -234,6 +379,13 @@ class TspgService:
         ``"processes"`` (the latter needs a snapshot to boot workers from —
         see :meth:`from_snapshot` — and silently degrades to threads
         otherwise).
+    pool:
+        Optional persistent :class:`~repro.service.pool.WorkerPool`.  When
+        attached (and open), ``processes`` batches fan out over the pool's
+        long-lived workers instead of building a per-batch
+        ``ProcessPoolExecutor`` — repeat batches skip the fork + snapshot
+        boot entirely.  A closed pool degrades back to the per-batch
+        executor.
 
     Examples
     --------
@@ -256,6 +408,7 @@ class TspgService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int = 1,
         executor: str = "threads",
+        pool: Optional[WorkerPool] = None,
         algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> None:
         if max_workers < 1:
@@ -265,6 +418,7 @@ class TspgService:
         self._cache: ResultCache[AlgorithmResult] = ResultCache(cache_size)
         self._max_workers = max_workers
         self._default_executor = _validate_executor(executor)
+        self._pool = pool
         # Set by from_snapshot: where process-pool workers can boot an
         # identical service from, and the graph epoch that file describes.
         self._snapshot_path: Optional[str] = None
@@ -328,6 +482,16 @@ class TspgService:
         """The graph this service answers queries about."""
         return self._graph
 
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Whether ``vertex`` exists in the served graph.
+
+        Exists so callers that only need a membership probe (the CLI's
+        vertex-label coercion) can treat flat and sharded services
+        uniformly — the sharded counterpart answers without materialising
+        its full-graph union.
+        """
+        return self._graph.has_vertex(vertex)
+
     @property
     def default_algorithm(self) -> str:
         """Name of the algorithm used when none is given."""
@@ -341,6 +505,21 @@ class TspgService:
     def warmed_epoch(self) -> int:
         """Graph epoch the currently warmed indices describe."""
         return self._warmed_epoch
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The attached persistent worker pool, if any."""
+        return self._pool
+
+    def attach_pool(self, pool: Optional[WorkerPool]) -> None:
+        """Attach (or with ``None`` detach) a persistent worker pool.
+
+        The pool's lifecycle stays the caller's: the service never closes
+        it, and several services may share one pool (worker-side booted
+        services are cached per snapshot path, so shards of different
+        routers coexist in the same workers).
+        """
+        self._pool = pool
 
     def clear_cache(self) -> None:
         """Drop all memoized results (e.g. after mutating the graph)."""
@@ -425,6 +604,7 @@ class TspgService:
         algorithm: Optional[AlgorithmSpec] = None,
         *,
         use_cache: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> AlgorithmResult:
         """Answer one query, consulting and populating the result cache.
 
@@ -434,9 +614,24 @@ class TspgService:
         ``extras["cache_hit"] = True``.  If the graph was mutated since the
         last query, the indices are transparently rewarmed and stale cached
         results dropped first.
+
+        ``deadline`` is the cooperative per-query cut-off, forwarded into
+        the algorithm (see :meth:`TspgAlgorithm.run`): an
+        expired-on-arrival query returns a ``timed_out`` result before any
+        phase — or even the cache — is touched, and an in-flight one cuts
+        itself off at the algorithm's documented check points.  A
+        ``timed_out`` outcome is never memoized.
         """
         self._ensure_current()
         resolved = self._resolve(algorithm)
+        if deadline is not None and deadline.expired():
+            # Deterministic admission refusal: even a cache hit is not
+            # served past the deadline, so an expired query's outcome does
+            # not depend on what happens to be cached.
+            return resolved.run(
+                self._graph, query.source, query.target, query.interval,
+                deadline=deadline,
+            )
         key: Optional[CacheKey] = None
         if use_cache:
             key = self._cache_key(query, resolved)
@@ -451,7 +646,10 @@ class TspgService:
                     timed_out=cached.timed_out,
                     extras={**cached.extras, "cache_hit": True},
                 )
-        outcome = resolved.run(self._graph, query.source, query.target, query.interval)
+        outcome = resolved.run(
+            self._graph, query.source, query.target, query.interval,
+            deadline=deadline,
+        )
         # Never memoize a cut-off run: a timed-out (possibly partial) result
         # would be served for every future repeat of the query.
         if use_cache and not outcome.timed_out:
@@ -466,12 +664,14 @@ class TspgService:
         algorithm: Optional[AlgorithmSpec] = None,
         *,
         use_cache: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> AlgorithmResult:
         """Convenience wrapper building the :class:`TspgQuery` for the caller."""
         return self.submit(
             TspgQuery(source=source, target=target, interval=interval),
             algorithm,
             use_cache=use_cache,
+            deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -485,6 +685,7 @@ class TspgService:
         max_workers: Optional[int] = None,
         use_cache: bool = True,
         time_budget_seconds: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
         executor: Optional[str] = None,
     ) -> BatchReport:
         """Answer a batch of queries, optionally in parallel.
@@ -498,9 +699,18 @@ class TspgService:
             executes serially in submission order.
         time_budget_seconds:
             Wall-clock budget for the whole batch.  Queries that have not
-            *finished* when the budget expires are reported as skipped
+            *started* when the budget expires are reported as skipped
             (``BatchItem.skipped``) and the report is flagged ``timed_out`` —
-            the batch analogue of the paper's 12-hour "INF" cut-off.
+            the batch analogue of the paper's 12-hour "INF" cut-off.  The
+            budget also travels into every query as a cooperative
+            :class:`~repro.core.deadline.Deadline`, so an in-flight query
+            cuts itself off promptly (a ``timed_out`` outcome) instead of
+            occupying its worker past the budget.
+        deadline:
+            An explicit absolute cut-off, for callers that already hold a
+            :class:`Deadline` (the serve loop's per-request deadlines).
+            When both this and ``time_budget_seconds`` are given the
+            stricter instant wins.
         executor:
             ``"threads"`` (default) or ``"processes"``.  The process backend
             fans contiguous chunks of the batch out to a
@@ -529,6 +739,9 @@ class TspgService:
         executor_kind = _validate_executor(
             executor if executor is not None else self._default_executor
         )
+        budget_deadline = Deadline.from_budget(time_budget_seconds)
+        if budget_deadline is not None:
+            deadline = budget_deadline.earlier(deadline)
         report = BatchReport(
             algorithm=resolved.name,
             items=[BatchItem(query=query) for query in query_list],
@@ -536,16 +749,17 @@ class TspgService:
         )
         started = time.perf_counter()
         if workers == 1 or len(query_list) <= 1:
-            self._run_batch_serial(report, resolved, use_cache, time_budget_seconds, started)
+            self._run_batch_serial(report, resolved, use_cache, deadline)
         elif executor_kind == "processes" and self._process_backend_ready(algorithm):
             self._run_batch_processes(
-                report, algorithm, resolved, workers, use_cache,
-                time_budget_seconds, started,
+                report, algorithm, resolved, workers, use_cache, deadline
             )
         else:
-            self._run_batch_parallel(
-                report, resolved, workers, use_cache, time_budget_seconds, started
-            )
+            self._run_batch_parallel(report, resolved, workers, use_cache, deadline)
+        if deadline is not None and deadline.expired() and report.num_timed_out:
+            # Queries the deadline cut off mid-flight are budget expiry too,
+            # exactly like the skipped-before-start case.
+            report.timed_out = True
         report.wall_seconds = time.perf_counter() - started
         return report
 
@@ -564,11 +778,17 @@ class TspgService:
         )
 
     def _run_one(
-        self, item: BatchItem, algorithm: TspgAlgorithm, use_cache: bool
+        self,
+        item: BatchItem,
+        algorithm: TspgAlgorithm,
+        use_cache: bool,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         """Execute one batch item in place (runs on a worker thread)."""
         started = time.perf_counter()
-        outcome = self.submit(item.query, algorithm, use_cache=use_cache)
+        outcome = self.submit(
+            item.query, algorithm, use_cache=use_cache, deadline=deadline
+        )
         item.outcome = outcome
         item.cache_hit = bool(outcome.extras.get("cache_hit"))
         item.elapsed_seconds = time.perf_counter() - started
@@ -578,18 +798,14 @@ class TspgService:
         report: BatchReport,
         algorithm: TspgAlgorithm,
         use_cache: bool,
-        time_budget_seconds: Optional[float],
-        started: float,
+        deadline: Optional[Deadline],
     ) -> None:
         for item in report.items:
-            if (
-                time_budget_seconds is not None
-                and time.perf_counter() - started > time_budget_seconds
-            ):
+            if deadline is not None and deadline.expired():
                 item.skipped = True
                 report.timed_out = True
                 continue
-            self._run_one(item, algorithm, use_cache)
+            self._run_one(item, algorithm, use_cache, deadline)
 
     def _run_batch_parallel(
         self,
@@ -597,19 +813,22 @@ class TspgService:
         algorithm: TspgAlgorithm,
         workers: int,
         use_cache: bool,
-        time_budget_seconds: Optional[float],
-        started: float,
+        deadline: Optional[Deadline],
     ) -> None:
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="tspg-batch"
         ) as executor:
             futures: Dict[Future, BatchItem] = {
-                executor.submit(self._run_one, item, algorithm, use_cache): item
+                executor.submit(
+                    self._run_one, item, algorithm, use_cache, deadline
+                ): item
                 for item in report.items
             }
             remaining: Optional[float] = None
-            if time_budget_seconds is not None:
-                remaining = max(0.0, time_budget_seconds - (time.perf_counter() - started))
+            if deadline is not None:
+                remaining = deadline.remaining()
+            #: Items still in flight at the budget cut-off (uncancellable).
+            late: List[BatchItem] = []
             done, not_done = wait(futures, timeout=remaining, return_when=FIRST_EXCEPTION)
             failed = any(
                 not future.cancelled() and future.exception() is not None
@@ -626,12 +845,18 @@ class TspgService:
             else:
                 # `wait` only returns with pending futures (and no failure)
                 # when the timeout fired, i.e. the budget actually expired.
-                # Queries that never started are dropped; in-flight ones
-                # finish (threads cannot be interrupted) but stay skipped so
-                # the report reflects the budget faithfully.
+                # Queries that never started (cancel succeeds) are true
+                # budget skips.  In-flight ones finish (threads cannot be
+                # interrupted): a cooperative algorithm cuts itself off
+                # and delivers a `timed_out` row — the same label the
+                # serial and process backends give it — while one that
+                # runs to a late non-timed-out result is marked skipped
+                # below, because the batch did not deliver it on time.
                 for future in not_done:
-                    future.cancel()
-                    futures[future].skipped = True
+                    if future.cancel():
+                        futures[future].skipped = True
+                    else:
+                        late.append(futures[future])
                     report.timed_out = True
         # The pool has joined: every non-cancelled future — including ones
         # that were in flight at the budget cut-off — is finished, so worker
@@ -642,6 +867,10 @@ class TspgService:
             exc = future.exception()
             if exc is not None:
                 raise exc
+        if not failed:
+            for item in late:
+                if item.outcome is not None and not item.outcome.timed_out:
+                    item.skipped = True
 
     def _cache_lookup(self, item: BatchItem, resolved: TspgAlgorithm) -> bool:
         """Fill ``item`` from the result cache; ``True`` on a hit.
@@ -680,6 +909,36 @@ class TspgService:
             return
         self._cache.put(self._cache_key(item.query, resolved), outcome)
 
+    def _active_pool(self) -> Optional[WorkerPool]:
+        """The attached persistent pool, if it can still serve."""
+        return _usable_pool(self._pool)
+
+    def process_fallback_reasons(
+        self,
+        algorithm: Optional[AlgorithmSpec] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[str]:
+        """Why a ``processes`` batch request would degrade to threads.
+
+        Returns human-readable reasons, empty when the process backend
+        would engage.  The CLI renders these in its explanatory note; the
+        degrade itself stays silent on the API (the report's
+        :attr:`BatchReport.executor` field records what actually ran).
+        """
+        workers = max_workers if max_workers is not None else self._max_workers
+        reasons = _common_fallback_reasons(workers, algorithm)
+        if self._snapshot_path is None:
+            reasons.append(
+                "no snapshot is attached (boot via TspgService.from_snapshot "
+                "or 'tspg warm') so workers have nothing to boot from"
+            )
+        elif self._snapshot_epoch != self._graph.epoch:
+            reasons.append(
+                "the graph mutated after the snapshot was taken (stale "
+                "epoch); re-warm to re-attach"
+            )
+        return reasons
+
     def _run_batch_processes(
         self,
         report: BatchReport,
@@ -687,8 +946,7 @@ class TspgService:
         resolved: TspgAlgorithm,
         workers: int,
         use_cache: bool,
-        time_budget_seconds: Optional[float],
-        started: float,
+        deadline: Optional[Deadline],
     ) -> None:
         """Fan contiguous chunks of the batch out to snapshot-booted processes.
 
@@ -700,10 +958,20 @@ class TspgService:
         shipped, and worker outcomes are stored back on return, so repeat
         batches keep their dictionary-lookup cost.  Worker exceptions
         re-raise here via ``Future.result()``.
+
+        With a persistent :class:`WorkerPool` attached the chunks are
+        submitted to its long-lived workers (whose booted services survive
+        from previous batches) and nothing is torn down afterwards;
+        otherwise a per-batch ``ProcessPoolExecutor`` is built and shut
+        down around the fan-out, as before.
         """
         name = algorithm if isinstance(algorithm, str) else None
         pending = list(range(len(report.items)))
-        if use_cache:
+        # Mirror submit()'s admission contract: past the deadline not even
+        # a cache hit is served, so the refusal a worker will produce does
+        # not depend on what happens to be cached (and the report matches
+        # the thread/serial backends for identical input).
+        if use_cache and not (deadline is not None and deadline.expired()):
             pending = [
                 position
                 for position in pending
@@ -714,23 +982,27 @@ class TspgService:
             # the report keeps the default backend label.
             return
         report.executor = "processes"
-        deadline_unix: Optional[float] = None
-        if time_budget_seconds is not None:
-            deadline_unix = time.time() + max(
-                0.0, time_budget_seconds - (time.perf_counter() - started)
-            )
+        deadline_at = deadline.at_monotonic if deadline is not None else None
         chunks = [
             [pending[offset] for offset in chunk]
             for chunk in _chunk_positions(len(pending), workers)
         ]
+        persistent = self._active_pool()
+        batch_pool: Optional[ProcessPoolExecutor] = None
+        if persistent is None:
+            batch_pool = ProcessPoolExecutor(max_workers=len(chunks))
+            submit = batch_pool.submit
+            harvest = Future.result
+        else:
+            submit = persistent.submit
+            harvest = persistent.harvest
         submitted: List[Tuple[List[int], Future]] = []
-        pool = ProcessPoolExecutor(max_workers=len(chunks))
         try:
             for chunk in chunks:
                 submitted.append(
                     (
                         chunk,
-                        pool.submit(
+                        submit(
                             _snapshot_worker_run_batch,
                             self._snapshot_path,
                             [report.items[position].query for position in chunk],
@@ -738,19 +1010,33 @@ class TspgService:
                             default_algorithm=self._default_algorithm,
                             algorithm_options=self._algorithm_options,
                             use_cache=use_cache,
-                            deadline_unix=deadline_unix,
+                            deadline_at=deadline_at,
+                            snapshot_epoch=self._snapshot_epoch,
                         ),
                     )
                 )
             for chunk, future in submitted:
-                sub_report = future.result()  # re-raises worker exceptions
+                sub_report = harvest(future)  # re-raises worker exceptions
                 report.timed_out = report.timed_out or sub_report.timed_out
                 for position, item in zip(chunk, sub_report.items):
                     report.items[position] = item
                     if use_cache:
                         self._cache_store(item, resolved)
         finally:
-            # cancel_futures is a no-op on the success path (every future
-            # already resolved); on an exception it stops queued chunks from
-            # computing results that would only be discarded.
-            pool.shutdown(cancel_futures=True)
+            if batch_pool is not None:
+                # cancel_futures is a no-op on the success path (every
+                # future already resolved); on an exception it stops queued
+                # chunks from computing results that would only be
+                # discarded.  A persistent pool is never shut down here —
+                # keeping its workers (and their booted services) alive
+                # across batches is its whole point.
+                batch_pool.shutdown(cancel_futures=True)
+            elif persistent is not None:
+                # The persistent-pool analogue of cancel_futures: when an
+                # exception aborts the merge, queued chunks of this batch
+                # must not keep occupying the shared workers just to have
+                # their results discarded.  cancel() is a no-op for
+                # resolved futures, so the success path is unaffected.
+                for _chunk, future in submitted:
+                    future.cancel()
+                persistent.note_batch()

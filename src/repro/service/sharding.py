@@ -23,7 +23,7 @@ and answers it bit-identically to the full graph.
   :class:`~repro.service.service.BatchReport` objects into one report in the
   original submission order.
 * **Persistence & process parallelism** — :meth:`ShardedTspgService.save_shards`
-  writes one v2 snapshot per shard extent plus a manifest
+  writes one current-format snapshot per shard extent plus a manifest
   (:class:`~repro.store.ShardSnapshotSet`), and
   :meth:`ShardedTspgService.from_shard_snapshots` boots a router from that
   directory in O(read) *without touching the full graph* (the full-graph
@@ -49,11 +49,13 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..algorithms import get_algorithm
 from ..baselines.interface import AlgorithmResult, TspgAlgorithm
+from ..core.deadline import Deadline
 from ..graph.edge import TimeInterval, Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
 from ..queries.query import QueryWorkload, TspgQuery
 from ..store.shard_set import ShardSetManifest, ShardSnapshotSet
 from .cache import CacheStats
+from .pool import WorkerPool
 from .service import (
     DEFAULT_CACHE_SIZE,
     AlgorithmSpec,
@@ -61,7 +63,9 @@ from .service import (
     BatchReport,
     TspgService,
     _chunk_positions,
+    _common_fallback_reasons,
     _snapshot_worker_run_batch,
+    _usable_pool,
     _validate_executor,
 )
 
@@ -207,6 +211,7 @@ class ShardedTspgService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int = 1,
         executor: str = "threads",
+        pool: Optional[WorkerPool] = None,
         algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> None:
         if num_shards < 1:
@@ -223,6 +228,7 @@ class ShardedTspgService:
             cache_size=cache_size,
             max_workers=max_workers,
             executor=executor,
+            pool=pool,
             algorithm_options=algorithm_options,
         )
         self._topology = self._build_topology()
@@ -237,6 +243,7 @@ class ShardedTspgService:
         cache_size: int,
         max_workers: int,
         executor: str,
+        pool: Optional[WorkerPool],
         algorithm_options: Optional[Dict[str, Dict[str, object]]],
     ) -> None:
         """State shared by ``__init__`` and :meth:`from_shard_snapshots`."""
@@ -245,6 +252,7 @@ class ShardedTspgService:
         self._overlap = overlap
         self._max_workers = max_workers
         self._default_executor = _validate_executor(executor)
+        self._pool = pool
         self._service_kwargs: Dict[str, object] = {
             "default_algorithm": default_algorithm,
             "cache_size": cache_size,
@@ -282,6 +290,7 @@ class ShardedTspgService:
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int = 1,
         executor: str = "threads",
+        pool: Optional[WorkerPool] = None,
         algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
     ) -> "ShardedTspgService":
         """Boot a router from a :class:`~repro.store.ShardSnapshotSet` directory.
@@ -307,6 +316,7 @@ class ShardedTspgService:
             cache_size=cache_size,
             max_workers=max_workers,
             executor=executor,
+            pool=pool,
             algorithm_options=algorithm_options,
         )
         shards: List[ShardSpec] = []
@@ -482,6 +492,24 @@ class ShardedTspgService:
                     self._graph = self._materialize_union()
         return self._graph
 
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Whether ``vertex`` exists in the served graph — union-free.
+
+        On a snapshot-booted router the full graph is expensive (the
+        :attr:`graph` accessor materialises the union of the shard
+        graphs); membership is answerable from what is already in memory:
+        the shard graphs cover every edge-incident vertex and
+        ``_extra_vertices`` carries the edge-less ones.
+        """
+        if self._graph is not None:
+            return self._graph.has_vertex(vertex)
+        if vertex in self._extra_vertices:
+            return True
+        return any(
+            service.graph.has_vertex(vertex)
+            for service in self._current_topology().services
+        )
+
     @property
     def num_shards(self) -> int:
         """Number of shard partitions currently built."""
@@ -501,6 +529,56 @@ class ShardedTspgService:
     def default_algorithm(self) -> str:
         """Name of the algorithm used when none is given."""
         return str(self._service_kwargs["default_algorithm"])
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The attached persistent worker pool, if any."""
+        return self._pool
+
+    def attach_pool(self, pool: Optional[WorkerPool]) -> None:
+        """Attach (or with ``None`` detach) a persistent worker pool.
+
+        Shard-group chunks of ``executor="processes"`` batches are then
+        submitted to the pool's long-lived workers (each keeps its booted
+        per-shard services across batches) instead of a per-batch executor.
+        The pool's lifecycle stays the caller's.
+        """
+        self._pool = pool
+
+    def _active_pool(self) -> Optional[WorkerPool]:
+        """The attached persistent pool, if it can still serve."""
+        return _usable_pool(self._pool)
+
+    def process_fallback_reasons(
+        self,
+        algorithm: Optional[AlgorithmSpec] = None,
+        max_workers: Optional[int] = None,
+    ) -> List[str]:
+        """Why a ``processes`` batch request would degrade to threads.
+
+        The sharded counterpart of
+        :meth:`TspgService.process_fallback_reasons`; empty when the
+        process backend would engage for shard-routed groups (fallback
+        groups always stay on the parent's threads).
+        """
+        workers = max_workers if max_workers is not None else self._max_workers
+        reasons = _common_fallback_reasons(workers, algorithm)
+        topology = self._current_topology()
+        if self._shard_snapshot_paths is None:
+            reasons.append(
+                "no per-shard snapshots are attached (use save_shards / "
+                "from_shard_snapshots or 'tspg warm --shards') so workers "
+                "have nothing to boot from"
+            )
+        elif (
+            self._shard_snapshot_epoch != topology.epoch
+            or len(self._shard_snapshot_paths) != len(topology.shards)
+        ):
+            reasons.append(
+                "the graph mutated after the shard snapshots were written "
+                "(stale epoch); re-run save_shards to re-attach"
+            )
+        return reasons
 
     def _all_services(self) -> List[TspgService]:
         services = list(self._current_topology().services)
@@ -604,11 +682,19 @@ class ShardedTspgService:
         algorithm: Optional[AlgorithmSpec] = None,
         *,
         use_cache: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> AlgorithmResult:
-        """Answer one query on its covering shard (or the fallback)."""
+        """Answer one query on its covering shard (or the fallback).
+
+        ``deadline`` is forwarded to the shard service unchanged — routing
+        costs microseconds, so the covering shard sees effectively the
+        whole per-query budget.
+        """
         topology = self._current_topology()
         service = self._service_in(topology, self._route_in(topology, query.interval))
-        return service.submit(query, algorithm, use_cache=use_cache)
+        return service.submit(
+            query, algorithm, use_cache=use_cache, deadline=deadline
+        )
 
     def query(
         self,
@@ -618,12 +704,14 @@ class ShardedTspgService:
         algorithm: Optional[AlgorithmSpec] = None,
         *,
         use_cache: bool = True,
+        deadline: Optional[Deadline] = None,
     ) -> AlgorithmResult:
         """Convenience wrapper building the :class:`TspgQuery` for the caller."""
         return self.submit(
             TspgQuery(source=source, target=target, interval=interval),
             algorithm,
             use_cache=use_cache,
+            deadline=deadline,
         )
 
     # ------------------------------------------------------------------
@@ -637,6 +725,7 @@ class ShardedTspgService:
         max_workers: Optional[int] = None,
         use_cache: bool = True,
         time_budget_seconds: Optional[float] = None,
+        deadline: Optional[Deadline] = None,
         executor: Optional[str] = None,
     ) -> ShardedBatchReport:
         """Fan a batch out across the shards and merge the reports.
@@ -645,10 +734,13 @@ class ShardedTspgService:
         (bounded by ``max_workers``), each inside its shard's
         :class:`TspgService`, and the per-shard reports are merged into one
         :class:`ShardedBatchReport` whose items sit in the original
-        submission order.  ``time_budget_seconds`` bounds the *whole* batch:
-        every sub-batch receives only the wall-clock budget still remaining
-        when it starts, so the merged report is complete no later than the
-        budget (plus one in-flight query, exactly like the flat service).
+        submission order.  ``time_budget_seconds`` bounds the *whole* batch
+        as one absolute :class:`~repro.core.deadline.Deadline` shared by
+        every shard group, worker process and query — an in-flight query
+        past the budget cuts itself off cooperatively, so the merged report
+        lands no later than the budget plus the per-query cut-off slack.
+        ``deadline`` passes an explicit absolute cut-off instead (the
+        stricter of the two wins when both are given).
 
         ``executor="processes"`` runs each shard group in a worker *process*
         that boots from the shard's snapshot file — true multi-core
@@ -667,6 +759,9 @@ class ShardedTspgService:
         executor_kind = _validate_executor(
             executor if executor is not None else self._default_executor
         )
+        budget_deadline = Deadline.from_budget(time_budget_seconds)
+        if budget_deadline is not None:
+            deadline = budget_deadline.earlier(deadline)
 
         groups: Dict[int, List[int]] = {}
         for position, query in enumerate(query_list):
@@ -708,6 +803,8 @@ class ShardedTspgService:
         thread_groups = ordered
         process_pool: Optional[ProcessPoolExecutor] = None
         process_tasks: List[Tuple[int, List[int], Future]] = []
+        persistent: Optional[WorkerPool] = None
+        harvest = Future.result
         if use_processes:
             shard_groups = [g for g in ordered if g[0] != FALLBACK_SHARD]
             if shard_groups:
@@ -724,7 +821,11 @@ class ShardedTspgService:
                     service = topology.services[index]
                     resolved = service._resolve(algorithm)
                     report.algorithm = resolved.name
-                    if use_cache:
+                    # Same admission contract as the flat service: no
+                    # cache hit is served past the deadline.
+                    if use_cache and not (
+                        deadline is not None and deadline.expired()
+                    ):
                         positions = [
                             position
                             for position in positions
@@ -745,22 +846,24 @@ class ShardedTspgService:
                     # beyond the pool width sit queued, and a duration
                     # captured now would let them overshoot the batch
                     # budget once they finally start.
-                    deadline_unix: Optional[float] = None
-                    if time_budget_seconds is not None:
-                        deadline_unix = time.time() + max(
-                            0.0,
-                            time_budget_seconds
-                            - (time.perf_counter() - started),
+                    deadline_at: Optional[float] = None
+                    if deadline is not None:
+                        deadline_at = deadline.at_monotonic
+                    persistent = self._active_pool()
+                    if persistent is None:
+                        process_pool = ProcessPoolExecutor(
+                            max_workers=min(workers, len(chunks))
                         )
-                    process_pool = ProcessPoolExecutor(
-                        max_workers=min(workers, len(chunks))
-                    )
+                        submit = process_pool.submit
+                    else:
+                        submit = persistent.submit
+                        harvest = persistent.harvest
                     for index, chunk in chunks:
                         process_tasks.append(
                             (
                                 index,
                                 chunk,
-                                process_pool.submit(
+                                submit(
                                     _snapshot_worker_run_batch,
                                     self._shard_snapshot_paths[index],
                                     [query_list[position] for position in chunk],
@@ -770,27 +873,29 @@ class ShardedTspgService:
                                         "algorithm_options"
                                     ],
                                     use_cache=use_cache,
-                                    deadline_unix=deadline_unix,
+                                    deadline_at=deadline_at,
+                                    # The *projection's* epoch — what the
+                                    # shard file's header records — not
+                                    # the manifest's source-graph epoch.
+                                    snapshot_epoch=topology.services[
+                                        index
+                                    ].graph.epoch,
                                 ),
                             )
                         )
 
         def run_group(index: int, positions: List[int]) -> BatchReport:
-            remaining: Optional[float] = None
-            if time_budget_seconds is not None:
-                # Groups that start late (serial execution, or more groups
-                # than workers) inherit only what is left of the batch-wide
-                # budget; a group starting past the deadline skips outright.
-                remaining = max(
-                    0.0, time_budget_seconds - (time.perf_counter() - started)
-                )
+            # The group shares the batch-wide absolute deadline; a group
+            # that starts late (serial execution, or more groups than
+            # workers) simply finds less of it remaining, and one starting
+            # past the deadline skips outright.
             service = self._service_in(topology, index)
             return service.run_batch(
                 [query_list[position] for position in positions],
                 algorithm,
                 max_workers=inner_workers[index],
                 use_cache=use_cache,
-                time_budget_seconds=remaining,
+                deadline=deadline,
             )
 
         try:
@@ -815,7 +920,7 @@ class ShardedTspgService:
                 for position, item in zip(positions, sub_report.items):
                     report.items[position] = item
             for index, chunk, future in process_tasks:
-                sub_report = future.result()  # re-raises worker exceptions
+                sub_report = harvest(future)  # re-raises worker exceptions
                 report.algorithm = sub_report.algorithm
                 report.timed_out = report.timed_out or sub_report.timed_out
                 service = topology.services[index]
@@ -829,7 +934,16 @@ class ShardedTspgService:
                 # cancel_futures is a no-op on the success path (every
                 # future already resolved); on an exception it stops queued
                 # chunks from running to completion just to be discarded.
+                # A persistent pool is never shut down here — its workers
+                # (and their booted per-shard services) outlive the batch.
                 process_pool.shutdown(cancel_futures=True)
+            elif persistent is not None and process_tasks:
+                # Persistent-pool analogue of cancel_futures: an aborted
+                # merge must not leave this batch's queued chunks hogging
+                # the shared workers (no-op for resolved futures).
+                for _index, _chunk, future in process_tasks:
+                    future.cancel()
+                persistent.note_batch()
 
         if not report.algorithm:
             # Nothing ran (empty batch, or every query answered from the

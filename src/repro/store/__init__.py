@@ -10,7 +10,7 @@ arrays) — so ``TspgService.from_snapshot(path)`` cold-starts in O(read)
 instead of rebuilding and re-sorting every index.
 
 :class:`ShardSnapshotSet` (:mod:`repro.store.shard_set`) extends the same
-format to time-range-sharded serving: a directory of one v2 snapshot per
+format to time-range-sharded serving: a directory of one snapshot per
 shard extent plus a versioned JSON manifest recording the span, shard
 count, overlap, source-graph epoch and per-shard CRC-32 checksums.
 ``ShardedTspgService.save_shards(path)`` writes one and

@@ -10,7 +10,8 @@ Directory layout::
 
     <path>/
         manifest.json             # versioned metadata, see below
-        shard-0000.g0.tspgsnap    # v2 snapshot of shard 0's extent projection
+        shard-0000.g0.tspgsnap    # snapshot (current format, v3) of shard 0's
+                                  # extent projection
         shard-0001.g0.tspgsnap
         ...
         isolated.g0.tspgsnap      # optional: edge-less vertices of the source

@@ -97,6 +97,7 @@ class TestTableAndFigureDrivers:
             "table1", "exp1", "exp2", "exp3", "exp4",
             "exp5-table2", "exp5-fig9", "exp5-fig10",
             "exp6", "exp7", "exp8", "exp9", "exp10", "exp11", "exp12",
+            "exp13",
         }
 
     def test_exp10_store_and_shards(self):
@@ -126,3 +127,23 @@ class TestTableAndFigureDrivers:
         # The comparison is only honest if the process row really ran on
         # the process backend (snapshots present, name-resolved algorithm).
         assert by_mode["processes-2"]["executor"] == "processes"
+
+    def test_exp13_serving_pool(self, tmp_path):
+        report = experiments.exp13_serving_pool(
+            "D1", num_queries=4, workers=2, num_batches=2,
+            snapshot_path=str(tmp_path / "g.tspgsnap"),
+        )
+        by_mode = {row["mode"]: row for row in report.rows}
+        assert {
+            "per-batch-boot-1", "per-batch-boot-2",
+            "pool-1", "pool-2", "deadline-cutoff",
+        } == set(by_mode)
+        # Both serving regimes really ran on processes and stayed
+        # bit-identical to the serial no-deadline baseline.
+        for mode in ("per-batch-boot-2", "pool-2"):
+            assert by_mode[mode]["executor"] == "processes"
+            assert by_mode[mode]["identical"] is True
+        # The cut-off row documents its budget and bounded overshoot.
+        assert by_mode["deadline-cutoff"]["budget_s"] > 0
+        assert by_mode["deadline-cutoff"]["overshoot_s"] is not None
+        assert any("warm pool batch" in note for note in report.notes)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -238,6 +240,144 @@ class TestBatchCommand:
             build_parser().parse_args(
                 ["batch", "--dataset", "D1", "--snapshot", "x.tspgsnap"]
             )
+
+    def test_process_fallback_note_names_the_specific_reason(self, tmp_path, capsys):
+        # No snapshot attached: the note must say so, not recite every
+        # possible degrade condition.
+        edge_list = self._edge_list(tmp_path)
+        assert main([
+            "batch", "--edge-list", str(edge_list),
+            "--num-queries", "4", "--theta", "4",
+            "--workers", "2", "--executor", "processes",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no snapshot is attached" in out
+        assert "max_workers=1" not in out
+
+    def test_process_fallback_note_names_single_query_batch(self, tmp_path, capsys):
+        # Regression: a <=1-query batch degrades to serial inside
+        # run_batch, which process_fallback_reasons cannot see — the CLI
+        # must name it rather than claim everything was cache-served.
+        edge_list = self._edge_list(tmp_path)
+        snapshot = tmp_path / "g.tspgsnap"
+        assert main(["warm", "--edge-list", str(edge_list),
+                     "--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        assert main([
+            "batch", "--snapshot", str(snapshot),
+            "--num-queries", "1", "--theta", "4",
+            "--workers", "2", "--executor", "processes",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "a batch of one query runs serially" in out
+        assert "answered from the result cache" not in out
+
+    def test_process_fallback_note_names_serial_request(self, tmp_path, capsys):
+        edge_list = self._edge_list(tmp_path)
+        snapshot = tmp_path / "g.tspgsnap"
+        assert main(["warm", "--edge-list", str(edge_list),
+                     "--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        assert main([
+            "batch", "--snapshot", str(snapshot),
+            "--num-queries", "4", "--theta", "4",
+            "--workers", "1", "--executor", "processes",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "max_workers=1" in out
+        assert "no snapshot is attached" not in out
+
+
+class TestServeCommand:
+    def _edge_list(self, tmp_path):
+        graph = TemporalGraph(
+            edges=[("s", "b", 2), ("b", "t", 6), ("b", "c", 3), ("c", "t", 7),
+                   ("s", "c", 4), ("c", "b", 5)]
+        )
+        path = tmp_path / "graph.txt"
+        save_edge_list(graph, path)
+        return path
+
+    def _run(self, tmp_path, requests, extra_args=(), capsys=None):
+        script = tmp_path / "requests.jsonl"
+        script.write_text("\n".join(requests) + "\n", encoding="utf-8")
+        edge_list = self._edge_list(tmp_path)
+        code = main([
+            "serve", "--edge-list", str(edge_list),
+            "--executor", "threads", "--input", str(script), *extra_args,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        return [json.loads(line) for line in out.splitlines() if line.strip()]
+
+    def test_query_batch_and_stats_round_trip(self, tmp_path, capsys):
+        responses = self._run(tmp_path, [
+            '{"source": "s", "target": "t", "begin": 2, "end": 7}',
+            '{"queries": [["s", "t", 2, 7], ["b", "t", 3, 7]]}',
+            '{"op": "stats"}',
+        ], capsys=capsys)
+        query, batch, stats = responses
+        assert query["ok"] and query["op"] == "query"
+        assert query["num_edges"] > 0 and query["timed_out"] is False
+        assert batch["ok"] and batch["op"] == "batch"
+        assert batch["queries"] == "2/2"
+        assert stats["ok"] and stats["cache"]["misses"] >= 2
+        assert "pool" not in stats  # thread executor attaches no pool
+
+    def test_expired_deadline_reports_timed_out(self, tmp_path, capsys):
+        responses = self._run(tmp_path, [
+            '{"source": "s", "target": "t", "begin": 2, "end": 7, "deadline_ms": -1}',
+        ], capsys=capsys)
+        assert responses[0]["ok"] is True
+        assert responses[0]["timed_out"] is True
+        assert responses[0]["num_edges"] == 0
+
+    def test_malformed_requests_do_not_end_the_loop(self, tmp_path, capsys):
+        responses = self._run(tmp_path, [
+            "definitely not json",
+            '{"op": "unknown-op"}',
+            '{"source": "s", "target": "t"}',
+            '{"queries": [], "op": "batch"}',
+            '{"algorithm": "nope", "source": "s", "target": "t", "begin": 1, "end": 2}',
+            '{"source": "s", "target": "t", "begin": 2, "end": 7}',
+        ], capsys=capsys)
+        assert [r["ok"] for r in responses] == [False] * 5 + [True]
+        assert "missing begin, end" in responses[2]["error"]
+        assert "unknown algorithm" in responses[4]["error"]
+
+    def test_quit_ends_the_session_early(self, tmp_path, capsys):
+        responses = self._run(tmp_path, [
+            '{"op": "quit"}',
+            '{"source": "s", "target": "t", "begin": 2, "end": 7}',
+        ], capsys=capsys)
+        assert responses == []
+
+    def test_serve_over_a_persistent_pool(self, tmp_path, capsys):
+        edge_list = self._edge_list(tmp_path)
+        snapshot = tmp_path / "g.tspgsnap"
+        assert main(["warm", "--edge-list", str(edge_list),
+                     "--output", str(snapshot)]) == 0
+        capsys.readouterr()
+        script = tmp_path / "requests.jsonl"
+        script.write_text(
+            '{"queries": [["s", "t", 2, 7], ["b", "t", 3, 7]]}\n'
+            '{"queries": [["s", "t", 2, 7], ["b", "t", 3, 7]]}\n'
+            '{"op": "stats"}\n',
+            encoding="utf-8",
+        )
+        assert main([
+            "serve", "--snapshot", str(snapshot), "--workers", "2",
+            "--executor", "processes", "--cache-size", "0",
+            "--input", str(script),
+        ]) == 0
+        out = capsys.readouterr().out
+        responses = [json.loads(line) for line in out.splitlines() if line.strip()]
+        first, second, stats = responses
+        assert first["executor"] == "processes"
+        assert second["executor"] == "processes"
+        # One worker set served both batches: the pool never re-forked.
+        assert stats["pool"]["batches_served"] == 2
+        assert stats["pool"]["generation"] == 1
 
 
 class TestExperimentExp10:

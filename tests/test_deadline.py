@@ -1,0 +1,321 @@
+"""Cooperative per-query deadlines: propagation, promptness, bit-identity.
+
+Covers the deadline satellite of the serving-pool PR:
+
+* expired-on-arrival queries report ``timed_out`` without running a phase
+  (and without touching the result cache);
+* a mid-EEV expiry stops promptly (the escaped-edge loop and the searcher
+  both poll), and a batch whose budget expires mid-flight lands within the
+  documented slack;
+* queries that finish in budget are bit-identical with and without a
+  deadline, for every registry algorithm;
+* ``timed_out`` outcomes are never memoized, and the deadline crosses the
+  process boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import pytest
+
+from repro.algorithms import available_algorithms, get_algorithm
+from repro.baselines.interface import AlgorithmResult, TspgAlgorithm
+from repro.core import Deadline, EEVDeadlineExpired
+from repro.core.eev import BidirectionalSearcher, escaped_edges_verification
+from repro.core.result import PathGraph
+from repro.core.vug import VUG
+from repro.graph.edge import TemporalEdge, TimeInterval
+from repro.graph.generators import uniform_random_temporal_graph
+from repro.graph.temporal_graph import TemporalGraph
+from repro.queries.query import TspgQuery
+from repro.queries.workload import generate_workload
+from repro.service import ShardedTspgService, TspgService
+from repro.store import save_snapshot
+
+#: Documented cut-off slack for the batch-level promptness assertions:
+#: one uninterruptible stretch of work plus generous scheduler headroom.
+SLACK_SECONDS = 0.5
+
+
+def _chain_graph() -> TemporalGraph:
+    """s → a → b → t with one escaped middle edge when Lemma 10 is off."""
+    return TemporalGraph(
+        edges=[("s", "a", 1), ("a", "b", 2), ("b", "t", 3), ("s", "x", 5)]
+    )
+
+
+class TestDeadlineObject:
+    def test_after_and_remaining(self):
+        deadline = Deadline.after(60.0)
+        assert not deadline.expired()
+        assert 0.0 < deadline.remaining() <= 60.0
+
+    def test_expired_deadline(self):
+        deadline = Deadline.after(-1.0)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_from_budget_none_passthrough(self):
+        assert Deadline.from_budget(None) is None
+        assert Deadline.from_budget(5.0) is not None
+
+    def test_earlier_picks_the_stricter_instant(self):
+        near = Deadline.after(1.0)
+        far = Deadline.after(100.0)
+        assert near.earlier(far) is near
+        assert far.earlier(near) is near
+        assert near.earlier(None) is near
+
+    def test_pickle_preserves_the_instant(self):
+        deadline = Deadline.after(30.0)
+        clone = pickle.loads(pickle.dumps(deadline))
+        assert clone.at_monotonic == deadline.at_monotonic
+
+
+class TestExpiredOnArrival:
+    def test_algorithm_run_refuses_without_computing(self):
+        calls = []
+
+        class Recording(TspgAlgorithm):
+            name = "Recording"
+
+            def compute(self, graph, source, target, interval, deadline=None):
+                calls.append((source, target))
+                return AlgorithmResult(
+                    algorithm=self.name,
+                    result=PathGraph.empty(source, target, interval),
+                    elapsed_seconds=0.0,
+                )
+
+        outcome = Recording().run(
+            _chain_graph(), "s", "t", (1, 3), deadline=Deadline.after(-1.0)
+        )
+        assert outcome.timed_out is True
+        assert outcome.result.is_empty
+        assert outcome.extras.get("deadline_expired_on_arrival") is True
+        assert calls == []  # no phase of any kind ran
+
+    def test_vug_phase_timings_stay_zero(self):
+        report = VUG().run(
+            _chain_graph(), "s", "t", (1, 3), deadline=Deadline.after(-1.0)
+        )
+        assert report.timed_out is True
+        assert report.timings.total == 0.0
+        assert report.upper_bound_quick is None
+
+    def test_cache_hit_is_not_served_past_the_deadline(self):
+        service = TspgService(_chain_graph())
+        query = TspgQuery("s", "t", (1, 3))
+        warm = service.submit(query)  # populate the cache
+        assert not warm.timed_out
+        refused = service.submit(query, deadline=Deadline.after(-1.0))
+        assert refused.timed_out is True
+        assert not refused.extras.get("cache_hit")
+        # ...and the refusal was not memoized over the good entry:
+        again = service.submit(query)
+        assert not again.timed_out
+        assert again.result.edges == warm.result.edges
+
+    def test_old_style_compute_signature_still_guarded(self):
+        class OldStyle(TspgAlgorithm):
+            name = "OldStyle"
+
+            def compute(self, graph, source, target, interval):
+                return AlgorithmResult(
+                    algorithm=self.name,
+                    result=PathGraph.empty(source, target, interval),
+                    elapsed_seconds=0.0,
+                )
+
+        algorithm = OldStyle()
+        live = algorithm.run(
+            _chain_graph(), "s", "t", (1, 3), deadline=Deadline.after(60.0)
+        )
+        assert not live.timed_out
+        refused = algorithm.run(
+            _chain_graph(), "s", "t", (1, 3), deadline=Deadline.after(-1.0)
+        )
+        assert refused.timed_out is True
+
+
+class TestMidEEVExpiry:
+    def test_escaped_edge_loop_raises_promptly(self):
+        # With Lemma 10 off the middle edge (a, b, 2) escapes to the
+        # search loop, whose per-iteration poll sees the expired deadline.
+        with pytest.raises(EEVDeadlineExpired):
+            escaped_edges_verification(
+                _chain_graph(), "s", "t", (1, 3),
+                use_lemma10=False, deadline=Deadline.after(-1.0),
+            )
+
+    def test_searcher_polls_inside_expansions(self):
+        searcher = BidirectionalSearcher(
+            _chain_graph(), "s", "t", TimeInterval(1, 3),
+            deadline=Deadline.after(-1.0),
+        )
+        with pytest.raises(EEVDeadlineExpired):
+            searcher.find_witness_path(TemporalEdge("a", "b", 2))
+
+    def test_vug_maps_the_expiry_to_a_timed_out_report(self):
+        report = VUG(use_lemma10=False).run(
+            _chain_graph(), "s", "t", (1, 3),
+            # Generous enough to pass the QuickUBG/TightUBG boundary polls
+            # on a 4-edge graph, then expire inside EEV's loop.
+            deadline=Deadline.after(1e-4),
+        )
+        # Either the boundary or the EEV poll caught it; both must yield
+        # the empty timed-out report, never a partial result.
+        if report.timed_out:
+            assert report.result.is_empty
+
+    def test_batch_budget_expiry_lands_within_slack(self):
+        class Slow(TspgAlgorithm):
+            name = "SlowDeadline"
+
+            def compute(self, graph, source, target, interval, deadline=None):
+                # Cooperative worker: polls its deadline mid-"phase".
+                for _ in range(50):
+                    if deadline is not None and deadline.expired():
+                        return AlgorithmResult(
+                            algorithm=self.name,
+                            result=PathGraph.empty(source, target, interval),
+                            elapsed_seconds=0.0,
+                            timed_out=True,
+                        )
+                    time.sleep(0.002)
+                return AlgorithmResult(
+                    algorithm=self.name,
+                    result=PathGraph.empty(source, target, interval),
+                    elapsed_seconds=0.0,
+                )
+
+        graph = _chain_graph()
+        queries = [TspgQuery("s", "t", (1, 3)), TspgQuery("s", "b", (1, 2)),
+                   TspgQuery("a", "t", (2, 3)), TspgQuery("s", "x", (1, 5))]
+        budget = 0.05
+        started = time.perf_counter()
+        report = TspgService(graph).run_batch(
+            queries, Slow(), use_cache=False, time_budget_seconds=budget
+        )
+        elapsed = time.perf_counter() - started
+        assert report.timed_out is True
+        # The batch may not squat past its budget: each 100ms query either
+        # never starts (skipped) or cuts itself off at the next poll.
+        assert elapsed <= budget + SLACK_SECONDS
+        assert all(
+            item.skipped or (item.outcome is not None and item.outcome.timed_out)
+            for item in report.items
+        )
+
+
+class TestInBudgetBitIdentity:
+    def test_registry_wide_identity_with_generous_deadline(self):
+        graph = uniform_random_temporal_graph(
+            num_vertices=14, num_edges=80, num_timestamps=24, seed=23
+        )
+        queries = list(
+            generate_workload(
+                graph, num_queries=12, theta=8, seed=23, name="deadline-oracle"
+            )
+        )
+        for name in available_algorithms():
+            algorithm = get_algorithm(name)
+            for query in queries:
+                plain = algorithm.run(
+                    graph, query.source, query.target, query.interval
+                )
+                bounded = algorithm.run(
+                    graph, query.source, query.target, query.interval,
+                    deadline=Deadline.after(3600.0),
+                )
+                assert bounded.timed_out == plain.timed_out, (name, query)
+                assert bounded.result.vertices == plain.result.vertices, (name, query)
+                assert bounded.result.edges == plain.result.edges, (name, query)
+
+    def test_sharded_submit_forwards_the_deadline(self):
+        # Regression: the router's single-query path must accept and
+        # forward deadlines exactly like the flat service (the serve
+        # loop's per-request deadline_ms hits this).
+        graph = uniform_random_temporal_graph(
+            num_vertices=12, num_edges=60, num_timestamps=20, seed=37
+        )
+        router = ShardedTspgService(graph, 2, overlap=6)
+        query = next(iter(generate_workload(
+            graph, num_queries=1, theta=6, seed=37, name="sharded-submit"
+        )))
+        live = router.submit(query, deadline=Deadline.after(60.0))
+        assert not live.timed_out
+        refused = router.submit(query, deadline=Deadline.after(-1.0))
+        assert refused.timed_out is True
+
+    def test_sharded_batch_identity_under_budget(self):
+        graph = uniform_random_temporal_graph(
+            num_vertices=14, num_edges=90, num_timestamps=30, seed=29
+        )
+        queries = list(
+            generate_workload(
+                graph, num_queries=15, theta=8, seed=29, name="sharded-deadline"
+            )
+        )
+        baseline = TspgService(graph).run_batch(queries, use_cache=False)
+        router = ShardedTspgService(graph, 3, overlap=8)
+        bounded = router.run_batch(
+            queries, max_workers=3, use_cache=False, time_budget_seconds=60.0
+        )
+        assert bounded.timed_out is False
+        for item, base in zip(bounded.items, baseline.items):
+            assert item.outcome.result.vertices == base.outcome.result.vertices
+            assert item.outcome.result.edges == base.outcome.result.edges
+
+
+class TestDeadlineAcrossProcesses:
+    def test_expired_budget_refuses_cached_queries_on_processes(self, tmp_path):
+        # Regression: the process backend's parent-side cache pre-pass
+        # must not serve hits past an expired deadline — identical input
+        # must produce the same refusal the thread/serial backends give.
+        graph = uniform_random_temporal_graph(
+            num_vertices=12, num_edges=60, num_timestamps=20, seed=33
+        )
+        path = tmp_path / "g.tspgsnap"
+        save_snapshot(graph, path)
+        queries = list(
+            generate_workload(
+                graph, num_queries=4, theta=6, seed=33, name="proc-cache-deadline"
+            )
+        )
+        service = TspgService.from_snapshot(path)
+        service.run_batch(queries, use_cache=True)  # warm the parent cache
+        report = service.run_batch(
+            queries, max_workers=2, use_cache=True,
+            executor="processes", time_budget_seconds=0.0,
+        )
+        assert report.num_cache_hits == 0
+        assert all(
+            item.skipped or (item.outcome is not None and item.outcome.timed_out)
+            for item in report.items
+        )
+
+    def test_expired_budget_refuses_inside_workers(self, tmp_path):
+        graph = uniform_random_temporal_graph(
+            num_vertices=12, num_edges=60, num_timestamps=20, seed=31
+        )
+        path = tmp_path / "g.tspgsnap"
+        save_snapshot(graph, path)
+        queries = list(
+            generate_workload(
+                graph, num_queries=4, theta=6, seed=31, name="proc-deadline"
+            )
+        )
+        service = TspgService.from_snapshot(path)
+        report = service.run_batch(
+            queries, max_workers=2, use_cache=False,
+            executor="processes", time_budget_seconds=0.0,
+        )
+        assert report.executor == "processes"
+        assert report.timed_out is True
+        assert all(
+            item.skipped or (item.outcome is not None and item.outcome.timed_out)
+            for item in report.items
+        )

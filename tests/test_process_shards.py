@@ -9,6 +9,7 @@ import pytest
 
 from repro.algorithms import available_algorithms, get_algorithm
 from repro.baselines.interface import AlgorithmResult, TspgAlgorithm
+from repro.core.deadline import Deadline
 from repro.core.result import PathGraph
 from repro.graph.generators import uniform_random_temporal_graph
 from repro.graph.temporal_graph import TemporalGraph
@@ -81,9 +82,10 @@ class TestExceptionVsTimeout:
             items=[BatchItem(query=query) for query in _star_queries(4)],
             num_workers=2,
         )
+        deadline = None if budget is None else Deadline.after(budget)
         with pytest.raises(RuntimeError, match="worker blew up"):
             service._run_batch_parallel(
-                report, FailingAlgorithm(), 2, False, budget, time.perf_counter()
+                report, FailingAlgorithm(), 2, False, deadline
             )
         return report
 
@@ -108,15 +110,20 @@ class TestExceptionVsTimeout:
         assert report.timed_out is True
         assert any(item.skipped for item in report.items)
 
-    def test_exception_after_expired_budget_still_raises(self):
-        # Exception precedence over the budget (matches the flat-service
-        # contract tested in test_service.py): the error surfaces either way.
+    def test_expired_budget_refuses_queries_before_they_run(self):
+        # Admission control: a batch whose budget is already gone never
+        # runs a query at all — the failing algorithm cannot raise because
+        # it is never invoked, and every row reports the cut-off.
         service = TspgService(_star_graph(4))
-        with pytest.raises(RuntimeError, match="worker blew up"):
-            service.run_batch(
-                _star_queries(4), FailingAlgorithm(),
-                max_workers=2, use_cache=False, time_budget_seconds=0.0,
-            )
+        report = service.run_batch(
+            _star_queries(4), FailingAlgorithm(),
+            max_workers=2, use_cache=False, time_budget_seconds=0.0,
+        )
+        assert report.timed_out is True
+        assert all(
+            item.skipped or (item.outcome is not None and item.outcome.timed_out)
+            for item in report.items
+        )
 
 
 # ----------------------------------------------------------------------
