@@ -1,0 +1,240 @@
+"""Exp-14 (new) — vectorized numpy kernels behind the bit-identity oracle.
+
+No paper analogue: this benchmark measures the numpy backend for the query
+hot-path kernels (the polarity sweep, the Lemma 1 edge-mask scan and EEV's
+adjacency grouping) selected with ``kernel_backend="numpy"`` / the
+``VUG-vectorized`` registry entry.  Three properties are asserted as
+acceptance criteria:
+
+* **Bit-identity, registry-wide, deadlines on and off** — across 200+
+  randomized queries on the oracle datasets the vectorized engine must
+  return exactly the result set of the pure-Python engine (vertices, edges,
+  space cost, per-phase edge counts), with no deadline, under a generous
+  active deadline, and under an already-expired one; and on the small
+  identity dataset every registry algorithm (enumeration baselines
+  included) must agree with both.
+* **Kernel speedup floor** — on a kernel-scale analogue of the benchmark
+  dataset (same generator family, ``TSPG_EXP14_SCALE``× the edges and
+  vertices) the numpy QuickUBG kernels must beat the pure-Python ones by at
+  least ``MIN_KERNEL_SPEEDUP`` per core.  The floor is asserted on the
+  kernel time, not end-to-end: only phase 1 and the adjacency grouping are
+  vectorized, and the stock generated datasets are thousands of times
+  smaller than the paper's — at stock size per-call dispatch overhead
+  dominates and the honest number is the kernel one at scale.
+* **Graceful degradation** — when numpy is missing the vectorized entry
+  must still answer (identically), so every identity assert here runs
+  regardless; only the speedup floor is skipped.
+
+Environment knobs (used by the CI smoke job to run on a tiny dataset):
+
+* ``TSPG_EXP14_DATASET`` — report dataset key (default ``D10``).
+* ``TSPG_EXP14_MIN_SPEEDUP`` — kernel speedup floor (default ``5.0``;
+  ``0`` disables the assert).
+* ``TSPG_EXP14_SCALE`` — size multiplier of the kernel-scale analogue
+  (default ``16``; ``0`` skips the scaled measurement entirely).
+* ``TSPG_EXP14_QUERIES`` / ``TSPG_EXP14_ROUNDS`` — report workload size.
+* ``TSPG_EXP14_ORACLE_QUERIES`` — randomized queries *per oracle dataset*
+  (default ``72`` over ``TSPG_EXP14_ORACLE_DATASETS``, default
+  ``D1,D2,D10`` — 216 queries total, each checked with deadlines on/off).
+
+The aggregated series is written to ``results/exp14_vectorized_kernels.txt``
+and the raw timings to ``results/exp14_vectorized_kernels.json`` (the
+artifact the CI job uploads next to the exp10–exp13 ones).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.algorithms import available_algorithms, get_algorithm
+from repro.bench.experiments import (
+    _workload,
+    exp14_vectorized_kernels,
+    measure_kernel_backends,
+    measure_quick_kernels,
+)
+from repro.core import Deadline
+from repro.core.kernels import numpy_available
+from repro.datasets.registry import get_dataset
+from repro.graph import generators
+from repro.queries.workload import generate_workload
+
+#: The largest generated analogue — the report dataset.
+BENCH_DATASET = os.environ.get("TSPG_EXP14_DATASET", "D10")
+
+#: Acceptance floor for the numpy-over-Python QuickUBG kernel speedup.
+MIN_KERNEL_SPEEDUP = float(os.environ.get("TSPG_EXP14_MIN_SPEEDUP", "5.0"))
+
+#: Size multiplier of the kernel-scale analogue the floor is asserted on.
+KERNEL_SCALE = int(os.environ.get("TSPG_EXP14_SCALE", "16"))
+
+#: Queries in the timed report workload (each run cold, indices warm).
+BENCH_NUM_QUERIES = int(os.environ.get("TSPG_EXP14_QUERIES", "20"))
+
+#: Timing rounds (best-of) for the report and the kernel measurement.
+BENCH_ROUNDS = int(os.environ.get("TSPG_EXP14_ROUNDS", "3"))
+
+#: Randomized oracle queries per dataset (three thetas, varied seeds).
+ORACLE_QUERIES = int(os.environ.get("TSPG_EXP14_ORACLE_QUERIES", "72"))
+
+#: Datasets swept by the randomized bit-identity oracle.
+ORACLE_DATASETS = tuple(
+    key.strip()
+    for key in os.environ.get("TSPG_EXP14_ORACLE_DATASETS", "D1,D2,D10").split(",")
+    if key.strip()
+)
+
+#: Small dataset for the registry-wide leg (enumeration baselines incl.).
+IDENTITY_DATASET = os.environ.get("TSPG_EXP14_IDENTITY_DATASET", "D1")
+
+
+@pytest.fixture(scope="module")
+def exp14_report():
+    """One shared Exp-14 run: both backends timed + cross-checked."""
+    return exp14_vectorized_kernels(
+        dataset_key=BENCH_DATASET,
+        num_queries=BENCH_NUM_QUERIES,
+        rounds=BENCH_ROUNDS,
+    )
+
+
+@pytest.fixture(scope="module")
+def kernel_scale_measurement():
+    """Quick-kernel timings on the kernel-scale analogue of the benchmark.
+
+    The analogue keeps the stock timestamp count (the relaxation chain
+    length) and multiplies vertices and edges by ``KERNEL_SCALE`` — the
+    regime the paper's real datasets occupy, where the kernels rather than
+    per-call overhead dominate.
+    """
+    if KERNEL_SCALE <= 0:
+        pytest.skip("TSPG_EXP14_SCALE <= 0 disables the scaled measurement")
+    graph = generators.preferential_attachment_temporal_graph(
+        num_vertices=250 * KERNEL_SCALE,
+        num_edges=8000 * KERNEL_SCALE,
+        num_timestamps=100,
+        hub_bias=0.7,
+        seed=110,
+    )
+    queries = list(
+        generate_workload(
+            graph, num_queries=10, theta=100, seed=9,
+            name=f"exp14-kernel-scale-x{KERNEL_SCALE}",
+        )
+    )
+    return measure_quick_kernels(graph, queries, rounds=BENCH_ROUNDS)
+
+
+def test_exp14_randomized_bit_identity_oracle():
+    """Acceptance: 200+ randomized queries bit-identical, deadlines on/off.
+
+    ``measure_kernel_backends`` raises on any divergence between the
+    Python-kernel and numpy-kernel engines — result vertices and edges,
+    space cost, QuickUBG/TightUBG edge counts, behaviour under a generous
+    active deadline and under an already-expired one.  Swept over three
+    workload flavours per dataset (the dataset's default theta, twice
+    that, and a tight theta) so window shapes vary.  Widths stay within
+    the regime every registry algorithm handles — very wide windows hit
+    EEV's witness-path search, a cost shared by both backends and
+    orthogonal to kernel identity.
+    """
+    total = 0
+    per_flavour = max(1, ORACLE_QUERIES // 3)
+    for key in ORACLE_DATASETS:
+        spec = get_dataset(key)
+        graph = spec.load()
+        queries = (
+            list(_workload(graph, key, per_flavour, seed=7))
+            + list(_workload(graph, key, per_flavour, seed=3,
+                             theta=2 * spec.default_theta))
+            + list(_workload(graph, key, per_flavour, seed=5, theta=3))
+        )
+        measured = measure_kernel_backends(graph, queries, rounds=1)
+        total += measured["num_queries"]
+    assert total == 3 * per_flavour * len(ORACLE_DATASETS)
+    if ORACLE_QUERIES >= 68 and len(ORACLE_DATASETS) >= 3:
+        # The stock configuration must honour the 200+-query guarantee.
+        assert total >= 200, f"oracle only covered {total} queries (needs 200+)"
+
+
+def test_exp14_registry_wide_identity():
+    """Acceptance: every registry algorithm agrees with the vectorized one.
+
+    Runs on the small identity dataset so the enumeration baselines
+    terminate.  The vectorized engine's result must match each algorithm's
+    with no deadline and under a generous active deadline.
+    """
+    spec = get_dataset(IDENTITY_DATASET)
+    graph = spec.load()
+    queries = list(
+        generate_workload(
+            graph, num_queries=8, theta=spec.default_theta, seed=14,
+            name=f"{IDENTITY_DATASET}-exp14-registry-oracle",
+        )
+    )
+    vectorized = get_algorithm("VUG-vectorized")
+    for query in queries:
+        reference = vectorized.run(
+            graph, query.source, query.target, query.interval
+        )
+        for name in available_algorithms():
+            algorithm = get_algorithm(name)
+            for deadline in (None, Deadline.after(3600.0)):
+                outcome = algorithm.run(
+                    graph, query.source, query.target, query.interval,
+                    deadline=deadline,
+                )
+                assert not outcome.timed_out, (name, query)
+                assert outcome.result.vertices == reference.result.vertices, (
+                    name, query,
+                )
+                assert outcome.result.edges == reference.result.edges, (
+                    name, query,
+                )
+
+
+def test_exp14_kernel_speedup_floor(kernel_scale_measurement):
+    """Acceptance: ≥MIN_KERNEL_SPEEDUP× on the QuickUBG kernels at scale."""
+    if MIN_KERNEL_SPEEDUP <= 0:
+        pytest.skip("TSPG_EXP14_MIN_SPEEDUP <= 0 disables the speedup floor")
+    if kernel_scale_measurement["effective_backend"] != "numpy":
+        pytest.skip(
+            "numpy is not installed: the vectorized backend degrades to the "
+            "Python kernels (identity still asserted elsewhere)"
+        )
+    speedup = kernel_scale_measurement["kernel_speedup"]
+    assert speedup >= MIN_KERNEL_SPEEDUP, (
+        f"numpy kernels only {speedup:.2f}x faster than Python at scale "
+        f"x{KERNEL_SCALE} (needs {MIN_KERNEL_SPEEDUP}x; python "
+        f"{kernel_scale_measurement['python_s']:.4f}s vs numpy "
+        f"{kernel_scale_measurement['numpy_s']:.4f}s over "
+        f"{kernel_scale_measurement['num_queries']} queries)"
+    )
+
+
+def test_exp14_summary_table(exp14_report, kernel_scale_measurement,
+                             save_report, results_dir):
+    """The full Exp-14 row set, plus the JSON timing artifact for CI."""
+    save_report("exp14_vectorized_kernels", exp14_report, x_label="mode")
+    payload = {
+        "experiment": "exp14_vectorized_kernels",
+        "dataset": BENCH_DATASET,
+        "num_queries": BENCH_NUM_QUERIES,
+        "rounds": BENCH_ROUNDS,
+        "numpy_available": numpy_available(),
+        "min_kernel_speedup_required": MIN_KERNEL_SPEEDUP,
+        "kernel_scale": KERNEL_SCALE,
+        "kernel_scale_measurement": {
+            key: (round(value, 6) if isinstance(value, float) else value)
+            for key, value in kernel_scale_measurement.items()
+        },
+        "rows": exp14_report.rows,
+        "notes": exp14_report.notes,
+    }
+    (results_dir / "exp14_vectorized_kernels.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    assert exp14_report.rows, "report produced no rows"

@@ -9,6 +9,8 @@ from .reductions import (
 )
 from .enumeration import (
     EnumerationBudgetExceeded,
+    EnumerationCutOff,
+    EnumerationDeadlineExpired,
     EnumerationOutcome,
     tspg_by_enumeration,
 )
@@ -23,6 +25,8 @@ __all__ = [
     "es_tsg_reduction",
     "tg_tsg_reduction",
     "EnumerationBudgetExceeded",
+    "EnumerationCutOff",
+    "EnumerationDeadlineExpired",
     "EnumerationOutcome",
     "tspg_by_enumeration",
     "EPdtTSG",

@@ -16,13 +16,35 @@ from typing import Optional, Set, Tuple
 
 from ..graph.edge import Timestamp, Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
+from ..core.deadline import Deadline
 from ..core.result import PathGraph
 
 EdgeTuple = Tuple[Vertex, Vertex, Timestamp]
 
 
-class EnumerationBudgetExceeded(RuntimeError):
+class EnumerationCutOff(RuntimeError):
+    """Base of the enumeration cut-offs; carries the work counters.
+
+    ``num_paths`` / ``total_path_edges`` record the enumeration work done
+    before the cut-off so the caller can report the space actually consumed
+    (the result itself is discarded — a partially enumerated ``tspG`` is
+    not an answer).
+    """
+
+    def __init__(
+        self, message: str, num_paths: int = 0, total_path_edges: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.num_paths = num_paths
+        self.total_path_edges = total_path_edges
+
+
+class EnumerationBudgetExceeded(EnumerationCutOff):
     """Raised when the enumeration exceeds the caller-supplied path budget."""
+
+
+class EnumerationDeadlineExpired(EnumerationCutOff):
+    """Raised when the cooperative deadline expires mid-enumeration."""
 
 
 @dataclass(frozen=True)
@@ -45,6 +67,7 @@ def tspg_by_enumeration(
     target: Vertex,
     interval,
     max_paths: Optional[int] = None,
+    deadline: Optional[Deadline] = None,
 ) -> EnumerationOutcome:
     """Union the vertices/edges of every temporal simple path in the given graph.
 
@@ -57,6 +80,13 @@ def tspg_by_enumeration(
         Optional safety budget; exceeding it raises
         :class:`EnumerationBudgetExceeded` (the benchmark harness converts
         this into the paper's "INF" marker).
+    deadline:
+        Optional cooperative cut-off.  Polled at every DFS node expansion
+        and at every enumerated path, so an expired budget stops the search
+        within one out-neighbour scan of a single vertex — the documented
+        slack; without this the exponential enumeration could overrun an
+        expired budget arbitrarily long.  Expiry raises
+        :class:`EnumerationDeadlineExpired` carrying the work counters.
     """
     window = as_interval(interval)
     vertices: Set[Vertex] = set()
@@ -76,6 +106,12 @@ def tspg_by_enumeration(
 
     def dfs(vertex: Vertex, last_time: Timestamp) -> None:
         nonlocal num_paths, total_path_edges
+        if deadline is not None and deadline.expired():
+            raise EnumerationDeadlineExpired(
+                "deadline expired mid-enumeration",
+                num_paths=num_paths,
+                total_path_edges=total_path_edges,
+            )
         for next_vertex, timestamp in upper_bound_graph.out_neighbors_after(
             vertex, last_time, strict=True
         ):
@@ -85,7 +121,15 @@ def tspg_by_enumeration(
                 num_paths += 1
                 if max_paths is not None and num_paths > max_paths:
                     raise EnumerationBudgetExceeded(
-                        f"more than {max_paths} temporal simple paths enumerated"
+                        f"more than {max_paths} temporal simple paths enumerated",
+                        num_paths=num_paths,
+                        total_path_edges=total_path_edges,
+                    )
+                if deadline is not None and deadline.expired():
+                    raise EnumerationDeadlineExpired(
+                        "deadline expired mid-enumeration",
+                        num_paths=num_paths,
+                        total_path_edges=total_path_edges,
                     )
                 total_path_edges += len(current_edges) + 1
                 # Add the discovered path's members; duplicates are filtered by

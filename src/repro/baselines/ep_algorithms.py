@@ -21,7 +21,7 @@ from ..graph.edge import Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
 from ..core.deadline import Deadline
 from ..core.result import PathGraph
-from .enumeration import EnumerationBudgetExceeded, tspg_by_enumeration
+from .enumeration import EnumerationCutOff, tspg_by_enumeration
 from .interface import AlgorithmResult, TspgAlgorithm
 from .reductions import dt_tsg_reduction, es_tsg_reduction, tg_tsg_reduction
 
@@ -53,30 +53,29 @@ class _EnumerationBaseline(TspgAlgorithm):
             upper_bound = graph
         else:
             upper_bound = type(self).reduction(graph, source, target, window)  # type: ignore[misc]
-        # Cooperative cut-off at the reduction → enumeration boundary: the
-        # coarsest useful check point for the baselines (enumeration has its
-        # own ``max_paths`` budget for the exploding-path case).
+        # Cooperative cut-off at the reduction → enumeration boundary, then
+        # again inside the enumeration itself (per node expansion and per
+        # enumerated path — see ``tspg_by_enumeration``), so an expired
+        # budget stops the exponential search within one out-neighbour scan.
         if deadline is not None and deadline.expired():
-            return AlgorithmResult(
-                algorithm=self.name,
-                result=PathGraph.empty(source, target, window),
-                elapsed_seconds=0.0,
-                space_cost=0,
-                timed_out=True,
-                extras={"upper_bound_edges": upper_bound.num_edges},
-            )
+            return self._timed_out_result(source, target, window, upper_bound, 0, 0)
         try:
             outcome = tspg_by_enumeration(
-                upper_bound, source, target, window, max_paths=self.max_paths
+                upper_bound,
+                source,
+                target,
+                window,
+                max_paths=self.max_paths,
+                deadline=deadline,
             )
-        except EnumerationBudgetExceeded:
-            return AlgorithmResult(
-                algorithm=self.name,
-                result=PathGraph.empty(source, target, window),
-                elapsed_seconds=0.0,
-                space_cost=0,
-                timed_out=True,
-                extras={"upper_bound_edges": upper_bound.num_edges},
+        except EnumerationCutOff as cut_off:
+            return self._timed_out_result(
+                source,
+                target,
+                window,
+                upper_bound,
+                cut_off.num_paths,
+                cut_off.total_path_edges,
             )
         space = outcome.space_cost + upper_bound.num_edges + upper_bound.num_vertices
         return AlgorithmResult(
@@ -89,6 +88,40 @@ class _EnumerationBaseline(TspgAlgorithm):
                 "upper_bound_vertices": upper_bound.num_vertices,
                 "num_paths": outcome.num_paths,
                 "total_path_edges": outcome.total_path_edges,
+            },
+        )
+
+    def _timed_out_result(
+        self,
+        source: Vertex,
+        target: Vertex,
+        window,
+        upper_bound: TemporalGraph,
+        num_paths: int,
+        total_path_edges: int,
+    ) -> AlgorithmResult:
+        """A cut-off query: the empty result, but honest accounting.
+
+        The result is deliberately empty — a partially enumerated path set
+        is an answer to nothing — yet ``space_cost`` still charges the
+        upper-bound graph that *was* fully built plus the enumeration work
+        done before the cut-off, and ``extras`` keeps the same keys as a
+        completed run.  Reporting zero here would make cut-off rows vanish
+        from the exp3/exp6 space tables, under-counting exactly the queries
+        where the baselines' footprint explodes.
+        """
+        space = total_path_edges + upper_bound.num_edges + upper_bound.num_vertices
+        return AlgorithmResult(
+            algorithm=self.name,
+            result=PathGraph.empty(source, target, window),
+            elapsed_seconds=0.0,
+            space_cost=space,
+            timed_out=True,
+            extras={
+                "upper_bound_edges": upper_bound.num_edges,
+                "upper_bound_vertices": upper_bound.num_vertices,
+                "num_paths": num_paths,
+                "total_path_edges": total_path_edges,
             },
         )
 

@@ -93,7 +93,9 @@ def _tight_mask(
         indices.append(index)
         vids.add(u)
         vids.add(v)
-    return SubgraphView(base, indices, vids)
+    # Carry the kernel backend forward so EEV's grouped adjacency expansion
+    # over Gt runs on the same (vectorized or pure-Python) path as Gq.
+    return SubgraphView(base, indices, vids, backend=quick.backend)
 
 
 def tight_upper_bound_graph_materializing(

@@ -34,6 +34,12 @@ from ..graph.edge import Vertex, as_interval
 from ..graph.temporal_graph import TemporalGraph
 from .deadline import Deadline
 from .eev import EEVDeadlineExpired, EEVStatistics, escaped_edges_verification
+from .kernels import (
+    KERNEL_BACKENDS,
+    numpy_available,
+    polarity_id_arrays_numpy,
+    quick_mask_numpy,
+)
 from .polarity import compute_polarity_id_arrays, compute_polarity_times
 from .quick_ubg import quick_mask_kernel, quick_upper_bound_graph_materializing
 from .result import PathGraph, PhaseTimings, VUGReport
@@ -60,12 +66,41 @@ class VUG:
         When ``True`` (the default) the phases exchange edge-mask views and
         no intermediate :class:`TemporalGraph` is built; ``False`` selects
         the pre-refactor materializing pipeline (the oracle baseline).
+    kernel_backend:
+        ``"python"`` (default) runs the pure-Python hot-path kernels;
+        ``"numpy"`` dispatches the polarity sweep, the Lemma 1 window scan
+        and the adjacency grouping to their vectorized variants in
+        :mod:`repro.core.kernels` — bit-identical by contract, validated by
+        the randomized oracle.  When numpy is not installed ``"numpy"``
+        silently degrades to the Python kernels, so the setting is always
+        safe.  Only meaningful with ``zero_materialization=True`` (the
+        materializing reference pipeline has no vectorized form).
     """
 
     use_tight_upper_bound: bool = True
     use_lemma10: bool = True
     collect_eev_statistics: bool = False
     zero_materialization: bool = True
+    kernel_backend: str = "python"
+
+    _KERNEL_BACKENDS = KERNEL_BACKENDS
+
+    def __post_init__(self) -> None:
+        if self.kernel_backend not in self._KERNEL_BACKENDS:
+            raise ValueError(
+                f"unknown kernel backend {self.kernel_backend!r}; "
+                f"choose from {', '.join(self._KERNEL_BACKENDS)}"
+            )
+
+    def effective_kernel_backend(self) -> str:
+        """The backend that will actually run (``"numpy"`` needs numpy)."""
+        if (
+            self.kernel_backend == "numpy"
+            and self.zero_materialization
+            and numpy_available()
+        ):
+            return "numpy"
+        return "python"
 
     def run(
         self,
@@ -103,12 +138,20 @@ class VUG:
             # Interval-sliced kernels over the frozen columnar view: the
             # polarity sweeps run in interned-id space on the CSR-aligned
             # timestamp columns and the Lemma 1 scan produces an edge mask —
-            # nothing is materialized anywhere in this pipeline.
+            # nothing is materialized anywhere in this pipeline.  Both
+            # backends read the same column buffers and produce the same
+            # mask; the numpy one does it in a handful of array passes.
             view = graph.view()
-            arrival_ids, departure_ids = compute_polarity_id_arrays(
-                view, source, target, window
-            )
-            quick = quick_mask_kernel(view, arrival_ids, departure_ids, window)
+            if self.effective_kernel_backend() == "numpy":
+                arrival_ids, departure_ids = polarity_id_arrays_numpy(
+                    view, source, target, window
+                )
+                quick = quick_mask_numpy(view, arrival_ids, departure_ids, window)
+            else:
+                arrival_ids, departure_ids = compute_polarity_id_arrays(
+                    view, source, target, window
+                )
+                quick = quick_mask_kernel(view, arrival_ids, departure_ids, window)
         else:
             polarity = compute_polarity_times(graph, source, target, window)
             quick = quick_upper_bound_graph_materializing(
@@ -134,6 +177,7 @@ class VUG:
             return self._timed_out_report(
                 source, target, window, timings,
                 upper_bound_quick=quick, upper_bound_tight=tight,
+                tcv_space=tcv_space,
             )
 
         # Phase 3: escaped edges verification (exact result).
@@ -153,6 +197,7 @@ class VUG:
             return self._timed_out_report(
                 source, target, window, timings,
                 upper_bound_quick=quick, upper_bound_tight=tight,
+                tcv_space=tcv_space,
             )
         timings.eev = time.perf_counter() - started
 
@@ -191,6 +236,7 @@ class VUG:
         timings: PhaseTimings,
         upper_bound_quick=None,
         upper_bound_tight=None,
+        tcv_space: int = 0,
     ) -> VUGReport:
         """The report of a deadline-cut-off query: empty result, flag set.
 
@@ -198,14 +244,21 @@ class VUG:
         partial one — a half-verified edge set is an upper bound of
         nothing useful, and serving it as if it were the tspG would be a
         correctness bug.  Whatever upper bounds were completed before the
-        cut-off ride along for diagnostics.
+        cut-off ride along for diagnostics, and ``space_cost`` charges them
+        with the same per-phase accounting a completed run uses, so the
+        space tables (Exp-3/Exp-6) don't under-count cut-off rows.
         """
+        space_cost = tcv_space
+        if upper_bound_quick is not None:
+            space_cost += upper_bound_quick.num_vertices + upper_bound_quick.num_edges
+        if upper_bound_tight is not None:
+            space_cost += upper_bound_tight.num_vertices + upper_bound_tight.num_edges
         return VUGReport(
             result=PathGraph.empty(source, target, window),
             upper_bound_quick=upper_bound_quick,
             upper_bound_tight=upper_bound_tight,
             timings=timings,
-            space_cost=0,
+            space_cost=space_cost,
             timed_out=True,
         )
 

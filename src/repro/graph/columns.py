@@ -1,0 +1,109 @@
+"""The buffer-backed column shared by views, snapshots and kernels.
+
+:class:`IndexColumn` is the single storage type for every interned integer
+column in the codebase — the timestamp-sorted edge columns and CSR arrays of
+:class:`~repro.graph.views.GraphView`, the pickled payload of the snapshot
+codec, and the operands of the vectorized query kernels.  It subclasses
+:class:`array.array` (typecode ``"q"``, one int64 per element), so:
+
+* every pure-Python consumer (``bisect``, ``zip``, indexing, slicing) works
+  unchanged — an :class:`IndexColumn` *is* an ``array``;
+* :meth:`IndexColumn.numpy` exposes the **same buffer** to numpy via
+  :func:`numpy.frombuffer` — zero copies, cached per column, so the
+  vectorized kernels and the Python sweeps literally read the same bytes;
+* pickling goes through ``array``'s reconstructor, which preserves the
+  subclass, so snapshots persist exactly one buffer per column and a booted
+  snapshot is vectorization-ready without any conversion.
+
+numpy itself is an *optional* accelerator, never a dependency: all access
+goes through :func:`numpy_or_none`, which memoizes a single import attempt.
+When numpy is absent everything above still works minus :meth:`numpy` — the
+kernels check :func:`numpy_available` and fall back to the pure-Python
+implementations.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Union
+
+#: Array typecode of every interned column: signed 64-bit integers.
+INDEX_TYPECODE = "q"
+
+#: Sentinel distinguishing "never tried importing numpy" from "numpy absent".
+_NUMPY_UNRESOLVED = object()
+
+_numpy_module = _NUMPY_UNRESOLVED
+
+
+def numpy_or_none():
+    """The :mod:`numpy` module, or ``None`` when it is not installed.
+
+    The import is attempted once and memoized; tests force the absent path
+    by resetting :data:`_numpy_module` to the sentinel under a patched
+    ``__import__``.
+    """
+    global _numpy_module
+    if _numpy_module is _NUMPY_UNRESOLVED:
+        try:
+            import numpy
+        except ImportError:
+            numpy = None
+        _numpy_module = numpy
+    return _numpy_module
+
+
+def numpy_available() -> bool:
+    """``True`` iff the vectorized kernels can run in this interpreter."""
+    return numpy_or_none() is not None
+
+
+class IndexColumn(array):
+    """An ``array('q')`` with a cached zero-copy numpy view of its buffer.
+
+    The column is append-mutable exactly like an ``array`` *until*
+    :meth:`numpy` is first called; after that the buffer is exported and
+    resizing would invalidate the view (Python raises ``BufferError``), which
+    is the behaviour we want — frozen views stay frozen.
+    """
+
+    __slots__ = ("_np",)
+
+    def numpy(self):
+        """This column as an ``int64`` numpy array sharing the same buffer."""
+        try:
+            return self._np
+        except AttributeError:
+            np = numpy_or_none()
+            if np is None:
+                raise RuntimeError(
+                    "IndexColumn.numpy() requires numpy, which is not "
+                    "installed; gate calls behind columns.numpy_available()"
+                )
+            view = np.frombuffer(self, dtype=np.int64)
+            self._np = view
+            return view
+
+
+def index_column(initializer: Union[bytes, Iterable[int]] = b"") -> IndexColumn:
+    """Build an :class:`IndexColumn` from bytes or an iterable of ints."""
+    return IndexColumn(INDEX_TYPECODE, initializer)
+
+
+def zeros_column(length: int) -> IndexColumn:
+    """An :class:`IndexColumn` of ``length`` zeroed int64 slots."""
+    return IndexColumn(INDEX_TYPECODE, bytes(8 * length))
+
+
+def as_index_column(column) -> IndexColumn:
+    """Adopt ``column`` as an :class:`IndexColumn`.
+
+    A no-op for columns that already are one (snapshot format v3 written by
+    this build); plain ``array('q')`` payloads from older snapshots are
+    wrapped with one buffer copy.
+    """
+    if isinstance(column, IndexColumn):
+        return column
+    if isinstance(column, array) and column.typecode == INDEX_TYPECODE:
+        return IndexColumn(INDEX_TYPECODE, column.tobytes())
+    return IndexColumn(INDEX_TYPECODE, column)

@@ -31,6 +31,13 @@ from array import array
 from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from .columns import (
+    INDEX_TYPECODE,
+    IndexColumn,
+    as_index_column,
+    index_column,
+    zeros_column,
+)
 from .edge import TemporalEdge, TimeInterval, Timestamp, Vertex, as_interval
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -40,7 +47,10 @@ EdgeTuple = Tuple[Vertex, Vertex, Timestamp]
 NeighborEntry = Tuple[Vertex, Timestamp]
 
 #: Array typecode for interned vertex ids, timestamps and edge indices.
-_IDX = "q"
+#: Kept as an alias of :data:`repro.graph.columns.INDEX_TYPECODE` — the
+#: buffer-backed :class:`IndexColumn` is the single storage type shared by
+#: the view, the snapshot codec and the vectorized kernels.
+_IDX = INDEX_TYPECODE
 
 
 class GraphView:
@@ -88,6 +98,7 @@ class GraphView:
         "in_offsets",
         "in_edges",
         "_in_aligned",
+        "_kernel_scratch",
         "epoch",
     )
 
@@ -116,6 +127,11 @@ class GraphView:
         self.in_edges = in_edges
         self._out_aligned: Optional[Tuple[array, array]] = None
         self._in_aligned: Optional[Tuple[array, array]] = None
+        # Lazy per-view derivatives owned by the vectorized kernels (the
+        # timestamp-group relaxation layout); like the CSR-aligned columns
+        # they are never persisted, and the view's immutability makes them
+        # valid for its whole lifetime.
+        self._kernel_scratch: Dict[str, object] = {}
         self.epoch = epoch
 
     @property
@@ -124,8 +140,8 @@ class GraphView:
         if self._out_aligned is None:
             ts, dst = self.ts, self.dst
             self._out_aligned = (
-                array(_IDX, (ts[e] for e in self.out_edges)),
-                array(_IDX, (dst[e] for e in self.out_edges)),
+                index_column(ts[e] for e in self.out_edges),
+                index_column(dst[e] for e in self.out_edges),
             )
         return self._out_aligned[0]
 
@@ -141,8 +157,8 @@ class GraphView:
         if self._in_aligned is None:
             ts, src = self.ts, self.src
             self._in_aligned = (
-                array(_IDX, (ts[e] for e in self.in_edges)),
-                array(_IDX, (src[e] for e in self.in_edges)),
+                index_column(ts[e] for e in self.in_edges),
+                index_column(src[e] for e in self.in_edges),
             )
         return self._in_aligned[0]
 
@@ -163,9 +179,9 @@ class GraphView:
         backing = graph.edge_tuples()  # temporally sorted, deterministic
         num_vertices = len(labels)
         num_edges = len(backing)
-        src = array(_IDX, bytes(8 * num_edges))
-        dst = array(_IDX, bytes(8 * num_edges))
-        ts = array(_IDX, bytes(8 * num_edges))
+        src = zeros_column(num_edges)
+        dst = zeros_column(num_edges)
+        ts = zeros_column(num_edges)
         for index, (u, v, t) in enumerate(backing):
             src[index] = index_of[u]
             dst[index] = index_of[v]
@@ -207,13 +223,13 @@ class GraphView:
         """
         return cls(
             list(columns["labels"]),
-            columns["src"],
-            columns["dst"],
-            columns["ts"],
-            columns["out_offsets"],
-            columns["out_edges"],
-            columns["in_offsets"],
-            columns["in_edges"],
+            as_index_column(columns["src"]),
+            as_index_column(columns["dst"]),
+            as_index_column(columns["ts"]),
+            as_index_column(columns["out_offsets"]),
+            as_index_column(columns["out_edges"]),
+            as_index_column(columns["in_offsets"]),
+            as_index_column(columns["in_edges"]),
             epoch=int(epoch),
         )
 
@@ -270,14 +286,14 @@ def _csr(column: array, num_vertices: int, num_edges: int) -> Tuple[array, array
     counts = [0] * num_vertices
     for vid in column:
         counts[vid] += 1
-    offsets = array(_IDX, bytes(8 * (num_vertices + 1)))
+    offsets = zeros_column(num_vertices + 1)
     running = 0
     for vid in range(num_vertices):
         offsets[vid] = running
         running += counts[vid]
     offsets[num_vertices] = running
     cursor = offsets[:num_vertices].tolist() if num_vertices else []
-    edges = array(_IDX, bytes(8 * num_edges))
+    edges = zeros_column(num_edges)
     for index in range(num_edges):
         vid = column[index]
         edges[cursor[vid]] = index
@@ -300,11 +316,23 @@ class SubgraphView:
     helpers consume.  Per-vertex adjacency is grouped lazily from the
     surviving indices — one O(k) pass for the whole view (*not* one parent
     CSR scan per vertex), cached for the view's lifetime, i.e. one query.
+
+    ``backend`` selects how that grouping pass runs: ``"python"`` (the
+    default) loops over the indices, ``"numpy"`` sorts the surviving key
+    column with one stable argsort over the shared column buffers (EEV's
+    grouped adjacency expansion, vectorized).  Both produce entry lists in
+    the *same* order — stable sorting by key preserves the within-key index
+    (= timestamp) order the Python loop appends in — so the choice can
+    never change a result, only its speed.  The flag is propagated by the
+    mask kernels (QuickUBG → TightUBG → EEV) so one selection covers the
+    whole pipeline; when numpy is unavailable the flag degrades to the
+    Python path silently.
     """
 
     __slots__ = (
         "base",
         "indices",
+        "backend",
         "_mask",
         "_vids",
         "_out_adj",
@@ -319,9 +347,11 @@ class SubgraphView:
         base: GraphView,
         indices: List[int],
         vids: Set[int],
+        backend: str = "python",
     ) -> None:
         self.base = base
         self.indices = indices
+        self.backend = backend
         self._mask: Optional[bytearray] = None
         self._vids = vids
         self._out_adj: Optional[Dict[int, List[NeighborEntry]]] = None
@@ -449,8 +479,12 @@ class SubgraphView:
         matching the parent CSR slices), so every grouped list comes out
         timestamp-sorted for free.
         """
+        if self.backend == "numpy":
+            grouped = self._group_by_numpy(key_column, label_column)
+            if grouped is not None:
+                return grouped
         labels, ts = self.base.labels, self.base.ts
-        grouped: Dict[int, List[NeighborEntry]] = {}
+        grouped = {}
         for i in self.indices:
             entry = (labels[label_column[i]], ts[i])
             vid = key_column[i]
@@ -459,6 +493,47 @@ class SubgraphView:
                 grouped[vid] = [entry]
             else:
                 bucket.append(entry)
+        return grouped
+
+    def _group_by_numpy(
+        self, key_column, label_column
+    ) -> Optional[Dict[int, List[NeighborEntry]]]:
+        """Vectorized grouping: one stable argsort over the shared buffers.
+
+        Returns ``None`` when numpy (or a buffer-backed column) is missing,
+        letting :meth:`_group_by` fall back to the Python loop.  A stable
+        sort by key keeps entries within each key in index order — exactly
+        the order the Python loop appends them in — so both paths build
+        identical adjacency lists.
+        """
+        from .columns import numpy_or_none
+
+        np = numpy_or_none()
+        ts_column = self.base.ts
+        if (
+            np is None
+            or not isinstance(key_column, IndexColumn)
+            or not isinstance(label_column, IndexColumn)
+            or not isinstance(ts_column, IndexColumn)
+        ):
+            return None
+        grouped: Dict[int, List[NeighborEntry]] = {}
+        if not self.indices:
+            return grouped
+        indices = np.asarray(self.indices, dtype=np.int64)
+        keys = key_column.numpy()[indices]
+        order = np.argsort(keys, kind="stable")
+        keys_sorted = keys[order].tolist()
+        label_ids = label_column.numpy()[indices][order].tolist()
+        timestamps = ts_column.numpy()[indices][order].tolist()
+        labels = self.base.labels
+        current = None
+        bucket: List[NeighborEntry] = []
+        for vid, label_id, timestamp in zip(keys_sorted, label_ids, timestamps):
+            if vid != current:
+                current = vid
+                bucket = grouped[vid] = []
+            bucket.append((labels[label_id], timestamp))
         return grouped
 
     def _group_out(self) -> Dict[int, List[NeighborEntry]]:

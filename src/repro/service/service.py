@@ -59,7 +59,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..algorithms import get_algorithm
+from ..algorithms import get_algorithm, merge_kernel_backend
 from ..baselines.interface import AlgorithmResult, TspgAlgorithm
 from ..core.deadline import Deadline
 from ..graph.edge import Vertex
@@ -386,6 +386,15 @@ class TspgService:
         ``ProcessPoolExecutor`` — repeat batches skip the fork + snapshot
         boot entirely.  A closed pool degrades back to the per-batch
         executor.
+    algorithm_options:
+        Per-algorithm constructor options, keyed by registry name.
+    kernel_backend:
+        ``"python"`` or ``"numpy"``: the hot-path kernel implementation for
+        every VUG-family algorithm this service instantiates (merged into
+        ``algorithm_options``; explicit per-algorithm settings win).
+        ``"numpy"`` silently degrades to the Python kernels when numpy is
+        not installed, and both backends are bit-identical by the
+        randomized oracle — so this knob changes speed, never answers.
 
     Examples
     --------
@@ -410,6 +419,7 @@ class TspgService:
         executor: str = "threads",
         pool: Optional[WorkerPool] = None,
         algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
@@ -423,7 +433,12 @@ class TspgService:
         # identical service from, and the graph epoch that file describes.
         self._snapshot_path: Optional[str] = None
         self._snapshot_epoch: Optional[int] = None
-        self._algorithm_options = dict(algorithm_options or {})
+        # ``kernel_backend`` is baked into the per-algorithm options here,
+        # once: the merged dict then crosses every existing boundary
+        # (process workers, snapshot boots, cache keys) unchanged.
+        self._algorithm_options = merge_kernel_backend(
+            algorithm_options, kernel_backend
+        )
         self._algorithms: Dict[str, TspgAlgorithm] = {}
         self._algorithms_lock = threading.Lock()
         # Instances that took part in cache keys, pinned by id().  Keys embed

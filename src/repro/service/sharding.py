@@ -47,7 +47,7 @@ from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..algorithms import get_algorithm
+from ..algorithms import get_algorithm, merge_kernel_backend
 from ..baselines.interface import AlgorithmResult, TspgAlgorithm
 from ..core.deadline import Deadline
 from ..graph.edge import TimeInterval, Vertex, as_interval
@@ -213,6 +213,7 @@ class ShardedTspgService:
         executor: str = "threads",
         pool: Optional[WorkerPool] = None,
         algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -230,6 +231,7 @@ class ShardedTspgService:
             executor=executor,
             pool=pool,
             algorithm_options=algorithm_options,
+            kernel_backend=kernel_backend,
         )
         self._topology = self._build_topology()
 
@@ -245,6 +247,7 @@ class ShardedTspgService:
         executor: str,
         pool: Optional[WorkerPool],
         algorithm_options: Optional[Dict[str, Dict[str, object]]],
+        kernel_backend: Optional[str] = None,
     ) -> None:
         """State shared by ``__init__`` and :meth:`from_shard_snapshots`."""
         self._graph = graph
@@ -256,7 +259,13 @@ class ShardedTspgService:
         self._service_kwargs: Dict[str, object] = {
             "default_algorithm": default_algorithm,
             "cache_size": cache_size,
-            "algorithm_options": algorithm_options,
+            # The kernel-backend knob is baked into the options dict here so
+            # every consumer — per-shard services, the lazy fallback, and
+            # the process workers that receive this dict verbatim — runs
+            # the same backend.
+            "algorithm_options": merge_kernel_backend(
+                algorithm_options, kernel_backend
+            ),
         }
         self._rebuild_lock = threading.Lock()
         self._fallback_lock = threading.Lock()
@@ -292,6 +301,7 @@ class ShardedTspgService:
         executor: str = "threads",
         pool: Optional[WorkerPool] = None,
         algorithm_options: Optional[Dict[str, Dict[str, object]]] = None,
+        kernel_backend: Optional[str] = None,
     ) -> "ShardedTspgService":
         """Boot a router from a :class:`~repro.store.ShardSnapshotSet` directory.
 
@@ -318,6 +328,7 @@ class ShardedTspgService:
             executor=executor,
             pool=pool,
             algorithm_options=algorithm_options,
+            kernel_backend=kernel_backend,
         )
         shards: List[ShardSpec] = []
         services: List[TspgService] = []
