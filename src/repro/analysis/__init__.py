@@ -16,7 +16,13 @@ from .comparison import (
     describe_difference,
     verify_containment_chain,
 )
-from .memory import SpaceProfile, collect_space_profiles, measure_deep_size
+from .memory import (
+    SpaceProfile,
+    collect_space_profiles,
+    measure_deep_size,
+    peak_rss_bytes,
+    rss_bytes,
+)
 
 __all__ = [
     "brute_force_tspg",
@@ -34,4 +40,6 @@ __all__ = [
     "SpaceProfile",
     "collect_space_profiles",
     "measure_deep_size",
+    "peak_rss_bytes",
+    "rss_bytes",
 ]

@@ -24,6 +24,7 @@ Function                  Paper artifact
 ``exp12_process_shards``  (new)     — thread vs snapshot-booted process backend
 ``exp13_serving_pool``    (new)     — persistent worker pool + per-query deadlines
 ``exp14_vectorized_kernels`` (new)  — pure-Python vs numpy hot-path kernels
+``exp15_mmap_boot``       (new)     — mmap-backed v4 columnar boot vs eager boots
 ========================  =======================================================
 
 All drivers take ``num_queries`` / dataset-key parameters so the pytest
@@ -33,8 +34,11 @@ them up.
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
+import subprocess
+import sys
 import tempfile
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -49,7 +53,7 @@ from ..core.vug import VUG, generate_tspg
 from ..core.result import PhaseTimings
 from ..core.eev import escaped_edges_verification
 from ..core.tight_ubg import tight_upper_bound_with_tcv
-from ..datasets.registry import DATASETS, dataset_keys, get_dataset
+from ..datasets.registry import DATASETS, SYNTH_SCALE, dataset_keys, get_dataset
 from ..datasets.transit import (
     CASE_STUDY_QUERY,
     case_study_graph,
@@ -62,7 +66,13 @@ from ..queries.query import QueryWorkload
 from ..queries.runner import QueryRunner
 from ..queries.workload import generate_workload
 from ..service import ShardedTspgService, TspgService, WorkerPool
-from ..store import SnapshotGraphStore
+from ..store import (
+    SnapshotGraphStore,
+    boot_snapshot,
+    inspect_snapshot,
+    save_snapshot,
+    write_legacy_snapshot,
+)
 from .reporting import ExperimentReport
 
 #: Default number of queries per workload used by the pytest benches.  The
@@ -1342,6 +1352,273 @@ def exp13_serving_pool(
 
 
 #: Registry used by the CLI ("run experiment by name").
+# ----------------------------------------------------------------------
+# Exp-15 (mmap-backed columnar snapshot boot; no paper analogue)
+# ----------------------------------------------------------------------
+def measure_mmap_boot_times(
+    graph: TemporalGraph,
+    v3_path: Optional[str] = None,
+    v4_path: Optional[str] = None,
+    rounds: int = 3,
+) -> Dict[str, object]:
+    """Best-of-``rounds`` wall-clock of the three snapshot boot flavours.
+
+    Writes the same warmed graph as a legacy v3 snapshot and a v4 columnar
+    snapshot, then times (a) the v3 eager boot (decompress + unpickle the
+    whole payload), (b) the v4 eager boot (decode every section), and
+    (c) the v4 mmap boot (map the file, decode only the metadata sections,
+    leave every column extent untouched).  The mmap boot does no per-edge
+    work at all, so its cost is O(metadata), not O(E) — the gap the exp15
+    floor asserts.  Shared by the exp15 driver and the benchmark asserts.
+    """
+    cleanup = v3_path is None and v4_path is None
+    tmp_dir = None
+    if cleanup:
+        tmp_dir = tempfile.mkdtemp(prefix="exp15-boot-")
+        v3_path = os.path.join(tmp_dir, "graph.v3.tspgsnap")
+        v4_path = os.path.join(tmp_dir, "graph.v4.tspgsnap")
+    try:
+        write_legacy_snapshot(graph, v3_path, version=3)
+        info = save_snapshot(graph, v4_path)
+        _, sections = inspect_snapshot(v4_path)
+        column_bytes = sum(
+            section.length for section in sections if section.name.startswith("view.")
+        )
+        timings = {"v3_eager_s": float("inf"), "v4_eager_s": float("inf"),
+                   "v4_mmap_s": float("inf")}
+        mmap_active = False
+        for _ in range(rounds):
+            started = time.perf_counter()
+            boot_snapshot(v3_path)
+            timings["v3_eager_s"] = min(
+                timings["v3_eager_s"], time.perf_counter() - started
+            )
+            started = time.perf_counter()
+            boot_snapshot(v4_path)
+            timings["v4_eager_s"] = min(
+                timings["v4_eager_s"], time.perf_counter() - started
+            )
+            started = time.perf_counter()
+            boot = boot_snapshot(v4_path, mmap=True)
+            timings["v4_mmap_s"] = min(
+                timings["v4_mmap_s"], time.perf_counter() - started
+            )
+            mmap_active = boot.mmap_active
+        return {
+            **timings,
+            "payload_bytes": info.payload_bytes,
+            "column_bytes": column_bytes,
+            "mmap_active": mmap_active,
+        }
+    finally:
+        if cleanup and tmp_dir is not None:
+            shutil.rmtree(tmp_dir, ignore_errors=True)
+
+
+#: Subprocess probe used by :func:`measure_boot_rss`: boots a snapshot in a
+#: *fresh* interpreter (so RSS reflects only that boot), reports resident
+#: memory before the boot, after the boot, and after touching every column.
+_RSS_PROBE = """
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+from repro.store import boot_snapshot
+from repro.analysis.memory import rss_bytes
+base = rss_bytes()
+boot = boot_snapshot(path, mmap=(mode == "mmap"))
+after_boot = rss_bytes()
+view = boot.graph.view()
+touched = 0
+for column in (view.src, view.dst, view.ts):
+    for value in column:
+        touched += value
+after_touch = rss_bytes()
+print(json.dumps({
+    "rss_base": base,
+    "rss_boot": after_boot,
+    "rss_touched": after_touch,
+    "mmap_active": boot.mmap_active,
+    "checksum": touched,
+}))
+"""
+
+
+def measure_boot_rss(
+    snapshot_path: str, *, mmap: bool
+) -> Optional[Dict[str, object]]:
+    """Resident-memory profile of booting ``snapshot_path`` in a subprocess.
+
+    Returns ``None`` when the platform cannot report RSS (non-Linux without
+    ``getrusage``) or the probe fails — exp15 skips its ceiling assertion
+    then instead of failing on an unmeasurable box.
+    """
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir if not existing else src_dir + os.pathsep + existing
+    try:
+        completed = subprocess.run(
+            [sys.executable, "-c", _RSS_PROBE, snapshot_path,
+             "mmap" if mmap else "eager"],
+            capture_output=True, text=True, timeout=600, env=env,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    try:
+        profile = json.loads(completed.stdout.strip().splitlines()[-1])
+    except (ValueError, IndexError):
+        return None
+    if profile.get("rss_base") is None or profile.get("rss_boot") is None:
+        return None
+    return profile
+
+
+def exp15_mmap_boot(
+    dataset_key: str = "D1",
+    num_queries: int = 12,
+    scale_vertices: int = 20_000,
+    scale_edges: int = 120_000,
+    scale_timestamps: int = 2_000,
+    rounds: int = 3,
+    seed: int = 7,
+) -> ExperimentReport:
+    """Exp-15: the mmap-backed v4 columnar snapshot boot.
+
+    Three legs on one report.  **Boot latency**: a synth-scale graph
+    (streamed from the registry's scale generator) is snapshotted as both
+    legacy v3 and columnar v4, and the v3-eager / v4-eager / v4-mmap boot
+    wall-clocks are compared.  **Resident memory**: a fresh subprocess per
+    flavour boots the v4 file and reports RSS before and after touching
+    the columns — the mmap boot's resident growth stays far below the
+    column payload until the touch.  **Fidelity**: on ``dataset_key``, the
+    eager boot, the mmap boot and a shard-mapped router boot answer the
+    same workload with bit-identical results.
+    """
+    report = ExperimentReport(
+        experiment=f"Exp-15 (mmap boot, synth-scale + {dataset_key})",
+        description=(
+            f"v3-eager vs v4-eager vs v4-mmap snapshot boots of a "
+            f"{scale_edges}-edge synth-scale graph, subprocess RSS "
+            f"profiles, and tri-boot result identity on {dataset_key}"
+        ),
+    )
+    spec = SYNTH_SCALE.scaled(
+        num_vertices=scale_vertices,
+        num_edges=scale_edges,
+        num_timestamps=scale_timestamps,
+    )
+    scale_graph = spec.load()
+    report.add_note(
+        f"synth-scale: |V|={scale_graph.num_vertices} "
+        f"|E|={scale_graph.num_edges} (streamed, duplicates collapsed)"
+    )
+
+    tmp_dir = tempfile.mkdtemp(prefix="exp15-")
+    try:
+        v3_path = os.path.join(tmp_dir, "scale.v3.tspgsnap")
+        v4_path = os.path.join(tmp_dir, "scale.v4.tspgsnap")
+        measured = measure_mmap_boot_times(
+            scale_graph, v3_path, v4_path, rounds=rounds
+        )
+        for mode, key in (
+            ("v3-eager-boot", "v3_eager_s"),
+            ("v4-eager-boot", "v4_eager_s"),
+            ("v4-mmap-boot", "v4_mmap_s"),
+        ):
+            report.add_row(mode=mode, wall_s=round(measured[key], 4))
+            report.add_point("boot_s", mode, round(measured[key], 4))
+        speedup = (
+            measured["v3_eager_s"] / measured["v4_mmap_s"]
+            if measured["v4_mmap_s"] > 0
+            else float("inf")
+        )
+        report.add_note(
+            f"mmap boot is {speedup:.1f}x faster than the v3 eager boot "
+            f"({measured['payload_bytes']} payload bytes, "
+            f"{measured['column_bytes']} of them column extents; "
+            f"mmap_active={measured['mmap_active']})"
+        )
+
+        for mode in ("eager", "mmap"):
+            profile = measure_boot_rss(v4_path, mmap=(mode == "mmap"))
+            if profile is None:
+                report.add_note(
+                    f"rss({mode}): not measurable on this platform — skipped"
+                )
+                continue
+            boot_growth = profile["rss_boot"] - profile["rss_base"]
+            touch_growth = (
+                profile["rss_touched"] - profile["rss_base"]
+                if profile.get("rss_touched") is not None
+                else None
+            )
+            fraction = (
+                boot_growth / measured["column_bytes"]
+                if measured["column_bytes"]
+                else 0.0
+            )
+            report.add_row(
+                mode=f"rss-{mode}-boot",
+                rss_boot_mb=round(boot_growth / 1e6, 2),
+                rss_touched_mb=(
+                    None if touch_growth is None else round(touch_growth / 1e6, 2)
+                ),
+                column_payload_mb=round(measured["column_bytes"] / 1e6, 2),
+            )
+            report.add_note(
+                f"rss({mode}): boot grows RSS by {boot_growth} bytes = "
+                f"{fraction:.2f}x the column payload"
+            )
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+
+    graph = _load(dataset_key)
+    queries = list(_workload(graph, dataset_key, num_queries, seed=seed))
+    tmp_dir = tempfile.mkdtemp(prefix="exp15-identity-")
+    try:
+        snap_path = os.path.join(tmp_dir, "identity.tspgsnap")
+        save_snapshot(graph, snap_path)
+        eager = TspgService.from_snapshot(snap_path)
+        mapped = TspgService.from_snapshot(snap_path, mmap=True)
+        router = ShardedTspgService(graph, 2, default_algorithm="VUG")
+        router.save_shards(os.path.join(tmp_dir, "shards"))
+        shard_mapped = ShardedTspgService.from_shard_snapshots(
+            os.path.join(tmp_dir, "shards"), mmap=True
+        )
+        baseline = eager.run_batch(queries, use_cache=False)
+        identical = True
+        for label, service in (
+            ("mmap", mapped),
+            ("shard-mmap", shard_mapped),
+        ):
+            contender = service.run_batch(queries, use_cache=False)
+            same = all(
+                base.outcome.result.vertices == other.outcome.result.vertices
+                and base.outcome.result.edges == other.outcome.result.edges
+                for base, other in zip(baseline.items, contender.items)
+                if base.completed and other.completed
+            )
+            identical = identical and same
+            report.add_row(
+                mode=f"identity-{label}",
+                identical=same,
+                mmap_active=service.snapshot_mmap_active
+                if hasattr(service, "snapshot_mmap_active")
+                else None,
+            )
+        report.add_note(
+            f"tri-boot identity on {dataset_key}: "
+            f"{'bit-identical' if identical else 'MISMATCH'} over "
+            f"{len(queries)} queries (eager vs mmap vs shard-mapped)"
+        )
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+    return report
+
+
 EXPERIMENTS = {
     "table1": table1_datasets,
     "exp1": exp1_response_time,
@@ -1360,4 +1637,5 @@ EXPERIMENTS = {
     "exp12": exp12_process_shards,
     "exp13": exp13_serving_pool,
     "exp14": exp14_vectorized_kernels,
+    "exp15": exp15_mmap_boot,
 }

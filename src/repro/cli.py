@@ -11,9 +11,17 @@ main operations:
   worker pool (boot once, answer batch after batch with warm workers);
 * ``warm``        — build every index of a graph and save a binary snapshot
   (or, with ``--shards N``, a directory of per-shard snapshots + manifest);
-* ``datasets``    — list the synthetic dataset analogues and their statistics;
-* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp14);
+  accepts the streaming ``synth-scale`` generator with size overrides;
+* ``inspect``     — decode a snapshot's header and v4 section table without
+  touching any payload byte;
+* ``datasets``    — list the synthetic dataset analogues and their statistics
+  (plus the ``synth-scale`` streaming generator's parameters, never loaded);
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp15);
 * ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
+
+``batch`` and ``serve`` accept ``--mmap`` on their snapshot sources: the v4
+columnar boot then maps the file zero-copy instead of decoding it (pre-v4
+files degrade to the eager boot with a printed note).
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from .core.kernels import KERNEL_BACKENDS
 from .core.deadline import Deadline
 from .bench import experiments as bench_experiments
 from .bench.reporting import render_table
-from .datasets.registry import dataset_keys, get_dataset
+from .datasets.registry import SYNTH_SCALE, SYNTH_SCALE_KEY, dataset_keys, get_dataset
 from .datasets.transit import CASE_STUDY_QUERY, describe_transfer_options, generate_transit_network
 from .graph.io import load_edge_list
 from .graph.statistics import compute_statistics
@@ -43,7 +51,7 @@ from .service import (
     WorkerPool,
     WorkerPoolError,
 )
-from .store import SnapshotError, SnapshotGraphStore
+from .store import SnapshotError, SnapshotGraphStore, inspect_snapshot
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -124,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="extent overlap between shards in timestamps "
         "(default: the workload's theta, so typical queries stay on one shard)",
     )
+    batch.add_argument(
+        "--mmap", action="store_true",
+        help="boot --snapshot / --shard-snapshots via the mmap-backed v4 "
+        "columnar path (zero-copy; pre-v4 files degrade to the eager boot "
+        "with a note)",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -175,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--cache-size", type=int, default=1024, help="LRU capacity (0 disables)")
     serve.add_argument(
+        "--mmap", action="store_true",
+        help="boot --snapshot / --shard-snapshots via the mmap-backed v4 "
+        "columnar path (zero-copy; pre-v4 files degrade to the eager boot "
+        "with a note)",
+    )
+    serve.add_argument(
         "--input", default=None,
         help="read requests from this file instead of stdin (scripting/tests)",
     )
@@ -184,11 +204,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     warm_source = warm.add_mutually_exclusive_group(required=True)
     warm_source.add_argument("--edge-list", help="path to a 'u v t' edge-list file")
-    warm_source.add_argument("--dataset", choices=dataset_keys(), help="built-in dataset key")
+    warm_source.add_argument(
+        "--dataset", choices=dataset_keys() + [SYNTH_SCALE_KEY],
+        help="built-in dataset key, or the streaming synth-scale generator",
+    )
     warm.add_argument(
         "--output", required=True,
         help="snapshot file to write (a directory of per-shard snapshots "
         "plus manifest.json when --shards > 1)",
+    )
+    warm.add_argument(
+        "--scale-vertices", type=int, default=None,
+        help=f"synth-scale only: vertex count (default "
+        f"{SYNTH_SCALE.num_vertices})",
+    )
+    warm.add_argument(
+        "--scale-edges", type=int, default=None,
+        help=f"synth-scale only: edge draws, streamed — duplicates collapse "
+        f"(default {SYNTH_SCALE.num_edges})",
+    )
+    warm.add_argument(
+        "--scale-timestamps", type=int, default=None,
+        help=f"synth-scale only: timestamp horizon (default "
+        f"{SYNTH_SCALE.num_timestamps})",
     )
     warm.add_argument(
         "--shards", type=int, default=1,
@@ -200,6 +238,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="extent overlap between shards in timestamps (pick the "
         "workload's typical theta)",
     )
+
+    inspect = sub.add_parser(
+        "inspect",
+        help="decode a snapshot's header and section table (no payload read)",
+    )
+    inspect.add_argument("snapshot", help="path to a .tspgsnap snapshot file")
 
     sub.add_parser("datasets", help="list the synthetic dataset analogues")
 
@@ -296,6 +340,15 @@ def _batch_theta(args: argparse.Namespace, graph) -> int:
     return max(2, (span.span if span else 2) // 4)
 
 
+def _print_mmap_note(args: argparse.Namespace, service) -> None:
+    """Surface an mmap boot that degraded to eager (mirrors the process note)."""
+    if not getattr(args, "mmap", False) or service.snapshot_mmap_active:
+        return
+    reasons = service.mmap_fallback_reasons()
+    if reasons:
+        print("note: mmap boot degraded to eager — " + "; ".join(reasons))
+
+
 def _command_batch(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
@@ -315,33 +368,37 @@ def _command_batch(args: argparse.Namespace) -> int:
             "--shard-overlap conflicts with --shard-snapshots (the manifest "
             "fixes the overlap)"
         )
+    if args.mmap and not (args.snapshot or args.shard_snapshots):
+        raise SystemExit("--mmap requires --snapshot or --shard-snapshots")
     service = None
     if args.edge_list:
         graph = load_edge_list(args.edge_list)
     elif args.shard_snapshots:
         try:
             service = ShardedTspgService.from_shard_snapshots(
-                args.shard_snapshots,
+                args.shard_snapshots, mmap=args.mmap,
                 default_algorithm=args.algorithm, cache_size=args.cache_size,
                 kernel_backend=args.kernel_backend,
             )
         except SnapshotError as exc:
             raise SystemExit(str(exc)) from None
+        _print_mmap_note(args, service)
         # The union of the shard graphs — only needed here to sample the
         # random workload / coerce query vertices, never re-read from disk.
         graph = service.graph
     elif args.snapshot:
         try:
             if args.shards > 1:
-                graph = SnapshotGraphStore(args.snapshot).load()
+                graph = SnapshotGraphStore(args.snapshot, mmap=args.mmap).load()
             else:
                 # Boot through from_snapshot so the snapshot stays attached
                 # and --executor processes has a file to boot workers from.
                 service = TspgService.from_snapshot(
-                    args.snapshot,
+                    args.snapshot, mmap=args.mmap,
                     default_algorithm=args.algorithm, cache_size=args.cache_size,
                     kernel_backend=args.kernel_backend,
                 )
+                _print_mmap_note(args, service)
                 graph = service.graph
         except SnapshotError as exc:
             raise SystemExit(str(exc)) from None
@@ -438,18 +495,20 @@ def _serve_service(args: argparse.Namespace, pool: Optional[WorkerPool]):
     """Boot the service a ``tspg serve`` session answers from."""
     if args.shard_snapshots:
         service = ShardedTspgService.from_shard_snapshots(
-            args.shard_snapshots,
+            args.shard_snapshots, mmap=args.mmap,
             default_algorithm=args.algorithm, cache_size=args.cache_size,
             pool=pool, kernel_backend=args.kernel_backend,
         )
         return service, f"shard snapshots {args.shard_snapshots}"
     if args.snapshot:
         service = TspgService.from_snapshot(
-            args.snapshot,
+            args.snapshot, mmap=args.mmap,
             default_algorithm=args.algorithm, cache_size=args.cache_size,
             pool=pool, kernel_backend=args.kernel_backend,
         )
         return service, f"snapshot {args.snapshot}"
+    if args.mmap:
+        raise SystemExit("--mmap requires --snapshot or --shard-snapshots")
     if args.edge_list:
         graph = load_edge_list(args.edge_list)
         source = args.edge_list
@@ -579,6 +638,12 @@ def _command_serve(args: argparse.Namespace, stdin: Optional[TextIO] = None) -> 
             service, source = _serve_service(args, pool)
         except SnapshotError as exc:
             raise SystemExit(str(exc)) from None
+        if args.mmap and not service.snapshot_mmap_active:
+            print(
+                "note: mmap boot degraded to eager — "
+                + "; ".join(service.mmap_fallback_reasons()),
+                file=sys.stderr,
+            )
         reasons = (
             service.process_fallback_reasons(max_workers=args.workers)
             if args.executor == "processes"
@@ -645,9 +710,25 @@ def _command_warm(args: argparse.Namespace) -> int:
         raise SystemExit("--shards must be at least 1")
     if args.shard_overlap < 0:
         raise SystemExit("--shard-overlap must be non-negative")
+    scale_overrides = (args.scale_vertices, args.scale_edges, args.scale_timestamps)
+    if any(o is not None for o in scale_overrides) and args.dataset != SYNTH_SCALE_KEY:
+        raise SystemExit(
+            f"--scale-* flags only apply to --dataset {SYNTH_SCALE_KEY}"
+        )
     if args.edge_list:
         graph = load_edge_list(args.edge_list)
         source = args.edge_list
+    elif args.dataset == SYNTH_SCALE_KEY:
+        spec = SYNTH_SCALE.scaled(
+            num_vertices=args.scale_vertices,
+            num_edges=args.scale_edges,
+            num_timestamps=args.scale_timestamps,
+        )
+        graph = spec.load()
+        source = (
+            f"{SYNTH_SCALE_KEY} (|V|={spec.num_vertices}, "
+            f"{spec.num_edges} edge draws, |T|≤{spec.num_timestamps})"
+        )
     else:
         graph = get_dataset(args.dataset).load()
         source = args.dataset
@@ -681,6 +762,27 @@ def _command_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_inspect(args: argparse.Namespace) -> int:
+    """Decode header + section table; never touches a payload byte."""
+    try:
+        info, sections = inspect_snapshot(args.snapshot)
+    except SnapshotError as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"{args.snapshot}: snapshot v{info.version} epoch={info.epoch} "
+        f"|V|={info.num_vertices} |E|={info.num_edges} "
+        f"|T|={info.num_timestamps} ({info.payload_bytes} payload bytes)"
+    )
+    print(render_table([section.as_row() for section in sections]))
+    if info.version < 4:
+        print(
+            "note: pre-v4 format — the payload is one opaque "
+            "zlib-compressed pickle; re-save with this build for the "
+            "mmap-able section layout"
+        )
+    return 0
+
+
 def _command_datasets(_: argparse.Namespace) -> int:
     rows = []
     for key in dataset_keys():
@@ -695,6 +797,20 @@ def _command_datasets(_: argparse.Namespace) -> int:
             }
         )
     print(render_table(rows, title="Synthetic dataset analogues (see DESIGN.md)"))
+    # The scale generator is parameters, not a graph: loading it eagerly at
+    # its headline sizes is what the mmap boot exists to avoid.
+    parameters = ", ".join(
+        f"{name}={value}" for name, value in SYNTH_SCALE.parameters().items()
+    )
+    print(
+        f"\n{SYNTH_SCALE_KEY} (streaming generator, never loaded here): "
+        f"{parameters}"
+    )
+    print(
+        f"  {SYNTH_SCALE.description} Warm it into a snapshot with "
+        f"'tspg warm --dataset {SYNTH_SCALE_KEY} --scale-edges N' and boot "
+        f"with --mmap."
+    )
     return 0
 
 
@@ -711,13 +827,13 @@ def _command_experiment(args: argparse.Namespace) -> int:
         )
     elif name in {"exp12", "exp13"}:
         report = driver(args.dataset, num_queries=args.queries, workers=args.workers)
-    elif name in {"exp10", "exp11", "exp14"}:
+    elif name in {"exp10", "exp11", "exp14", "exp15"}:
         report = driver(args.dataset, num_queries=args.queries)
     else:
         report = driver(keys=args.datasets, num_queries=args.queries)
     if name in {"exp2", "exp5-fig10", "exp6", "exp7"}:
         x_label = "theta"
-    elif name in {"exp9", "exp10", "exp11", "exp12", "exp13", "exp14"}:
+    elif name in {"exp9", "exp10", "exp11", "exp12", "exp13", "exp14", "exp15"}:
         x_label = "mode"
     else:
         x_label = "dataset"
@@ -748,6 +864,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "batch": _command_batch,
         "serve": _command_serve,
         "warm": _command_warm,
+        "inspect": _command_inspect,
         "datasets": _command_datasets,
         "experiment": _command_experiment,
         "case-study": _command_case_study,

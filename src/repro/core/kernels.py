@@ -52,7 +52,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from ..graph.columns import IndexColumn, numpy_available, numpy_or_none
+from ..graph.columns import BUFFER_COLUMN_TYPES, numpy_available, numpy_or_none
 from ..graph.edge import Vertex, as_interval
 from ..graph.views import GraphView, SubgraphView
 
@@ -71,8 +71,8 @@ _LAYOUT_KEY = "ts_group_layout"
 
 
 def _as_numpy(column):
-    """Zero-copy numpy view of an :class:`IndexColumn` (copy otherwise)."""
-    if isinstance(column, IndexColumn):
+    """Zero-copy numpy view of a buffer-backed column (copy otherwise)."""
+    if isinstance(column, BUFFER_COLUMN_TYPES):
         return column.numpy()
     np = numpy_or_none()
     return np.asarray(column, dtype=np.int64)

@@ -2,8 +2,11 @@
 
 from .registry import (
     DATASETS,
+    SYNTH_SCALE,
+    SYNTH_SCALE_KEY,
     DatasetSpec,
     PaperStatistics,
+    SyntheticScaleSpec,
     dataset_keys,
     get_dataset,
     load_dataset,
@@ -23,7 +26,10 @@ from .transit import (
 
 __all__ = [
     "DATASETS",
+    "SYNTH_SCALE",
+    "SYNTH_SCALE_KEY",
     "DatasetSpec",
+    "SyntheticScaleSpec",
     "PaperStatistics",
     "dataset_keys",
     "get_dataset",

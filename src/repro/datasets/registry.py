@@ -12,12 +12,20 @@ ordering D1 < … < D10).
 The analogues preserve what the algorithms are sensitive to — the relative
 ordering of upper-bound tightness and the growth of enumeration cost with
 ``θ`` — which is what the benchmark harness reports.
+
+Alongside D1–D10 the registry carries one *scale* entry,
+:data:`SYNTH_SCALE` (key ``"synth-scale"``): a parameterisable streaming
+generator for bigger-than-RAM snapshot testing (10⁷–10⁸ edges).  Unlike the
+D-entries it is never loaded eagerly by registry-wide tooling (``tspg
+datasets`` prints its parameters instead of its statistics) — its edges are
+*streamed* into a graph or straight to disk by the caller that asked for
+them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..graph.statistics import GraphStatistics, compute_statistics
 from ..graph.temporal_graph import TemporalGraph
@@ -234,6 +242,108 @@ DATASETS: Dict[str, DatasetSpec] = {
         paper_statistics=PaperStatistics(2_166_670, 86_337_879, 3_787, 218_465, 25),
     ),
 }
+
+
+@dataclass(frozen=True)
+class SyntheticScaleSpec:
+    """The ``synth-scale`` registry entry: a streaming scale generator.
+
+    Not a :class:`DatasetSpec`: loading it eagerly at its headline sizes
+    (10⁷–10⁸ edges) is exactly what the mmap snapshot boot exists to avoid,
+    so registry-wide tooling must treat it as *parameters*, not a graph.
+    Use :meth:`scaled` (or CLI size flags) to derive a right-sized variant,
+    :meth:`edge_stream` to iterate its edges in O(1) memory, and
+    :meth:`write_edge_list` to stream them to a text file without ever
+    holding the edge list.
+    """
+
+    key: str = "synth-scale"
+    description: str = (
+        "Streaming synthetic scale generator (skewed degrees, bursty "
+        "timestamps) for bigger-than-RAM snapshot and mmap-boot testing."
+    )
+    default_theta: int = 50
+    num_vertices: int = 20_000
+    num_edges: int = 120_000
+    num_timestamps: int = 2_000
+    hub_bias: float = 0.6
+    burst_skew: float = 2.5
+    seed: int = 415
+
+    def scaled(
+        self,
+        *,
+        num_vertices: Optional[int] = None,
+        num_edges: Optional[int] = None,
+        num_timestamps: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> "SyntheticScaleSpec":
+        """A copy with the given size parameters overridden."""
+        overrides = {
+            name: value
+            for name, value in (
+                ("num_vertices", num_vertices),
+                ("num_edges", num_edges),
+                ("num_timestamps", num_timestamps),
+                ("seed", seed),
+            )
+            if value is not None
+        }
+        return replace(self, **overrides)
+
+    def parameters(self) -> Dict[str, object]:
+        """Flat parameter dict (what ``tspg datasets`` renders as the row)."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "num_timestamps": self.num_timestamps,
+            "hub_bias": self.hub_bias,
+            "burst_skew": self.burst_skew,
+            "seed": self.seed,
+        }
+
+    def edge_stream(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield the deterministic ``(u, v, t)`` stream, O(1) memory."""
+        return generators.synth_scale_edges(
+            self.num_vertices,
+            self.num_edges,
+            num_timestamps=self.num_timestamps,
+            hub_bias=self.hub_bias,
+            burst_skew=self.burst_skew,
+            seed=self.seed,
+        )
+
+    def load(self) -> TemporalGraph:
+        """Stream the edges into a :class:`TemporalGraph`.
+
+        The returned graph holds every *distinct* edge in memory (duplicate
+        draws collapse) — appropriate for scaled-down variants; at the
+        headline 10⁷–10⁸ sizes, warm into a snapshot once and serve it
+        mmap'd instead of calling this per boot.
+        """
+        graph = TemporalGraph(vertices=range(self.num_vertices))
+        graph.add_edges(self.edge_stream())
+        return graph
+
+    def write_edge_list(self, path) -> int:
+        """Stream the edges to ``path`` as ``u v t`` lines; return the count.
+
+        Never materialises the edge list: memory stays O(1) regardless of
+        ``num_edges``, so generating a 10⁸-edge file works on a small box.
+        """
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for u, v, t in self.edge_stream():
+                handle.write(f"{u} {v} {t}\n")
+                count += 1
+        return count
+
+
+#: The scale entry (see :class:`SyntheticScaleSpec`); key ``"synth-scale"``.
+SYNTH_SCALE = SyntheticScaleSpec()
+
+#: Key under which the scale generator is exposed by the CLI.
+SYNTH_SCALE_KEY = SYNTH_SCALE.key
 
 
 def dataset_keys() -> List[str]:

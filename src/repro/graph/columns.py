@@ -1,4 +1,4 @@
-"""The buffer-backed column shared by views, snapshots and kernels.
+"""The buffer-backed columns shared by views, snapshots and kernels.
 
 :class:`IndexColumn` is the single storage type for every interned integer
 column in the codebase — the timestamp-sorted edge columns and CSR arrays of
@@ -15,9 +15,19 @@ codec, and the operands of the vectorized query kernels.  It subclasses
   subclass, so snapshots persist exactly one buffer per column and a booted
   snapshot is vectorization-ready without any conversion.
 
+:class:`MmapColumn` is the mmap-backed sibling used by snapshot format v4:
+it wraps a ``memoryview`` slice of a memory-mapped snapshot file cast to the
+same int64 layout, so a booted :class:`~repro.graph.views.GraphView` reads
+column bytes straight out of the OS page cache — no unpickling, no copies,
+no resident memory until a page is touched.  It exposes the read-only subset
+of the ``IndexColumn`` surface the query path uses (indexing, slicing,
+iteration, ``bisect``, :meth:`MmapColumn.numpy`); code that must mutate a
+column first calls :meth:`MmapColumn.materialize` to copy the bytes into a
+private :class:`IndexColumn` (copy-on-write — the file is never written).
+
 numpy itself is an *optional* accelerator, never a dependency: all access
 goes through :func:`numpy_or_none`, which memoizes a single import attempt.
-When numpy is absent everything above still works minus :meth:`numpy` — the
+When numpy is absent everything above still works minus ``.numpy()`` — the
 kernels check :func:`numpy_available` and fall back to the pure-Python
 implementations.
 """
@@ -25,7 +35,7 @@ implementations.
 from __future__ import annotations
 
 from array import array
-from typing import Iterable, Union
+from typing import Iterable, List, Union
 
 #: Array typecode of every interned column: signed 64-bit integers.
 INDEX_TYPECODE = "q"
@@ -85,6 +95,91 @@ class IndexColumn(array):
             return view
 
 
+class MmapColumn:
+    """A read-only int64 column over a slice of a memory-mapped file.
+
+    Wraps a ``memoryview`` (cast to typecode ``"q"``) of the column's extent
+    inside a v4 snapshot mapping.  ``keepalive`` pins whatever object owns
+    the underlying mapping (the :class:`mmap.mmap` handle) so the pages stay
+    valid for the column's lifetime.  Supports the read path of
+    :class:`IndexColumn` — ``len``, integer indexing, slicing (zero-copy,
+    returns another :class:`MmapColumn`), iteration, ``in``, ``tolist``,
+    ``tobytes``, equality against any int64 buffer or plain sequence, and a
+    cached zero-copy :meth:`numpy` view.  It is deliberately *not* mutable:
+    a mutation epoch bump on the owning graph rebuilds its view from
+    materialized :class:`IndexColumn` storage instead (copy-on-write).
+    """
+
+    __slots__ = ("_view", "_keepalive", "_np")
+
+    #: Mirrors ``array.typecode`` so diagnostics can treat columns uniformly.
+    typecode = INDEX_TYPECODE
+
+    def __init__(self, buffer, keepalive=None) -> None:
+        view = memoryview(buffer)
+        if view.format != INDEX_TYPECODE:
+            view = view.cast(INDEX_TYPECODE)
+        self._view = view
+        self._keepalive = keepalive
+
+    def __len__(self) -> int:
+        return len(self._view)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return MmapColumn(self._view[item], self._keepalive)
+        return self._view[item]
+
+    def __iter__(self):
+        return iter(self._view)
+
+    def __contains__(self, value) -> bool:
+        return value in self._view.tolist()
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, MmapColumn):
+            return self._view == other._view
+        if isinstance(other, (array, memoryview, bytes, bytearray)):
+            return self._view == other
+        if isinstance(other, (list, tuple)):
+            return self._view.tolist() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"MmapColumn(len={len(self._view)})"
+
+    def tolist(self) -> List[int]:
+        """The column as a plain list of Python ints (copies)."""
+        return self._view.tolist()
+
+    def tobytes(self) -> bytes:
+        """The column's raw little-endian int64 bytes (copies)."""
+        return self._view.tobytes()
+
+    def materialize(self) -> IndexColumn:
+        """A private, mutable :class:`IndexColumn` copy of this column."""
+        return IndexColumn(INDEX_TYPECODE, self._view.tobytes())
+
+    def numpy(self):
+        """This column as an ``int64`` numpy array over the mapped pages."""
+        try:
+            return self._np
+        except AttributeError:
+            np = numpy_or_none()
+            if np is None:
+                raise RuntimeError(
+                    "MmapColumn.numpy() requires numpy, which is not "
+                    "installed; gate calls behind columns.numpy_available()"
+                )
+            view = np.frombuffer(self._view, dtype=np.int64)
+            self._np = view
+            return view
+
+
+#: Columns the kernels can take a zero-copy ``.numpy()`` view of.
+BUFFER_COLUMN_TYPES = (IndexColumn, MmapColumn)
+
+
 def index_column(initializer: Union[bytes, Iterable[int]] = b"") -> IndexColumn:
     """Build an :class:`IndexColumn` from bytes or an iterable of ints."""
     return IndexColumn(INDEX_TYPECODE, initializer)
@@ -98,12 +193,14 @@ def zeros_column(length: int) -> IndexColumn:
 def as_index_column(column) -> IndexColumn:
     """Adopt ``column`` as an :class:`IndexColumn`.
 
-    A no-op for columns that already are one (snapshot format v3 written by
-    this build); plain ``array('q')`` payloads from older snapshots are
-    wrapped with one buffer copy.
+    A no-op for columns that already are one (snapshot formats v3+ written
+    by this build); :class:`MmapColumn` views and plain ``array('q')``
+    payloads from older snapshots are wrapped with one buffer copy.
     """
     if isinstance(column, IndexColumn):
         return column
+    if isinstance(column, MmapColumn):
+        return column.materialize()
     if isinstance(column, array) and column.typecode == INDEX_TYPECODE:
         return IndexColumn(INDEX_TYPECODE, column.tobytes())
     return IndexColumn(INDEX_TYPECODE, column)

@@ -24,13 +24,19 @@ sensitive to:
   lie only on non-simple temporal paths; the regime where the quick upper
   bound is loose and TightUBG/EEV prune hard.
 
+* **synth_scale_edges** — a *streaming* generator for bigger-than-RAM scale
+  testing (10⁷–10⁸ edges): yields skewed-degree, bursty-timestamp edges one
+  at a time without ever materialising the edge list, so a caller can pipe
+  them straight into an on-disk snapshot (see ``tspg warm --dataset
+  synth-scale`` and exp15).
+
 All generators take an explicit ``seed`` and are fully deterministic.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from .edge import TemporalEdge
 from .temporal_graph import TemporalGraph
@@ -260,6 +266,52 @@ def temporal_cycle_graph(
             v = rng.randrange(num_vertices)
         graph.add_edge(u, v, rng.randrange(1, num_timestamps + 1))
     return graph
+
+
+def synth_scale_edges(
+    num_vertices: int,
+    num_edges: int,
+    num_timestamps: int = 10_000,
+    hub_bias: float = 0.6,
+    burst_skew: float = 2.5,
+    seed: Optional[int] = None,
+) -> Iterator[Tuple[int, int, int]]:
+    """Stream ``num_edges`` skewed ``(u, v, t)`` triples, O(1) memory.
+
+    The scale-testing counterpart of the registry generators: designed for
+    10⁷–10⁸ edges, so it *yields* edges instead of building a
+    :class:`TemporalGraph` — nothing here grows with ``num_edges``.  The
+    distributions mimic what the large SNAP/KONECT graphs look like:
+
+    * **degree skew** — sources are drawn via an inverse-power transform,
+      ``u = int(V * r**(1 + 3*hub_bias))``: a handful of hub vertices emit
+      most edges, the tail emits few.  ``hub_bias=0`` degenerates to
+      uniform.
+    * **timestamp burstiness** — timestamps follow ``1 + int((T-1) *
+      r**burst_skew)``: activity piles up near the start of the horizon
+      (``burst_skew>1``), matching bursty interaction logs.  ``burst_skew=1``
+      is uniform.
+
+    Destinations are uniform (self-loops re-drawn); duplicate ``(u, v, t)``
+    triples are *not* filtered — the graph layer collapses them, exactly as
+    repeated real-world interactions would.
+    """
+    if num_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if num_timestamps < 1:
+        raise ValueError("need at least one timestamp")
+    rng = _rng(seed)
+    source_exponent = 1.0 + 3.0 * max(0.0, hub_bias)
+    ts_span = num_timestamps - 1
+    for _ in range(num_edges):
+        u = int(num_vertices * rng.random() ** source_exponent)
+        if u >= num_vertices:  # guard the r→1.0 edge of the transform
+            u = num_vertices - 1
+        v = rng.randrange(num_vertices)
+        while v == u:
+            v = rng.randrange(num_vertices)
+        t = 1 + int(ts_span * rng.random() ** burst_skew)
+        yield (u, v, t)
 
 
 def paper_running_example() -> TemporalGraph:

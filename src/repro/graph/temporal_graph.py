@@ -59,6 +59,57 @@ def _edge_sort_key(edge: Tuple[Vertex, Vertex, Timestamp]):
     return (timestamp, repr(source), repr(target))
 
 
+class LazyGraphBoot:
+    """Deferred hydration state of an mmap-booted graph (snapshot v4).
+
+    Bundles everything a :class:`TemporalGraph` built by
+    :meth:`TemporalGraph.from_lazy_boot` needs to answer cheap queries
+    without touching the snapshot payload, plus a ``load_adjacency``
+    callable that decodes the pickled adjacency section on first demand.
+    The graph drops its reference to this object once both hydration tiers
+    (adjacency dicts, edge set) have run, releasing the loader closure.
+    """
+
+    __slots__ = (
+        "view",
+        "timestamps",
+        "epoch",
+        "num_edges",
+        "warm_stats",
+        "load_adjacency",
+        "_vertex_set",
+    )
+
+    def __init__(
+        self,
+        *,
+        view: "GraphView",
+        timestamps: List[Timestamp],
+        epoch: int,
+        num_edges: int,
+        warm_stats: Dict[str, int],
+        load_adjacency,
+    ) -> None:
+        self.view = view
+        self.timestamps = timestamps
+        self.epoch = epoch
+        self.num_edges = num_edges
+        self.warm_stats = warm_stats
+        self.load_adjacency = load_adjacency
+        self._vertex_set: Optional[Set[Vertex]] = None
+
+    @property
+    def vertices(self) -> List[Vertex]:
+        """All vertices in parent insertion order (the view's label table)."""
+        return self.view.labels
+
+    def vertex_set(self) -> Set[Vertex]:
+        """Membership set over the label table (built once, on demand)."""
+        if self._vertex_set is None:
+            self._vertex_set = set(self.view.labels)
+        return self._vertex_set
+
+
 class TemporalGraph:
     """A directed temporal multigraph ``G = (V, E)``.
 
@@ -77,20 +128,38 @@ class TemporalGraph:
     names, tuples, ...).  All neighbour lists are kept sorted by timestamp so
     lookups of the form "neighbours with timestamp below/above τ" are binary
     searches.
+
+    Lazy boot (snapshot format v4, ``mmap=True``)
+    ---------------------------------------------
+    A graph built by :meth:`from_lazy_boot` starts with *no* adjacency or
+    edge-set storage: its frozen columnar view reads straight out of a
+    memory-mapped snapshot, and the Python-side structures hydrate on first
+    touch.  The six storage slots involved (``_out``/``_in``/``_edge_set``/
+    ``_sorted_tuples_cache``/``_out_ts_cache``/``_in_ts_cache``) are
+    therefore ``*_data`` slots behind properties of the original names —
+    every internal read anywhere in this class funnels through the property
+    getter, which is the single hydration choke point.  Hydration has two
+    independent tiers: the adjacency dicts (unpickled from the snapshot's
+    adjacency section) and the edge set / sorted backing (derived from the
+    mapped columns, exact by construction).  Mutation fully hydrates first,
+    so every epoch bump happens on a complete graph.  Concurrent first
+    touches from threads are benign: both compute identical structures and
+    the last assignment wins.
     """
 
     __slots__ = (
-        "_out",
-        "_in",
-        "_edge_set",
+        "_out_data",
+        "_in_data",
+        "_edge_set_data",
         "_epoch",
         "_sorted_edges_cache",
-        "_sorted_tuples_cache",
+        "_sorted_tuples_data",
         "_edge_tuples_cache",
         "_ts_cache",
-        "_out_ts_cache",
-        "_in_ts_cache",
+        "_out_ts_data",
+        "_in_ts_data",
         "_view_cache",
+        "_lazy_boot",
     )
 
     def __init__(
@@ -98,6 +167,8 @@ class TemporalGraph:
         edges: Optional[Iterable] = None,
         vertices: Optional[Iterable[Vertex]] = None,
     ) -> None:
+        # Must be first: the storage properties below consult it on reads.
+        self._lazy_boot: Optional[LazyGraphBoot] = None
         self._out: Dict[Vertex, List[NeighborEntry]] = {}
         self._in: Dict[Vertex, List[NeighborEntry]] = {}
         self._edge_set: Set[Tuple[Vertex, Vertex, Timestamp]] = set()
@@ -127,10 +198,149 @@ class TemporalGraph:
             self.add_edges(edges)
 
     # ------------------------------------------------------------------
+    # lazy-boot storage indirection (see the class docstring)
+    # ------------------------------------------------------------------
+    # Each intercepted slot has a ``*_data`` storage twin; the getters
+    # hydrate from the boot state on first touch, the setters write the
+    # storage directly so every existing assignment keeps working.
+
+    @property
+    def _out(self) -> Dict[Vertex, List[NeighborEntry]]:
+        if self._out_data is None and self._lazy_boot is not None:
+            self._hydrate_adjacency()
+        return self._out_data
+
+    @_out.setter
+    def _out(self, value) -> None:
+        self._out_data = value
+
+    @property
+    def _in(self) -> Dict[Vertex, List[NeighborEntry]]:
+        if self._in_data is None and self._lazy_boot is not None:
+            self._hydrate_adjacency()
+        return self._in_data
+
+    @_in.setter
+    def _in(self, value) -> None:
+        self._in_data = value
+
+    @property
+    def _out_ts_cache(self) -> Dict[Vertex, List[Timestamp]]:
+        if self._out_ts_data is None and self._lazy_boot is not None:
+            self._hydrate_adjacency()
+        return self._out_ts_data
+
+    @_out_ts_cache.setter
+    def _out_ts_cache(self, value) -> None:
+        self._out_ts_data = value
+
+    @property
+    def _in_ts_cache(self) -> Dict[Vertex, List[Timestamp]]:
+        if self._in_ts_data is None and self._lazy_boot is not None:
+            self._hydrate_adjacency()
+        return self._in_ts_data
+
+    @_in_ts_cache.setter
+    def _in_ts_cache(self, value) -> None:
+        self._in_ts_data = value
+
+    @property
+    def _edge_set(self) -> Set[Tuple[Vertex, Vertex, Timestamp]]:
+        if self._edge_set_data is None and self._lazy_boot is not None:
+            self._hydrate_edges()
+        return self._edge_set_data
+
+    @_edge_set.setter
+    def _edge_set(self, value) -> None:
+        self._edge_set_data = value
+
+    @property
+    def _sorted_tuples_cache(self):
+        if self._sorted_tuples_data is None and self._lazy_boot is not None:
+            self._hydrate_edges()
+        return self._sorted_tuples_data
+
+    @_sorted_tuples_cache.setter
+    def _sorted_tuples_cache(self, value) -> None:
+        self._sorted_tuples_data = value
+
+    @classmethod
+    def from_lazy_boot(cls, boot: LazyGraphBoot) -> "TemporalGraph":
+        """A graph whose columnar view is ``boot.view`` and whose Python-side
+        adjacency/edge structures hydrate lazily on first touch.
+
+        Used by the mmap snapshot boot (format v4): the view's columns are
+        :class:`~repro.graph.columns.MmapColumn` slices of the mapped file,
+        so nothing beyond the small metadata section is resident until a
+        consumer actually walks the graph.  The distinct-timestamp cache and
+        the epoch come from the metadata, so :meth:`timestamps`,
+        :attr:`epoch`, :attr:`num_vertices`, :attr:`num_edges`,
+        :meth:`vertices`, :meth:`has_vertex`, :meth:`view` and
+        :meth:`warm_indices` all answer without hydrating anything.
+        """
+        graph = cls()
+        graph._out_data = None
+        graph._in_data = None
+        graph._out_ts_data = None
+        graph._in_ts_data = None
+        graph._edge_set_data = None
+        graph._sorted_tuples_data = None
+        graph._ts_cache = list(boot.timestamps)
+        graph._epoch = int(boot.epoch)
+        graph._view_cache = boot.view
+        graph._lazy_boot = boot
+        return graph
+
+    def _hydrate_adjacency(self) -> None:
+        """First hydration tier: unpickle the persisted adjacency dicts."""
+        state = self._lazy_boot.load_adjacency()
+        self._out_data = state["out"]
+        self._in_data = state["in"]
+        self._out_ts_data = state["out_timestamps"]
+        self._in_ts_data = state["in_timestamps"]
+        if self._edge_set_data is not None:
+            self._lazy_boot = None
+
+    def _hydrate_edges(self) -> None:
+        """Second hydration tier: derive the edge set from the mapped columns.
+
+        The view's edge columns are exactly the sorted tuple backing,
+        interned (``(labels[src[i]], labels[dst[i]], ts[i])`` *is* the
+        ``i``-th sorted edge — see :meth:`GraphView.from_graph`), so the
+        reconstruction is exact and needs no re-sort.
+        """
+        view = self._view_cache
+        labels = view.labels
+        tuples = [
+            (labels[s], labels[d], t)
+            for s, d, t in zip(view.src, view.dst, view.ts)
+        ]
+        self._sorted_tuples_data = tuples
+        self._edge_set_data = set(tuples)
+        if self._out_data is not None:
+            self._lazy_boot = None
+
+    def _ensure_hydrated(self) -> None:
+        """Fully hydrate a lazily-booted graph (mutation entry points)."""
+        if self._lazy_boot is None:
+            return
+        if self._out_data is None:
+            self._hydrate_adjacency()
+        if self._edge_set_data is None:
+            self._hydrate_edges()
+        self._lazy_boot = None
+
+    @property
+    def is_lazily_booted(self) -> bool:
+        """``True`` while an mmap boot still has unhydrated structures."""
+        return self._lazy_boot is not None
+
+    # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_vertex(self, vertex: Vertex) -> None:
         """Add ``vertex`` (a no-op if it already exists)."""
+        self._ensure_hydrated()
         if vertex not in self._out:
             self._out[vertex] = []
             self._in[vertex] = []
@@ -145,6 +355,7 @@ class TemporalGraph:
         """
         if source == target:
             raise ValueError(f"self loops are not allowed: {source!r}")
+        self._ensure_hydrated()
         timestamp = int(timestamp)
         key = (source, target, timestamp)
         if key in self._edge_set:
@@ -172,6 +383,7 @@ class TemporalGraph:
         batch is atomic: a self loop anywhere in ``edges`` raises before any
         edge is applied.
         """
+        self._ensure_hydrated()
         staged: List[Tuple[Vertex, Vertex, Timestamp]] = []
         staged_seen: Set[Tuple[Vertex, Vertex, Timestamp]] = set()
         for edge in edges:
@@ -235,20 +447,28 @@ class TemporalGraph:
     @property
     def num_vertices(self) -> int:
         """``n = |V|``."""
-        return len(self._out)
+        if self._out_data is None and self._lazy_boot is not None:
+            return len(self._lazy_boot.vertices)
+        return len(self._out_data)
 
     @property
     def num_edges(self) -> int:
         """``m = |E|``."""
-        return len(self._edge_set)
+        if self._edge_set_data is None and self._lazy_boot is not None:
+            return self._lazy_boot.num_edges
+        return len(self._edge_set_data)
 
     def vertices(self) -> Iterator[Vertex]:
-        """Iterate over all vertices."""
-        return iter(self._out)
+        """Iterate over all vertices (insertion order, lazy-boot safe)."""
+        if self._out_data is None and self._lazy_boot is not None:
+            return iter(self._lazy_boot.vertices)
+        return iter(self._out_data)
 
     def has_vertex(self, vertex: Vertex) -> bool:
         """Return ``True`` iff ``vertex`` is in the graph."""
-        return vertex in self._out
+        if self._out_data is None and self._lazy_boot is not None:
+            return vertex in self._lazy_boot.vertex_set()
+        return vertex in self._out_data
 
     def has_edge(self, source: Vertex, target: Vertex, timestamp: Timestamp) -> bool:
         """Return ``True`` iff the exact edge ``e(source, target, timestamp)`` exists."""
@@ -422,7 +642,16 @@ class TemporalGraph:
         :class:`TemporalEdge` objects are materialised deterministically on
         first :meth:`sorted_edges` use.  Warming a snapshot-loaded graph is
         therefore O(V): every per-edge cost was already paid at save time.
+
+        An mmap-booted graph (:meth:`from_lazy_boot`) short-circuits: every
+        index it serves either lives in the mapped file (the columnar view,
+        the CSR-aligned timestamp columns) or hydrates lazily on first
+        touch, and eagerly building them here would defeat the boot's
+        whole point.  The returned counts were captured at save time and
+        describe the persisted (fully warmed) state.
         """
+        if self._lazy_boot is not None:
+            return dict(self._lazy_boot.warm_stats)
         num_sorted = len(self._sorted_tuple_backing())
         timestamps = self.timestamps()
         for vertex in self._out:
@@ -633,7 +862,7 @@ class TemporalGraph:
             return self.has_edge(item.source, item.target, item.timestamp)
         if isinstance(item, tuple) and len(item) == 3:
             return (item[0], item[1], int(item[2])) in self._edge_set
-        return item in self._out
+        return self.has_vertex(item)
 
     def __len__(self) -> int:
         return self.num_vertices

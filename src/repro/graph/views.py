@@ -506,15 +506,15 @@ class SubgraphView:
         the order the Python loop appends them in — so both paths build
         identical adjacency lists.
         """
-        from .columns import numpy_or_none
+        from .columns import BUFFER_COLUMN_TYPES, numpy_or_none
 
         np = numpy_or_none()
         ts_column = self.base.ts
         if (
             np is None
-            or not isinstance(key_column, IndexColumn)
-            or not isinstance(label_column, IndexColumn)
-            or not isinstance(ts_column, IndexColumn)
+            or not isinstance(key_column, BUFFER_COLUMN_TYPES)
+            or not isinstance(label_column, BUFFER_COLUMN_TYPES)
+            or not isinstance(ts_column, BUFFER_COLUMN_TYPES)
         ):
             return None
         grouped: Dict[int, List[NeighborEntry]] = {}

@@ -145,7 +145,7 @@ def _chunk_positions(count: int, chunks: int) -> List[List[int]]:
 #: counters and *can* coincide across different graphs, but a rewritten
 #: file cannot keep its ``(mtime_ns, inode, size)``.
 _WORKER_SERVICES: Dict[
-    Tuple[str, Optional[int], str, str],
+    Tuple[str, Optional[int], str, str, bool],
     Tuple["TspgService", Optional[Tuple[int, int, int]]],
 ] = {}
 
@@ -169,6 +169,7 @@ def _snapshot_worker_run_batch(
     use_cache: bool = True,
     deadline_at: Optional[float] = None,
     snapshot_epoch: Optional[int] = None,
+    snapshot_mmap: bool = False,
     max_workers: int = 1,
 ) -> BatchReport:
     """Process-pool worker: boot from a snapshot, answer a sub-batch.
@@ -191,9 +192,18 @@ def _snapshot_worker_run_batch(
     service cache outlives the batch: the second batch served by this
     worker finds its booted service (warmed view, result cache and all)
     already here.
+
+    ``snapshot_mmap`` propagates the parent's active mmap boot: each
+    worker then maps the same snapshot file instead of unpickling a
+    private copy, so the column payload lives once in the page cache no
+    matter how many workers serve from it.
     """
     cache_key = (
-        snapshot_path, snapshot_epoch, default_algorithm, repr(algorithm_options)
+        snapshot_path,
+        snapshot_epoch,
+        default_algorithm,
+        repr(algorithm_options),
+        bool(snapshot_mmap),
     )
     file_sig = _snapshot_file_signature(snapshot_path)
     cached = _WORKER_SERVICES.get(cache_key)
@@ -202,6 +212,7 @@ def _snapshot_worker_run_batch(
     else:
         service = TspgService.from_snapshot(
             snapshot_path,
+            mmap=snapshot_mmap,
             default_algorithm=default_algorithm,
             algorithm_options=algorithm_options,
         )
@@ -433,6 +444,11 @@ class TspgService:
         # identical service from, and the graph epoch that file describes.
         self._snapshot_path: Optional[str] = None
         self._snapshot_epoch: Optional[int] = None
+        # Whether the boot requested / actually used the mmap-backed
+        # columnar path (snapshot format v4), plus why it degraded if not.
+        self._snapshot_mmap_requested: bool = False
+        self._snapshot_mmap: bool = False
+        self._snapshot_mmap_reasons: List[str] = []
         # ``kernel_backend`` is baked into the per-algorithm options here,
         # once: the merged dict then crosses every existing boundary
         # (process workers, snapshot boots, cache keys) unchanged.
@@ -464,7 +480,7 @@ class TspgService:
         return cls(store.load(), **kwargs)
 
     @classmethod
-    def from_snapshot(cls, path, **kwargs) -> "TspgService":
+    def from_snapshot(cls, path, *, mmap: bool = False, **kwargs) -> "TspgService":
         """Boot a service from a binary index snapshot in O(read).
 
         The snapshot (written by :func:`repro.store.save_snapshot` or the
@@ -474,19 +490,34 @@ class TspgService:
         :class:`~repro.store.SnapshotError` on a corrupt or incompatible
         file.
 
+        ``mmap=True`` requests the zero-copy columnar boot (snapshot
+        format v4): the file is mapped instead of decompressed and the
+        view columns serve straight out of the page cache, so boot cost
+        and resident memory scale with the pages queries actually touch.
+        Pre-v4 snapshots degrade to the eager boot with the reasons
+        recorded on :meth:`mmap_fallback_reasons` — a readable snapshot
+        always boots.
+
         The snapshot path is remembered: it is what the
         ``executor="processes"`` batch backend hands to its pool workers so
-        each can boot an identical service in O(read).  The association is
-        epoch-guarded — mutating the graph afterwards disables the process
-        backend (workers would boot a stale graph) until a fresh snapshot
-        is attached.
+        each can boot an identical service in O(read) — with ``mmap``
+        active, workers map the very same file, sharing its page-cache
+        pages instead of re-unpickling a private copy per process.  The
+        association is epoch-guarded — mutating the graph afterwards
+        disables the process backend (workers would boot a stale graph)
+        until a fresh snapshot is attached.
         """
         from ..store.graph_store import SnapshotGraphStore  # deferred: cycle
 
-        store = SnapshotGraphStore(path)
+        store = SnapshotGraphStore(path, mmap=mmap)
         service = cls.from_store(store, **kwargs)
         service._snapshot_path = store.path
         service._snapshot_epoch = service.graph.epoch
+        service._snapshot_mmap_requested = store.mmap_requested
+        service._snapshot_mmap = store.mmap_active
+        service._snapshot_mmap_reasons = (
+            store.mmap_fallback_reasons() if mmap else []
+        )
         return service
 
     # ------------------------------------------------------------------
@@ -954,6 +985,24 @@ class TspgService:
             )
         return reasons
 
+    @property
+    def snapshot_mmap_active(self) -> bool:
+        """Whether this service booted over an mmap-backed snapshot."""
+        return self._snapshot_mmap
+
+    def mmap_fallback_reasons(self) -> List[str]:
+        """Why the boot is not mmap-backed (empty when it is).
+
+        Mirrors :meth:`process_fallback_reasons`: human-readable reasons
+        the CLI renders, never an exception.  When ``mmap=True`` was
+        passed to :meth:`from_snapshot` but the boot degraded to eager,
+        each degradation is listed (e.g. a pre-v4 snapshot); when mmap was
+        never requested the single reason says so.
+        """
+        if not self._snapshot_mmap_requested:
+            return ["mmap boot was not requested (pass mmap=True / --mmap)"]
+        return list(self._snapshot_mmap_reasons)
+
     def _run_batch_processes(
         self,
         report: BatchReport,
@@ -1027,6 +1076,7 @@ class TspgService:
                             use_cache=use_cache,
                             deadline_at=deadline_at,
                             snapshot_epoch=self._snapshot_epoch,
+                            snapshot_mmap=self._snapshot_mmap,
                         ),
                     )
                 )

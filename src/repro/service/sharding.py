@@ -283,6 +283,11 @@ class ShardedTspgService:
         # the process batch backend boots its workers from them.
         self._shard_snapshot_paths: Optional[Tuple[str, ...]] = None
         self._shard_snapshot_epoch: Optional[int] = None
+        # Whether the shard boots requested / all actually used the mmap
+        # path, plus the per-shard degradation reasons when they did not.
+        self._shard_snapshot_mmap_requested: bool = False
+        self._shard_snapshot_mmap: bool = False
+        self._shard_snapshot_mmap_reasons: List[str] = []
         # Edge-less source vertices a snapshot boot carries outside the
         # shard projections; folded back in when the union materialises.
         self._extra_vertices: Tuple[Vertex, ...] = ()
@@ -295,6 +300,7 @@ class ShardedTspgService:
         cls,
         path,
         *,
+        mmap: bool = False,
         default_algorithm: str = "VUG",
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int = 1,
@@ -311,6 +317,14 @@ class ShardedTspgService:
         shard extent materialises it, as the union of the shard graphs
         (shard extents cover the whole span, so the union is exactly the
         edge set the snapshots were cut from).
+
+        ``mmap=True`` boots every shard through the v4 zero-copy columnar
+        path (see :meth:`TspgService.from_snapshot`): each shard's view
+        columns are mapped straight out of its file, so router boot cost
+        and resident memory scale with the pages queries touch.  Shards
+        whose file predates v4 degrade to the eager boot individually;
+        :meth:`mmap_fallback_reasons` lists each degradation labelled with
+        its shard.
 
         Raises :class:`~repro.store.SnapshotError` on a missing/malformed
         manifest or any per-shard checksum or count mismatch.
@@ -332,8 +346,17 @@ class ShardedTspgService:
         )
         shards: List[ShardSpec] = []
         services: List[TspgService] = []
+        mmap_reasons: List[str] = []
+        mmap_active = bool(mmap) and bool(manifest.shards)
         for entry in manifest.shards:
-            graph = shard_set.load_shard(entry)
+            boot = shard_set.boot_shard(entry, mmap=mmap)
+            graph = boot.graph
+            if mmap and not boot.mmap_active:
+                mmap_active = False
+                mmap_reasons.extend(
+                    f"shard {entry.index} ({entry.filename}): {reason}"
+                    for reason in boot.fallback_reasons
+                )
             shards.append(
                 ShardSpec(
                     index=entry.index,
@@ -344,6 +367,9 @@ class ShardedTspgService:
                 )
             )
             services.append(TspgService(graph, **router._service_kwargs))
+        router._shard_snapshot_mmap_requested = bool(mmap)
+        router._shard_snapshot_mmap = mmap_active
+        router._shard_snapshot_mmap_reasons = mmap_reasons
         router._topology = _Topology(
             shards=tuple(shards),
             services=tuple(services),
@@ -590,6 +616,24 @@ class ShardedTspgService:
                 "(stale epoch); re-run save_shards to re-attach"
             )
         return reasons
+
+    @property
+    def snapshot_mmap_active(self) -> bool:
+        """Whether every shard booted over an mmap-backed snapshot."""
+        return self._shard_snapshot_mmap
+
+    def mmap_fallback_reasons(self) -> List[str]:
+        """Why the shard boots are not mmap-backed (empty when all are).
+
+        The sharded counterpart of
+        :meth:`TspgService.mmap_fallback_reasons`: one reason per shard
+        that degraded to the eager boot, labelled with its shard index and
+        filename.  When mmap was never requested the single reason says
+        so.
+        """
+        if not self._shard_snapshot_mmap_requested:
+            return ["mmap boot was not requested (pass mmap=True / --mmap)"]
+        return list(self._shard_snapshot_mmap_reasons)
 
     def _all_services(self) -> List[TspgService]:
         services = list(self._current_topology().services)
@@ -891,6 +935,7 @@ class ShardedTspgService:
                                     snapshot_epoch=topology.services[
                                         index
                                     ].graph.epoch,
+                                    snapshot_mmap=self._shard_snapshot_mmap,
                                 ),
                             )
                         )

@@ -47,12 +47,18 @@ from .snapshot import (
     HEADER_SIZE,
     SNAPSHOT_MAGIC,
     SNAPSHOT_VERSION,
+    V4_COLUMN_SECTIONS,
+    SnapshotBoot,
     SnapshotError,
     SnapshotInfo,
+    SnapshotSection,
+    boot_snapshot,
+    inspect_snapshot,
     load_snapshot,
     peek_snapshot,
     save_snapshot,
     snapshot_bytes,
+    write_legacy_snapshot,
 )
 
 __all__ = [
@@ -60,14 +66,20 @@ __all__ = [
     "InMemoryGraphStore",
     "SnapshotGraphStore",
     "store_for",
+    "SnapshotBoot",
     "SnapshotError",
     "SnapshotInfo",
+    "SnapshotSection",
+    "boot_snapshot",
+    "inspect_snapshot",
     "load_snapshot",
     "peek_snapshot",
     "save_snapshot",
     "snapshot_bytes",
+    "write_legacy_snapshot",
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_VERSION",
+    "V4_COLUMN_SECTIONS",
     "HEADER_SIZE",
     "ShardSnapshotSet",
     "ShardSetManifest",

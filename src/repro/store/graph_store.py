@@ -23,8 +23,10 @@ import abc
 import os
 from typing import Dict, Union
 
+from typing import List
+
 from ..graph.temporal_graph import TemporalGraph
-from .snapshot import SnapshotInfo, load_snapshot, peek_snapshot, save_snapshot
+from .snapshot import SnapshotInfo, boot_snapshot, peek_snapshot, save_snapshot
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -63,15 +65,48 @@ class InMemoryGraphStore(GraphStore):
 
 
 class SnapshotGraphStore(GraphStore):
-    """Store backed by one binary snapshot file on disk."""
+    """Store backed by one binary snapshot file on disk.
 
-    def __init__(self, path: PathLike) -> None:
+    ``mmap=True`` requests the zero-copy columnar boot (snapshot format v4):
+    ``load()`` maps the file and the graph's view columns read straight out
+    of the page cache.  Pre-v4 files degrade to the eager boot; the reasons
+    are recorded on :meth:`mmap_fallback_reasons` after a load (mirroring
+    the service layer's ``process_fallback_reasons()`` style) instead of
+    being raised — a readable snapshot always boots.
+    """
+
+    def __init__(self, path: PathLike, *, mmap: bool = False) -> None:
         self._path = os.fspath(path)
+        self._mmap = bool(mmap)
+        self._mmap_active = False
+        self._mmap_fallback_reasons: List[str] = []
 
     @property
     def path(self) -> str:
         """Location of the backing snapshot file."""
         return self._path
+
+    @property
+    def mmap_requested(self) -> bool:
+        """Whether this store was asked to boot via mmap."""
+        return self._mmap
+
+    @property
+    def mmap_active(self) -> bool:
+        """Whether the most recent :meth:`load` actually booted via mmap."""
+        return self._mmap_active
+
+    def mmap_fallback_reasons(self) -> List[str]:
+        """Why the most recent :meth:`load` was not mmap-backed.
+
+        Empty when the last load mapped the file (or no load ran yet with
+        ``mmap=True``); otherwise one reason per degradation, e.g. a pre-v4
+        snapshot version.  When mmap was never requested the single reason
+        says so.
+        """
+        if not self._mmap:
+            return ["mmap boot was not requested (pass mmap=True / --mmap)"]
+        return list(self._mmap_fallback_reasons)
 
     def exists(self) -> bool:
         """``True`` when the backing file is present."""
@@ -83,7 +118,10 @@ class SnapshotGraphStore(GraphStore):
 
     def load(self) -> TemporalGraph:
         """Load the warmed graph; raises ``SnapshotError`` on any corruption."""
-        return load_snapshot(self._path)
+        boot = boot_snapshot(self._path, mmap=self._mmap)
+        self._mmap_active = boot.mmap_active
+        self._mmap_fallback_reasons = list(boot.fallback_reasons)
+        return boot.graph
 
     def save(self, graph: TemporalGraph) -> SnapshotInfo:
         """Warm ``graph`` and (atomically) persist it to the backing file."""
@@ -91,6 +129,8 @@ class SnapshotGraphStore(GraphStore):
 
     def describe(self) -> Dict[str, object]:
         row: Dict[str, object] = {"backend": "snapshot", "path": self._path}
+        if self._mmap:
+            row["mmap"] = "active" if self._mmap_active else "requested"
         if self.exists():
             row.update(self.info().as_row())
         else:

@@ -42,8 +42,17 @@ Every load validates the manifest version and shard count, and every
 decoding plus the decoded counts *after* — any mismatch raises
 :class:`~repro.store.snapshot.SnapshotError` instead of serving a shard
 that no longer matches its manifest.  Writes go through a temporary
-sibling file plus :func:`os.replace`, mirroring the single-snapshot
+sibling file plus ``fsync`` plus :func:`os.replace` (and a directory
+fsync so the rename itself is durable), mirroring the single-snapshot
 format's crash safety.
+
+``mmap=True`` on the read side (:meth:`ShardSnapshotSet.boot_shard`)
+boots each shard through the v4 zero-copy columnar path.  The manifest's
+*whole-file* CRC is deliberately skipped on that path — checksumming the
+file would fault in every page and defeat the lazy mapping; the v4
+format's own table/meta section CRCs are still verified eagerly, the
+adjacency section CRC at first hydration, and the decoded counts are
+cross-checked against the manifest entry either way.
 """
 
 from __future__ import annotations
@@ -56,7 +65,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.temporal_graph import TemporalGraph
-from .snapshot import PathLike, SnapshotError, load_snapshot, snapshot_bytes
+from .snapshot import (
+    PathLike,
+    SnapshotBoot,
+    SnapshotError,
+    _commit_bytes,
+    boot_snapshot,
+    snapshot_bytes,
+)
 
 #: Current manifest format version; bump when the JSON layout changes.
 SHARD_MANIFEST_VERSION = 1
@@ -87,18 +103,15 @@ def _crc32_of_file(path: str) -> int:
 
 
 def _write_snapshot(graph: TemporalGraph, file_path: str) -> int:
-    """Atomically write ``graph``'s snapshot; return the file's CRC-32.
+    """Durably write ``graph``'s snapshot; return the file's CRC-32.
 
     The CRC the manifest records is computed from the bytes in memory while
-    they are written (same temp-file + ``os.replace`` discipline as
-    :func:`~repro.store.snapshot.save_snapshot`), sparing the full re-read
-    per shard that checksumming the file afterwards would cost.
+    they are written (same temp-file + ``fsync`` + ``os.replace`` discipline
+    as :func:`~repro.store.snapshot.save_snapshot`), sparing the full
+    re-read per shard that checksumming the file afterwards would cost.
     """
     blob = snapshot_bytes(graph)
-    tmp_path = f"{file_path}.tmp"
-    with open(tmp_path, "wb") as handle:
-        handle.write(blob)
-    os.replace(tmp_path, file_path)
+    _commit_bytes(file_path, (blob,))
     return zlib.crc32(blob) & 0xFFFFFFFF
 
 
@@ -353,11 +366,8 @@ class ShardSnapshotSet:
             shards=tuple(entries),
             isolated=isolated_entry,
         )
-        tmp_path = f"{self.manifest_path}.tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(manifest.as_dict(), handle, indent=2)
-            handle.write("\n")
-        os.replace(tmp_path, self.manifest_path)
+        blob = (json.dumps(manifest.as_dict(), indent=2) + "\n").encode("utf-8")
+        _commit_bytes(self.manifest_path, (blob,))
         self._prune_unreferenced(manifest)
         return manifest
 
@@ -378,34 +388,42 @@ class ShardSnapshotSet:
             raise SnapshotError(f"{path}: shard manifest is not a JSON object")
         return ShardSetManifest.from_dict(raw, path)
 
-    def _load_verified(
+    def _boot_verified(
         self,
         filename: str,
         label: str,
         expected_crc32: int,
         expected_vertices: int,
         expected_edges: int,
-    ) -> TemporalGraph:
-        """Load one snapshot of the set, verifying file CRC and counts.
+        *,
+        mmap: bool = False,
+    ) -> SnapshotBoot:
+        """Boot one snapshot of the set, verifying integrity and counts.
 
-        The single integrity protocol shared by :meth:`load_shard` and
-        :meth:`load_isolated`: the whole-file CRC is checked *before*
-        decoding and the decoded counts *after*; any mismatch raises
-        :class:`SnapshotError` naming the offending ``label``.
+        The single integrity protocol shared by :meth:`boot_shard` and
+        :meth:`load_isolated`: on the eager path the whole-file CRC is
+        checked *before* decoding; on the mmap path that pre-scan is
+        skipped (it would fault in every page the lazy mapping exists to
+        avoid — the v4 section CRCs cover the bytes that are actually
+        read).  The decoded counts are cross-checked against the manifest
+        *after* either way; any mismatch raises :class:`SnapshotError`
+        naming the offending ``label``.
         """
         file_path = os.path.join(self._path, filename)
-        try:
-            crc = _crc32_of_file(file_path)
-        except OSError as exc:
-            raise SnapshotError(
-                f"{file_path}: cannot open {label} snapshot: {exc}"
-            ) from exc
-        if crc != expected_crc32:
-            raise SnapshotError(
-                f"{file_path}: {label} snapshot checksum mismatch "
-                f"(manifest says {expected_crc32:#010x}, file is {crc:#010x})"
-            )
-        graph = load_snapshot(file_path)
+        if not mmap:
+            try:
+                crc = _crc32_of_file(file_path)
+            except OSError as exc:
+                raise SnapshotError(
+                    f"{file_path}: cannot open {label} snapshot: {exc}"
+                ) from exc
+            if crc != expected_crc32:
+                raise SnapshotError(
+                    f"{file_path}: {label} snapshot checksum mismatch "
+                    f"(manifest says {expected_crc32:#010x}, file is {crc:#010x})"
+                )
+        boot = boot_snapshot(file_path, mmap=mmap)
+        graph = boot.graph
         if (
             graph.num_vertices != expected_vertices
             or graph.num_edges != expected_edges
@@ -416,25 +434,45 @@ class ShardSnapshotSet:
                 f"|E|={expected_edges}; file decodes to "
                 f"|V|={graph.num_vertices}, |E|={graph.num_edges})"
             )
-        return graph
+        return boot
 
-    def load_shard(self, entry: ShardSnapshotEntry) -> TemporalGraph:
-        """Load one shard's warmed graph, verifying file CRC and counts.
+    def boot_shard(self, entry: ShardSnapshotEntry, *, mmap: bool = False) -> SnapshotBoot:
+        """Boot one shard's graph, reporting how the boot went.
+
+        Like :meth:`load_shard` but returns the full
+        :class:`~repro.store.snapshot.SnapshotBoot` so callers can surface
+        whether the mmap request held and, if not, why (the router's
+        ``mmap_fallback_reasons()`` aggregates these per shard).
 
         Raises
         ------
         SnapshotError
             When the shard file is missing, its bytes do not match the
-            manifest checksum, the snapshot itself is corrupt, or the
-            decoded graph contradicts the manifest's counts.
+            manifest checksum (eager path), the snapshot itself is corrupt,
+            or the decoded graph contradicts the manifest's counts.
         """
-        return self._load_verified(
+        return self._boot_verified(
             entry.filename,
             "shard",
             entry.file_crc32,
             entry.num_vertices,
             entry.num_edges,
+            mmap=mmap,
         )
+
+    def load_shard(
+        self, entry: ShardSnapshotEntry, *, mmap: bool = False
+    ) -> TemporalGraph:
+        """Load one shard's warmed graph, verifying integrity and counts.
+
+        Raises
+        ------
+        SnapshotError
+            When the shard file is missing, its bytes do not match the
+            manifest checksum (eager path), the snapshot itself is corrupt,
+            or the decoded graph contradicts the manifest's counts.
+        """
+        return self.boot_shard(entry, mmap=mmap).graph
 
     def load_isolated(self, manifest: ShardSetManifest) -> List[object]:
         """The source graph's edge-less vertices (empty when none were saved).
@@ -444,15 +482,19 @@ class ShardSnapshotSet:
         if manifest.isolated is None:
             return []
         filename, file_crc32, num_vertices = manifest.isolated
-        graph = self._load_verified(
+        graph = self._boot_verified(
             filename, "isolated-vertices", file_crc32, num_vertices, 0
-        )
+        ).graph
         return list(graph.vertices())
 
-    def load_all(self) -> List[Tuple[ShardSnapshotEntry, TemporalGraph]]:
+    def load_all(
+        self, *, mmap: bool = False
+    ) -> List[Tuple[ShardSnapshotEntry, TemporalGraph]]:
         """Load every shard in index order (validated manifest first)."""
         manifest = self.manifest()
-        return [(entry, self.load_shard(entry)) for entry in manifest.shards]
+        return [
+            (entry, self.load_shard(entry, mmap=mmap)) for entry in manifest.shards
+        ]
 
     def describe(self) -> Dict[str, object]:
         """Human-readable provenance (rendered by the CLI and reports)."""

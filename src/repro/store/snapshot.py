@@ -2,65 +2,130 @@
 
 A snapshot captures *everything* :meth:`TemporalGraph.warm_indices` builds —
 the sorted adjacency lists, the temporally sorted edge list, the distinct
-timestamp set, the per-vertex ``T_out(u)`` / ``T_in(u)`` views and (since
-format version 2) the frozen CSR columnar :class:`~repro.graph.views.GraphView`
-arrays — so a long-lived service can cold-start in O(read) instead of
-re-inserting and re-sorting every edge (O(E log E + E·d)), and boots straight
-into view-servable state: the zero-materialization query pipeline needs no
-per-edge warm-up at all.
+timestamp set, the per-vertex ``T_out(u)`` / ``T_in(u)`` views and the frozen
+CSR columnar :class:`~repro.graph.views.GraphView` arrays — so a long-lived
+service can cold-start in O(read) instead of re-inserting and re-sorting
+every edge (O(E log E + E·d)), and boots straight into view-servable state.
 
-File layout::
+Format version 4 (current) — columnar section layout::
 
-    +---------------------------------------------------------------+
-    | magic ``b"TSPGSNAP"`` | format version (u16)                  |
-    | graph epoch (u64)                                             |
-    | num_vertices (u64) | num_edges (u64) | num_timestamps (u64)   |
-    | payload length (u64) | CRC-32 of payload (u32)                |
-    +---------------------------------------------------------------+
-    | payload: zlib-compressed pickle of the warmed-state dict      |
-    +---------------------------------------------------------------+
+    +--------------------------------------------------------------------+
+    | fixed header (42 bytes, big-endian, shared by every version):      |
+    |   magic ``b"TSPGSNAP"`` | format version (u16)                     |
+    |   graph epoch (u64)                                                |
+    |   num_vertices (u64) | num_edges (u64) | num_timestamps (u64)      |
+    |   payload length (u64) | CRC-32 (u32)                              |
+    +--------------------------------------------------------------------+
+    | section table: num_sections (u32) | table_bytes (u32)              |
+    |   then per section (44 bytes each):                                |
+    |   name (16s, NUL padded) | offset (u64, absolute) | length (u64)   |
+    |   | elements (u64, int64 count; 0 for pickled sections) | CRC-32   |
+    +--------------------------------------------------------------------+
+    | "meta" section:      zlib(pickle(labels/timestamps/epoch/stats))   |
+    | "adjacency" section: zlib(pickle(out/in adjacency + ts views))     |
+    | 11 raw column extents, each 8-byte aligned, uncompressed,          |
+    | little-endian int64: the view's src/dst/ts edge columns, the CSR   |
+    | offset/edge arrays, and the CSR-aligned out_ts/out_dst/in_ts/in_src|
+    +--------------------------------------------------------------------+
 
-Every load validates the magic, the format version, the payload length and
-the checksum *before* unpickling, and cross-checks the header counts against
-the decoded graph afterwards; any mismatch raises :class:`SnapshotError`
-instead of returning garbage.  The payload uses :mod:`pickle` because graph
-vertices may be arbitrary hashables (ints, transit-stop strings, tuples);
-snapshots are trusted local artifacts, not a wire format.
+``payload length`` counts every byte after the fixed header (table,
+sections, alignment padding), so ``file size == 42 + payload length``
+exactly; the header CRC field covers the section-table block and each
+section carries its own CRC.  The raw extents are what make the format
+mmap-able: :func:`load_snapshot` with ``mmap=True`` maps the file and hands
+:class:`~repro.graph.columns.MmapColumn` views of the extents to a
+:class:`~repro.graph.views.GraphView`, deferring the pickled adjacency
+section until a consumer actually walks the Python-side graph — boot cost
+and resident memory stay O(metadata), not O(E).
+
+Versions 1–3 are the legacy single-section layout (``payload length``
+bytes of zlib-compressed pickled warmed state, header CRC over that
+payload); they still load eagerly, with the CRC streamed in chunks so
+validating a multi-GB file does not double its RSS.
+
+Every load validates magic, version and sizes *before* decoding, checks the
+relevant CRCs before unpickling anything, and cross-checks the header counts
+against the decoded graph; any mismatch raises :class:`SnapshotError`
+instead of returning garbage.  The pickled sections use :mod:`pickle`
+because graph vertices may be arbitrary hashables (ints, transit-stop
+strings, tuples); snapshots are trusted local artifacts, not a wire format.
 """
 
 from __future__ import annotations
 
+import mmap as _mmap
 import os
 import pickle
 import struct
+import sys
 import zlib
-from dataclasses import dataclass
-from typing import BinaryIO, Union
+from array import array
+from dataclasses import dataclass, field
+from typing import BinaryIO, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from ..graph.temporal_graph import TemporalGraph
+from ..graph.columns import INDEX_TYPECODE, IndexColumn, MmapColumn
+from ..graph.temporal_graph import LazyGraphBoot, TemporalGraph
+from ..graph.views import GraphView
 
 #: First bytes of every snapshot file.
 SNAPSHOT_MAGIC = b"TSPGSNAP"
 
-#: Current format version; bump when the payload layout changes.
+#: Current format version; bump when the layout changes.
 #: Version 2 added the columnar GraphView arrays to the warmed state.
 #: Version 3 changed no bytes but tightened the ordering contract: the
 #: persisted sorted-edge backing (and the view columns aligned with it)
 #: break equal-timestamp ties with the deterministic repr-based key, not
 #: the writer's hash-seed-dependent set order.
-SNAPSHOT_VERSION = 3
+#: Version 4 replaced the single zlib-pickle payload with the columnar
+#: section layout documented above (mmap-able raw extents + two small
+#: pickled sections); the CSR-aligned timestamp/endpoint columns are now
+#: persisted too, so neither boot flavour rebuilds them.
+SNAPSHOT_VERSION = 4
 
 #: Versions this build can still read.  Version 1 payloads simply lack the
 #: ``view`` columns; version ≤ 2 payloads may carry the old nondeterministic
 #: tie order, so their sorted backing and view are *not* adopted — the graph
 #: restores fine and re-sorts/rebuilds them lazily on first use (one
-#: O(E log E) pass; fresh snapshots keep the full O(read) boot).
-SUPPORTED_SNAPSHOT_VERSIONS = (1, 2, SNAPSHOT_VERSION)
+#: O(E log E) pass).  Only version 4 files can boot via ``mmap=True``;
+#: older files degrade to the eager boot with a recorded reason.
+SUPPORTED_SNAPSHOT_VERSIONS = (1, 2, 3, SNAPSHOT_VERSION)
 
 #: Header layout: magic, version, epoch, |V|, |E|, |T|, payload length, CRC-32.
+#: For v≤3 the CRC covers the whole payload; for v4 it covers the section
+#: table block (each section then carries its own CRC).
 _HEADER_STRUCT = struct.Struct(">8sHQQQQQI")
 
 HEADER_SIZE = _HEADER_STRUCT.size
+
+#: v4 section-table block header: num_sections (u32), table_bytes (u32 —
+#: the size of the whole block including these 8 bytes).
+_TABLE_HEADER_STRUCT = struct.Struct(">II")
+
+#: v4 per-section record: name (16s), absolute offset (u64), length (u64),
+#: int64 element count (u64, 0 for pickled sections), CRC-32 (u32).
+_SECTION_RECORD_STRUCT = struct.Struct(">16sQQQI")
+
+#: The raw int64 column extents of a v4 snapshot, in file order.  The first
+#: seven are the persisted :meth:`GraphView.columns` arrays; the last four
+#: are the CSR-aligned derivatives (``out_ts[j]``/``out_dst[j]`` describe
+#: the edge at CSR position ``j``), persisted since v4 so the polarity
+#: sweeps never rebuild them on either boot flavour.
+V4_COLUMN_SECTIONS = (
+    "view.src",
+    "view.dst",
+    "view.ts",
+    "view.out_offsets",
+    "view.out_edges",
+    "view.in_offsets",
+    "view.in_edges",
+    "view.out_ts",
+    "view.out_dst",
+    "view.in_ts",
+    "view.in_src",
+)
+
+#: Streamed-read chunk size for the legacy (v≤3) CRC/decompress loop.
+_STREAM_CHUNK = 1 << 20
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -92,20 +157,190 @@ class SnapshotInfo:
         }
 
 
-def _encode(graph: TemporalGraph) -> tuple:
-    """Warm ``graph`` and encode it to ``(header, payload, info)``.
+@dataclass(frozen=True)
+class SnapshotSection:
+    """One decoded v4 section-table record."""
 
-    The single place the on-disk layout is produced; :func:`save_snapshot`
-    and :func:`snapshot_bytes` both write exactly these bytes.
+    name: str
+    offset: int
+    length: int
+    elements: int
+    crc32: int
+
+    def as_row(self) -> dict:
+        """Flat dict for table rendering and CLI output."""
+        return {
+            "section": self.name,
+            "offset": self.offset,
+            "length": self.length,
+            "elements": self.elements,
+            "crc32": f"{self.crc32:08x}",
+        }
+
+
+@dataclass
+class SnapshotBoot:
+    """Result of :func:`boot_snapshot`: the graph plus how it was booted.
+
+    ``fallback_reasons`` mirrors the style of
+    :meth:`TspgService.process_fallback_reasons`: when ``mmap=True`` was
+    requested but the boot degraded to eager, each reason records why, so
+    callers surface the degradation instead of silently eating it.
     """
-    state = graph.warmed_state()
-    payload = zlib.compress(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+
+    graph: TemporalGraph
+    info: SnapshotInfo
+    mmap_requested: bool = False
+    mmap_active: bool = False
+    fallback_reasons: List[str] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _extent_bytes(column) -> bytes:
+    """Raw little-endian int64 bytes of a column (any supported storage)."""
+    if isinstance(column, MmapColumn):
+        return column.tobytes()  # mapped extents are little-endian already
+    if not (isinstance(column, array) and column.typecode == INDEX_TYPECODE):
+        column = array(INDEX_TYPECODE, column)
+    if sys.byteorder == "little":
+        return column.tobytes()
+    swapped = array(INDEX_TYPECODE, column.tobytes())
+    swapped.byteswap()
+    return swapped.tobytes()
+
+
+def _extent_column(data) -> IndexColumn:
+    """Adopt raw little-endian int64 bytes as an :class:`IndexColumn`."""
+    column = IndexColumn(INDEX_TYPECODE, bytes(data))
+    if sys.byteorder != "little":
+        column.byteswap()
+    return column
+
+
+def _pickled_blob(obj) -> bytes:
+    return zlib.compress(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _encode(graph: TemporalGraph) -> Tuple[bytes, bytes, SnapshotInfo]:
+    """Warm ``graph`` and encode it to ``(header, body, info)`` — format v4.
+
+    The single place the current on-disk layout is produced;
+    :func:`save_snapshot` and :func:`snapshot_bytes` both write exactly
+    ``header + body``.  Encoding is deterministic for a given graph state:
+    re-saving a loaded snapshot (either boot flavour) reproduces identical
+    section bytes and CRCs, because the column extents round-trip raw and
+    the pickled dicts preserve their insertion order.
+    """
+    stats = graph.warm_indices()
+    view = graph.view()
+    vertices = list(graph.vertices())
+    meta_blob = _pickled_blob(
+        {
+            "labels": view.labels,
+            "timestamps": graph.timestamps(),
+            "epoch": graph.epoch,
+            "warm_stats": stats,
+        }
+    )
+    adjacency_blob = _pickled_blob(
+        {
+            "out": {v: list(graph.out_neighbors_view(v)) for v in vertices},
+            "in": {v: list(graph.in_neighbors_view(v)) for v in vertices},
+            "out_timestamps": {v: graph.out_timestamps(v) for v in vertices},
+            "in_timestamps": {v: graph.in_timestamps(v) for v in vertices},
+        }
+    )
+    columns = {
+        "view.src": view.src,
+        "view.dst": view.dst,
+        "view.ts": view.ts,
+        "view.out_offsets": view.out_offsets,
+        "view.out_edges": view.out_edges,
+        "view.in_offsets": view.in_offsets,
+        "view.in_edges": view.in_edges,
+        "view.out_ts": view.out_ts,
+        "view.out_dst": view.out_dst,
+        "view.in_ts": view.in_ts,
+        "view.in_src": view.in_src,
+    }
+    sections: List[Tuple[str, bytes, int]] = [
+        ("meta", meta_blob, 0),
+        ("adjacency", adjacency_blob, 0),
+    ]
+    for name in V4_COLUMN_SECTIONS:
+        data = _extent_bytes(columns[name])
+        sections.append((name, data, len(data) // 8))
+
+    table_bytes = _TABLE_HEADER_STRUCT.size + (
+        _SECTION_RECORD_STRUCT.size * len(sections)
+    )
+    cursor = HEADER_SIZE + table_bytes
+    chunks: List[bytes] = []
+    records: List[bytes] = []
+    for name, data, elements in sections:
+        if elements or not data:
+            pad = (-cursor) % 8  # raw extents are 8-byte aligned
+            if pad:
+                chunks.append(b"\0" * pad)
+                cursor += pad
+        records.append(
+            _SECTION_RECORD_STRUCT.pack(
+                name.encode("ascii"),
+                cursor,
+                len(data),
+                elements,
+                zlib.crc32(data) & 0xFFFFFFFF,
+            )
+        )
+        chunks.append(data)
+        cursor += len(data)
+
+    table = _TABLE_HEADER_STRUCT.pack(len(sections), table_bytes) + b"".join(records)
+    body = table + b"".join(chunks)
     info = SnapshotInfo(
         version=SNAPSHOT_VERSION,
         epoch=graph.epoch,
         num_vertices=graph.num_vertices,
         num_edges=graph.num_edges,
-        num_timestamps=len(state["timestamps"]),
+        num_timestamps=len(graph.timestamps()),
+        payload_bytes=len(body),
+    )
+    header = _HEADER_STRUCT.pack(
+        SNAPSHOT_MAGIC,
+        info.version,
+        info.epoch,
+        info.num_vertices,
+        info.num_edges,
+        info.num_timestamps,
+        info.payload_bytes,
+        zlib.crc32(table) & 0xFFFFFFFF,
+    )
+    return header, body, info
+
+
+def write_legacy_snapshot(
+    graph: TemporalGraph, path: PathLike, *, version: int = 3
+) -> SnapshotInfo:
+    """Write a pre-v4 (single zlib-pickle payload) snapshot to ``path``.
+
+    Produces byte layouts identical to what the v1/v2/v3 writers emitted —
+    the cross-version compatibility tests and the exp15 eager-boot baseline
+    use this so old-format files don't have to be vendored as fixtures.
+    """
+    if version not in (1, 2, 3):
+        raise ValueError(f"legacy snapshot versions are 1..3, got {version}")
+    state = graph.warmed_state()
+    if version == 1:
+        state.pop("view", None)  # v1 predates the columnar view arrays
+    payload = zlib.compress(pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
+    info = SnapshotInfo(
+        version=version,
+        epoch=graph.epoch,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        num_timestamps=len(graph.timestamps()),
         payload_bytes=len(payload),
     )
     header = _HEADER_STRUCT.pack(
@@ -118,26 +353,72 @@ def _encode(graph: TemporalGraph) -> tuple:
         info.payload_bytes,
         zlib.crc32(payload) & 0xFFFFFFFF,
     )
-    return header, payload, info
-
-
-def save_snapshot(graph: TemporalGraph, path: PathLike) -> SnapshotInfo:
-    """Warm ``graph`` and write its full index state to ``path``.
-
-    The write goes through a temporary sibling file plus :func:`os.replace`
-    so a crash mid-write never leaves a truncated snapshot behind the real
-    name.  Returns the header that was written.
-    """
-    header, payload, info = _encode(graph)
-    path = os.fspath(path)
-    tmp_path = f"{path}.tmp"
-    with open(tmp_path, "wb") as handle:
-        handle.write(header)
-        handle.write(payload)
-    os.replace(tmp_path, path)
+    _commit_bytes(path, (header, payload))
     return info
 
 
+def _fsync_directory(dirpath: str) -> None:
+    """Flush the directory entry after an :func:`os.replace` commit."""
+    try:
+        fd = os.open(dirpath or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without directory opens
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems refusing dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def _commit_bytes(path: PathLike, chunks: Iterable[bytes]) -> None:
+    """Durably write ``chunks`` to ``path`` via a temp sibling + rename.
+
+    The temp file is flushed and fsync'd before :func:`os.replace`, and the
+    parent directory is fsync'd after, so neither a crash mid-write nor one
+    right after the rename can lose the committed bytes.  On any exception
+    the temp sibling is removed — it never survives a failed write.
+    """
+    path = os.fspath(path)
+    tmp_path = f"{path}.tmp"
+    try:
+        with open(tmp_path, "wb") as handle:
+            for chunk in chunks:
+                handle.write(chunk)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(os.path.dirname(path))
+
+
+def save_snapshot(graph: TemporalGraph, path: PathLike) -> SnapshotInfo:
+    """Warm ``graph`` and write its full index state to ``path`` (format v4).
+
+    The write goes through a temporary sibling file plus :func:`os.replace`,
+    with the temp file and its directory both fsync'd, so a crash at any
+    point either keeps the old snapshot or commits the new one — never a
+    truncated or lost file.  Returns the header that was written.
+    """
+    header, body, info = _encode(graph)
+    _commit_bytes(path, (header, body))
+    return info
+
+
+def snapshot_bytes(graph: TemporalGraph) -> bytes:
+    """Serialize ``graph`` to an in-memory snapshot (testing/debug helper)."""
+    header, body, _ = _encode(graph)
+    return header + body
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
 def _read_header(handle: BinaryIO, path: str) -> tuple:
     raw = handle.read(HEADER_SIZE)
     if len(raw) < HEADER_SIZE:
@@ -179,15 +460,71 @@ def peek_snapshot(path: PathLike) -> SnapshotInfo:
     )
 
 
-def load_snapshot(path: PathLike) -> TemporalGraph:
-    """Load a fully-warmed :class:`TemporalGraph` from the snapshot at ``path``.
+def _parse_v4_table(
+    buf, path: str, *, payload_len: int, table_crc: int
+) -> Dict[str, SnapshotSection]:
+    """Decode and verify the v4 section table from the payload region.
 
-    Raises
-    ------
-    SnapshotError
-        On a missing/unreadable file, bad magic, unsupported version,
-        truncated payload, trailing garbage, checksum mismatch, an
-        undecodable payload, or header counts that contradict the payload.
+    ``buf`` is a bytes-like view of the ``payload_len`` bytes after the
+    fixed header.  The table CRC (stored in the header) is verified before
+    any record is trusted — a flipped byte anywhere in the block surfaces
+    as a checksum mismatch, not a parse error.
+    """
+    if payload_len < _TABLE_HEADER_STRUCT.size:
+        raise SnapshotError(f"{path}: truncated snapshot payload (no section table)")
+    num_sections, table_bytes = _TABLE_HEADER_STRUCT.unpack(
+        bytes(buf[: _TABLE_HEADER_STRUCT.size])
+    )
+    # CRC first: if the declared block size is implausible the block is
+    # corrupt, and checking over a best-effort region still reports it as
+    # the checksum failure it is.
+    region = table_bytes if 0 < table_bytes <= payload_len else payload_len
+    if (zlib.crc32(bytes(buf[:region])) & 0xFFFFFFFF) != table_crc:
+        raise SnapshotError(f"{path}: snapshot section table checksum mismatch")
+    expected = _TABLE_HEADER_STRUCT.size + (
+        _SECTION_RECORD_STRUCT.size * num_sections
+    )
+    if table_bytes != expected or num_sections == 0:
+        raise SnapshotError(
+            f"{path}: malformed snapshot section table "
+            f"({num_sections} sections, {table_bytes} bytes)"
+        )
+    sections: Dict[str, SnapshotSection] = {}
+    end = HEADER_SIZE + payload_len
+    for index in range(num_sections):
+        start = _TABLE_HEADER_STRUCT.size + index * _SECTION_RECORD_STRUCT.size
+        name_raw, offset, length, elements, crc = _SECTION_RECORD_STRUCT.unpack(
+            bytes(buf[start : start + _SECTION_RECORD_STRUCT.size])
+        )
+        name = name_raw.rstrip(b"\0").decode("ascii", "replace")
+        if (
+            offset < HEADER_SIZE + table_bytes
+            or offset + length > end
+            or (elements and (length != 8 * elements or offset % 8))
+        ):
+            raise SnapshotError(
+                f"{path}: malformed snapshot section table "
+                f"(section {name!r} extent [{offset}, {offset + length}) "
+                f"does not fit the file)"
+            )
+        sections[name] = SnapshotSection(
+            name=name, offset=offset, length=length, elements=elements, crc32=crc
+        )
+    for required in ("meta", "adjacency", *V4_COLUMN_SECTIONS):
+        if required not in sections:
+            raise SnapshotError(
+                f"{path}: malformed snapshot section table "
+                f"(missing section {required!r})"
+            )
+    return sections
+
+
+def inspect_snapshot(path: PathLike) -> Tuple[SnapshotInfo, List[SnapshotSection]]:
+    """Decode the header and (for v4) the per-section table of a snapshot.
+
+    Cheap by construction: reads the fixed header plus the section-table
+    block — never a section payload.  Pre-v4 files report their single
+    opaque payload as one pseudo-section named ``payload``.
     """
     path = os.fspath(path)
     try:
@@ -198,29 +535,67 @@ def load_snapshot(path: PathLike) -> TemporalGraph:
         version, epoch, n_vertices, n_edges, n_ts, payload_len, crc = _read_header(
             handle, path
         )
-        payload = handle.read(payload_len + 1)
-    if len(payload) < payload_len:
+        info = SnapshotInfo(
+            version=version,
+            epoch=epoch,
+            num_vertices=n_vertices,
+            num_edges=n_edges,
+            num_timestamps=n_ts,
+            payload_bytes=payload_len,
+        )
+        if version < 4:
+            return info, [
+                SnapshotSection(
+                    name="payload",
+                    offset=HEADER_SIZE,
+                    length=payload_len,
+                    elements=0,
+                    crc32=crc,
+                )
+            ]
+        table = handle.read(min(payload_len, _TABLE_HEADER_STRUCT.size))
+        if len(table) >= _TABLE_HEADER_STRUCT.size:
+            _, table_bytes = _TABLE_HEADER_STRUCT.unpack(table)
+            if 0 < table_bytes <= payload_len:
+                table += handle.read(table_bytes - len(table))
+    sections = _parse_v4_table(
+        table, path, payload_len=payload_len, table_crc=crc
+    )
+    ordered = sorted(sections.values(), key=lambda record: record.offset)
+    return info, ordered
+
+
+def _section_bytes(buf, record: SnapshotSection, path: str) -> bytes:
+    """The verified bytes of ``record`` out of the payload region ``buf``."""
+    start = record.offset - HEADER_SIZE
+    data = bytes(buf[start : start + record.length])
+    if (zlib.crc32(data) & 0xFFFFFFFF) != record.crc32:
         raise SnapshotError(
-            f"{path}: truncated snapshot payload "
-            f"({len(payload)} of {payload_len} bytes)"
+            f"{path}: snapshot section {record.name!r} checksum mismatch"
         )
-    if len(payload) > payload_len:
-        raise SnapshotError(f"{path}: trailing data after snapshot payload")
-    if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
-        raise SnapshotError(f"{path}: snapshot payload checksum mismatch")
+    return data
+
+
+def _decode_section(buf, record: SnapshotSection, path: str):
+    """CRC-check and unpickle one of the two pickled v4 sections."""
+    data = _section_bytes(buf, record, path)
     try:
-        state = pickle.loads(zlib.decompress(payload))
+        return pickle.loads(zlib.decompress(data))
     except Exception as exc:  # zlib.error, pickle errors, ...
-        raise SnapshotError(f"{path}: cannot decode snapshot payload: {exc}") from exc
-    try:
-        # Pre-v3 writers sorted equal-timestamp ties in hash-seed order;
-        # adopting their backing/view would leak that stale order into a
-        # build whose fresh graphs use the deterministic key.
-        graph = TemporalGraph.from_warmed_state(
-            state, trust_order=version >= 3
-        )
-    except (KeyError, TypeError, ValueError) as exc:
-        raise SnapshotError(f"{path}: malformed snapshot state: {exc}") from exc
+        raise SnapshotError(
+            f"{path}: cannot decode snapshot section {record.name!r}: {exc}"
+        ) from exc
+
+
+def _check_counts(
+    graph: TemporalGraph,
+    path: str,
+    *,
+    epoch: int,
+    n_vertices: int,
+    n_edges: int,
+    n_ts: int,
+) -> None:
     if (
         graph.num_vertices != n_vertices
         or graph.num_edges != n_edges
@@ -234,10 +609,347 @@ def load_snapshot(path: PathLike) -> TemporalGraph:
             f"|E|={graph.num_edges}, |T|={len(graph.timestamps())}, "
             f"epoch={graph.epoch})"
         )
+
+
+def _v4_view_from_columns(
+    meta: dict, columns: Dict[str, object], epoch: int
+) -> GraphView:
+    """Assemble a :class:`GraphView` adopting decoded v4 columns as-is."""
+    view = GraphView(
+        list(meta["labels"]),
+        columns["view.src"],
+        columns["view.dst"],
+        columns["view.ts"],
+        columns["view.out_offsets"],
+        columns["view.out_edges"],
+        columns["view.in_offsets"],
+        columns["view.in_edges"],
+        epoch=int(epoch),
+    )
+    view._out_aligned = (columns["view.out_ts"], columns["view.out_dst"])
+    view._in_aligned = (columns["view.in_ts"], columns["view.in_src"])
+    return view
+
+
+def _validate_v4_shapes(
+    sections: Dict[str, SnapshotSection],
+    path: str,
+    *,
+    n_vertices: int,
+    n_edges: int,
+) -> None:
+    """Cross-check extent element counts against the header counts."""
+    expected = {name: n_edges for name in V4_COLUMN_SECTIONS}
+    expected["view.out_offsets"] = n_vertices + 1
+    expected["view.in_offsets"] = n_vertices + 1
+    for name, count in expected.items():
+        if sections[name].elements != count:
+            raise SnapshotError(
+                f"{path}: snapshot header does not match payload "
+                f"(section {name!r} has {sections[name].elements} elements, "
+                f"header implies {count})"
+            )
+
+
+def _load_v4_eager(
+    buf,
+    path: str,
+    *,
+    epoch: int,
+    n_vertices: int,
+    n_edges: int,
+    n_ts: int,
+    payload_len: int,
+    table_crc: int,
+) -> TemporalGraph:
+    """Fully materialize a v4 snapshot: every section read, every CRC checked."""
+    sections = _parse_v4_table(
+        buf, path, payload_len=payload_len, table_crc=table_crc
+    )
+    _validate_v4_shapes(
+        sections, path, n_vertices=n_vertices, n_edges=n_edges
+    )
+    meta = _decode_section(buf, sections["meta"], path)
+    adjacency = _decode_section(buf, sections["adjacency"], path)
+    columns = {
+        name: _extent_column(_section_bytes(buf, sections[name], path))
+        for name in V4_COLUMN_SECTIONS
+    }
+    try:
+        labels = list(meta["labels"])
+        src, dst, ts = columns["view.src"], columns["view.dst"], columns["view.ts"]
+        sorted_tuples = [
+            (labels[s], labels[d], t) for s, d, t in zip(src, dst, ts)
+        ]
+        state = {
+            "out": adjacency["out"],
+            "in": adjacency["in"],
+            "sorted_edges": sorted_tuples,
+            "timestamps": meta["timestamps"],
+            "out_timestamps": adjacency["out_timestamps"],
+            "in_timestamps": adjacency["in_timestamps"],
+            "epoch": meta["epoch"],
+        }
+        graph = TemporalGraph.from_warmed_state(state, trust_order=True)
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise SnapshotError(f"{path}: malformed snapshot state: {exc}") from exc
+    graph._view_cache = _v4_view_from_columns(meta, columns, graph.epoch)
+    _check_counts(
+        graph, path, epoch=epoch, n_vertices=n_vertices, n_edges=n_edges, n_ts=n_ts
+    )
     return graph
 
 
-def snapshot_bytes(graph: TemporalGraph) -> bytes:
-    """Serialize ``graph`` to an in-memory snapshot (testing/debug helper)."""
-    header, payload, _ = _encode(graph)
-    return header + payload
+def _boot_v4_mmap(
+    path: str,
+    *,
+    epoch: int,
+    n_vertices: int,
+    n_edges: int,
+    n_ts: int,
+    payload_len: int,
+    table_crc: int,
+) -> TemporalGraph:
+    """Map a v4 snapshot and build a lazily-hydrating graph over it.
+
+    Eagerly verified: file size, the section table CRC and the small
+    ``meta`` section (so the boot fails fast on a corrupt table or
+    metadata).  The ``adjacency`` section's CRC is checked when it is
+    hydrated; the raw column extents are *not* CRC-checked on this path —
+    checking them would fault in every page and defeat the lazy boot (the
+    eager loader and the shard set's whole-file check cover them).
+    """
+    with open(path, "rb") as handle:
+        mapped = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+    buf = memoryview(mapped)[HEADER_SIZE : HEADER_SIZE + payload_len]
+    try:
+        sections = _parse_v4_table(
+            buf, path, payload_len=payload_len, table_crc=table_crc
+        )
+        _validate_v4_shapes(
+            sections, path, n_vertices=n_vertices, n_edges=n_edges
+        )
+        meta = _decode_section(buf, sections["meta"], path)
+        columns = {
+            name: MmapColumn(
+                buf[
+                    sections[name].offset
+                    - HEADER_SIZE : sections[name].offset
+                    - HEADER_SIZE
+                    + sections[name].length
+                ],
+                keepalive=mapped,
+            )
+            for name in V4_COLUMN_SECTIONS
+        }
+        labels = list(meta["labels"])
+        if len(labels) != n_vertices:
+            raise SnapshotError(
+                f"{path}: snapshot header does not match payload "
+                f"(header says |V|={n_vertices}, metadata has {len(labels)})"
+            )
+        meta_epoch = int(meta["epoch"])
+        timestamps = list(meta["timestamps"])
+        if meta_epoch != epoch or len(timestamps) != n_ts:
+            raise SnapshotError(
+                f"{path}: snapshot header does not match payload "
+                f"(header says |T|={n_ts}, epoch={epoch}; metadata has "
+                f"|T|={len(timestamps)}, epoch={meta_epoch})"
+            )
+        view = _v4_view_from_columns(meta, columns, meta_epoch)
+        adjacency_record = sections["adjacency"]
+
+        def load_adjacency() -> dict:
+            return _decode_section(buf, adjacency_record, path)
+
+        boot = LazyGraphBoot(
+            view=view,
+            timestamps=timestamps,
+            epoch=meta_epoch,
+            num_edges=n_edges,
+            warm_stats=dict(meta.get("warm_stats") or {}),
+            load_adjacency=load_adjacency,
+        )
+        return TemporalGraph.from_lazy_boot(boot)
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise SnapshotError(f"{path}: malformed snapshot state: {exc}") from exc
+
+
+def _load_legacy_state(
+    handle: BinaryIO, path: str, *, payload_len: int, crc: int
+) -> dict:
+    """Stream-read, CRC-check and decode a v≤3 single-section payload.
+
+    The CRC and the zlib decompression are fed chunk by chunk, so resident
+    memory peaks at the *decompressed* state size — the compressed payload
+    is never held whole.  The checksum verdict is always reached (and
+    reported first) even when a corrupt chunk makes the decompressor choke
+    mid-stream.
+    """
+    crc_calc = 0
+    remaining = payload_len
+    read_total = 0
+    decompressor = zlib.decompressobj()
+    parts: List[bytes] = []
+    decode_error: Optional[Exception] = None
+    while remaining > 0:
+        chunk = handle.read(min(_STREAM_CHUNK, remaining))
+        if not chunk:
+            break
+        read_total += len(chunk)
+        remaining -= len(chunk)
+        crc_calc = zlib.crc32(chunk, crc_calc)
+        if decode_error is None:
+            try:
+                parts.append(decompressor.decompress(chunk))
+            except zlib.error as exc:
+                decode_error = exc  # keep streaming: finish the CRC verdict
+    if read_total < payload_len:
+        raise SnapshotError(
+            f"{path}: truncated snapshot payload "
+            f"({read_total} of {payload_len} bytes)"
+        )
+    if handle.read(1):
+        raise SnapshotError(f"{path}: trailing data after snapshot payload")
+    if (crc_calc & 0xFFFFFFFF) != crc:
+        raise SnapshotError(f"{path}: snapshot payload checksum mismatch")
+    try:
+        if decode_error is not None:
+            raise decode_error
+        parts.append(decompressor.flush())
+        return pickle.loads(b"".join(parts))
+    except Exception as exc:  # zlib.error, pickle errors, ...
+        raise SnapshotError(f"{path}: cannot decode snapshot payload: {exc}") from exc
+
+
+def boot_snapshot(path: PathLike, *, mmap: bool = False) -> SnapshotBoot:
+    """Load the snapshot at ``path``, optionally mmap-backed, with provenance.
+
+    With ``mmap=True`` and a v4 file, the returned graph's columnar view
+    reads straight out of the page cache (see :class:`MmapColumn`) and the
+    Python-side adjacency hydrates lazily.  Pre-v4 files — and platforms
+    whose native byte order can't alias the little-endian extents — degrade
+    to the eager boot, with the reason recorded on the returned
+    :class:`SnapshotBoot` rather than raised: a readable snapshot always
+    boots.
+
+    Raises
+    ------
+    SnapshotError
+        On a missing/unreadable file, bad magic, unsupported version,
+        truncated payload, trailing garbage, any checksum mismatch, an
+        undecodable section, or header counts that contradict the payload.
+    """
+    path = os.fspath(path)
+    try:
+        handle = open(path, "rb")
+    except OSError as exc:
+        raise SnapshotError(f"{path}: cannot open snapshot: {exc}") from exc
+    reasons: List[str] = []
+    with handle:
+        version, epoch, n_vertices, n_edges, n_ts, payload_len, crc = _read_header(
+            handle, path
+        )
+        info = SnapshotInfo(
+            version=version,
+            epoch=epoch,
+            num_vertices=n_vertices,
+            num_edges=n_edges,
+            num_timestamps=n_ts,
+            payload_bytes=payload_len,
+        )
+        if version >= 4:
+            file_size = os.fstat(handle.fileno()).st_size
+            if file_size < HEADER_SIZE + payload_len:
+                raise SnapshotError(
+                    f"{path}: truncated snapshot payload "
+                    f"({file_size - HEADER_SIZE} of {payload_len} bytes)"
+                )
+            if file_size > HEADER_SIZE + payload_len:
+                raise SnapshotError(f"{path}: trailing data after snapshot payload")
+            if mmap:
+                if sys.byteorder != "little":
+                    reasons.append(
+                        "snapshot extents are little-endian and this platform "
+                        f"is {sys.byteorder}-endian: booted eagerly (byteswap)"
+                    )
+                else:
+                    try:
+                        graph = _boot_v4_mmap(
+                            path,
+                            epoch=epoch,
+                            n_vertices=n_vertices,
+                            n_edges=n_edges,
+                            n_ts=n_ts,
+                            payload_len=payload_len,
+                            table_crc=crc,
+                        )
+                        return SnapshotBoot(
+                            graph=graph,
+                            info=info,
+                            mmap_requested=True,
+                            mmap_active=True,
+                        )
+                    except (OSError, _mmap.error) as exc:
+                        reasons.append(
+                            f"mmap of the snapshot failed ({exc}): booted eagerly"
+                        )
+            buf = handle.read(payload_len)
+            graph = _load_v4_eager(
+                buf,
+                path,
+                epoch=epoch,
+                n_vertices=n_vertices,
+                n_edges=n_edges,
+                n_ts=n_ts,
+                payload_len=payload_len,
+                table_crc=crc,
+            )
+            return SnapshotBoot(
+                graph=graph,
+                info=info,
+                mmap_requested=mmap,
+                mmap_active=False,
+                fallback_reasons=reasons,
+            )
+        if mmap:
+            reasons.append(
+                f"snapshot format v{version} predates the mmap-able columnar "
+                "layout (v4): booted eagerly; re-save with this build to "
+                "enable mmap boot"
+            )
+        state = _load_legacy_state(handle, path, payload_len=payload_len, crc=crc)
+    try:
+        # Pre-v3 writers sorted equal-timestamp ties in hash-seed order;
+        # adopting their backing/view would leak that stale order into a
+        # build whose fresh graphs use the deterministic key.
+        graph = TemporalGraph.from_warmed_state(state, trust_order=version >= 3)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SnapshotError(f"{path}: malformed snapshot state: {exc}") from exc
+    _check_counts(
+        graph, path, epoch=epoch, n_vertices=n_vertices, n_edges=n_edges, n_ts=n_ts
+    )
+    return SnapshotBoot(
+        graph=graph,
+        info=info,
+        mmap_requested=mmap,
+        mmap_active=False,
+        fallback_reasons=reasons,
+    )
+
+
+def load_snapshot(path: PathLike, *, mmap: bool = False) -> TemporalGraph:
+    """Load a fully-warmed :class:`TemporalGraph` from the snapshot at ``path``.
+
+    ``mmap=True`` requests the zero-copy columnar boot (v4 files only; older
+    formats degrade to eager — use :func:`boot_snapshot` to observe the
+    recorded fallback reasons).
+
+    Raises
+    ------
+    SnapshotError
+        On a missing/unreadable file, bad magic, unsupported version,
+        truncated payload, trailing garbage, checksum mismatch, an
+        undecodable payload, or header counts that contradict the payload.
+    """
+    return boot_snapshot(path, mmap=mmap).graph

@@ -445,14 +445,12 @@ class TestProcessBackend:
         # A snapshot written by an older build may carry hash-seed-dependent
         # equal-timestamp tie order; loading one must not adopt that order
         # (the backing and view rebuild lazily under the deterministic key).
-        import struct
-
-        from repro.store import load_snapshot
+        from repro.store import load_snapshot, write_legacy_snapshot
         from repro.store.snapshot import _HEADER_STRUCT
 
         graph, _ = _random_case(seed=58)
         path = tmp_path / "old.tspgsnap"
-        save_snapshot(graph, path)
+        write_legacy_snapshot(graph, path, version=3)
         blob = bytearray(path.read_bytes())
         fields = list(_HEADER_STRUCT.unpack(blob[: _HEADER_STRUCT.size]))
         assert fields[1] == 3
