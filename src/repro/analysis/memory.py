@@ -43,13 +43,34 @@ def _status_kb(field_name: str) -> Optional[int]:
     return None
 
 
+def _statm_rss_bytes() -> Optional[int]:
+    """Fast current-RSS read from ``/proc/self/statm`` (Linux).
+
+    ``statm`` is a single short line (seven page counts, field 1 is the
+    resident set), so one read + split beats scanning ``status`` line by
+    line — this path sits inside residency-tracking serve loops and the
+    exp16 probes, where it is called per request.
+    """
+    try:
+        with open("/proc/self/statm", "rb", buffering=0) as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
 def rss_bytes() -> Optional[int]:
     """Current resident set size of this process in bytes (None if unknown).
 
-    Linux reads ``VmRSS`` from ``/proc/self/status``; elsewhere there is no
-    portable *current*-RSS source without third-party deps, so callers must
-    handle ``None`` (exp15 skips its ceiling assertion in that case).
+    Linux reads ``/proc/self/statm`` (one unbuffered read of a short line)
+    with ``VmRSS`` from ``/proc/self/status`` as the fallback; elsewhere
+    there is no portable *current*-RSS source without third-party deps, so
+    callers must handle ``None`` (exp15/exp16 skip their ceiling
+    assertions in that case).
     """
+    rss = _statm_rss_bytes()
+    if rss is not None:
+        return rss
     kb = _status_kb("VmRSS")
     return None if kb is None else kb * 1024
 

@@ -25,6 +25,7 @@ Function                  Paper artifact
 ``exp13_serving_pool``    (new)     — persistent worker pool + per-query deadlines
 ``exp14_vectorized_kernels`` (new)  — pure-Python vs numpy hot-path kernels
 ``exp15_mmap_boot``       (new)     — mmap-backed v4 columnar boot vs eager boots
+``exp16_query_residency`` (new)     — window-local layouts, extent-local mapping
 ========================  =======================================================
 
 All drivers take ``num_queries`` / dataset-key parameters so the pytest
@@ -1619,6 +1620,292 @@ def exp15_mmap_boot(
     return report
 
 
+#: Subprocess probe used by :func:`measure_residency_rss`: boots a v4
+#: snapshot mmap-backed — whole-file or extent-local — in a fresh
+#: interpreter, touches every mapped column row, and reports resident
+#: memory growth alongside the boot's byte accounting.  The RSS baseline is
+#: taken *after* the boot (interpreter, optional numpy import and the
+#: label/adjacency structures are interval-independent); the touch growth
+#: is what scales with the mapped row payload.
+_RESIDENCY_PROBE = """
+import json, sys
+path, mode = sys.argv[1], sys.argv[2]
+begin, end = int(sys.argv[3]), int(sys.argv[4])
+from repro.store import boot_snapshot
+from repro.analysis.memory import rss_bytes
+interval = None if mode == "full" else (begin, end)
+boot = boot_snapshot(path, mmap=True, interval=interval)
+view = boot.graph.view()
+base = rss_bytes()
+touched = 0
+for column in (view.src, view.dst, view.ts):
+    for value in column:
+        touched += value
+after = rss_bytes()
+print(json.dumps({
+    "rss_base": base,
+    "rss_touched": after,
+    "mapped_column_bytes": boot.mapped_column_bytes,
+    "total_column_bytes": boot.total_column_bytes,
+    "row_range": boot.row_range,
+    "num_edges": boot.graph.num_edges,
+    "mmap_active": boot.mmap_active,
+    "checksum": touched,
+}))
+"""
+
+
+def measure_residency_rss(
+    snapshot_path: str, *, mode: str, interval
+) -> Optional[Dict[str, object]]:
+    """Touch-phase RSS profile of a whole-file vs extent-local mmap boot.
+
+    ``mode`` is ``"full"`` or ``"window"``; ``interval`` bounds the window
+    mode's extent.  Returns ``None`` when RSS is unmeasurable or the probe
+    fails, mirroring :func:`measure_boot_rss`.
+    """
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir if not existing else src_dir + os.pathsep + existing
+    begin, end = interval
+    try:
+        completed = subprocess.run(
+            [sys.executable, "-c", _RESIDENCY_PROBE, snapshot_path, mode,
+             str(begin), str(end)],
+            capture_output=True, text=True, timeout=600, env=env,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if completed.returncode != 0:
+        return None
+    try:
+        profile = json.loads(completed.stdout.strip().splitlines()[-1])
+    except (ValueError, IndexError):
+        return None
+    if profile.get("rss_base") is None or profile.get("rss_touched") is None:
+        return None
+    return profile
+
+
+def _clear_layout_cache(view) -> None:
+    """Drop any cached window layouts so a timing run rebuilds from scratch."""
+    from ..core.kernels import _LAYOUT_KEY
+
+    view._kernel_scratch.pop(_LAYOUT_KEY, None)
+
+
+def exp16_query_residency(
+    dataset_key: str = "D1",
+    num_queries: int = 10,
+    scale_vertices: int = 20_000,
+    scale_edges: int = 120_000,
+    scale_timestamps: int = 2_000,
+    rounds: int = 3,
+    window_fraction: float = 0.05,
+    seed: int = 7,
+) -> ExperimentReport:
+    """Exp-16: query-time residency of the window-local serving stack.
+
+    Four legs on one report.  **Layout wall-clock**: on a synth-scale
+    graph, building the timestamp-group kernel layout for a narrow window
+    (``window_fraction`` of the span) is timed against building it for the
+    full view — the window-local rebuild touches only the window's rows.
+    **Resident memory**: a fresh subprocess per mode boots the snapshot
+    mmap-backed (whole-file vs extent-local) and touches every mapped
+    column row; the extent boot's touch growth tracks the *interval's* row
+    payload, not the file's.  **Page advice**: a
+    :class:`~repro.store.ResidencyPolicy` is driven through its
+    warm/serve/evict phases over the mapped boot and its counters are
+    reported (a graceful no-op where madvise is unavailable).
+    **Fidelity**: on ``dataset_key``, every registered algorithm answers a
+    window-restricted workload on the eager, whole-file-mmap and
+    extent-local boots — with and without a (generous) per-query deadline
+    — and the results must be bit-identical across all six paths.
+    """
+    from ..core.deadline import Deadline
+    from ..core.kernels import _ts_group_layout, numpy_or_none
+    from ..algorithms import available_algorithms
+    from ..store import ResidencyPolicy
+
+    report = ExperimentReport(
+        experiment=f"Exp-16 (query residency, synth-scale + {dataset_key})",
+        description=(
+            f"window-local kernel layouts, extent-local mmap boots and "
+            f"madvise page advice on a {scale_edges}-edge synth-scale "
+            f"graph, plus registry-wide tri-boot identity on {dataset_key}"
+        ),
+    )
+    spec = SYNTH_SCALE.scaled(
+        num_vertices=scale_vertices,
+        num_edges=scale_edges,
+        num_timestamps=scale_timestamps,
+    )
+    scale_graph = spec.load()
+    timestamps = scale_graph.timestamps()
+    span_lo, span_hi = timestamps[0], timestamps[-1]
+    width = max(1, int((span_hi - span_lo) * window_fraction))
+    mid = (span_lo + span_hi) // 2
+    window = (mid, min(span_hi, mid + width))
+    report.add_note(
+        f"synth-scale: |V|={scale_graph.num_vertices} "
+        f"|E|={scale_graph.num_edges} span=({span_lo}, {span_hi}); "
+        f"narrow window {window} "
+        f"(~{window_fraction:.0%} of the span)"
+    )
+
+    # Leg 1: window-local vs full-view layout build wall-clock.
+    if numpy_or_none() is None:
+        report.add_note("layout timing: numpy unavailable — skipped")
+        layout_speedup = None
+    else:
+        view = scale_graph.view()
+        timings = {"full": float("inf"), "window": float("inf")}
+        for _ in range(max(1, rounds)):
+            for mode, bounds in (("full", (span_lo, span_hi)), ("window", window)):
+                _clear_layout_cache(view)
+                started = time.perf_counter()
+                _ts_group_layout(view, bounds)
+                timings[mode] = min(timings[mode], time.perf_counter() - started)
+        layout_speedup = (
+            timings["full"] / timings["window"]
+            if timings["window"] > 0
+            else float("inf")
+        )
+        for mode in ("full", "window"):
+            report.add_row(mode=f"layout-{mode}", wall_s=round(timings[mode], 5))
+            report.add_point("layout_s", mode, round(timings[mode], 5))
+        report.add_note(
+            f"window-local layout build is {layout_speedup:.1f}x faster "
+            f"than the full-view build for the narrow window"
+        )
+
+    # Legs 2 + 3: extent-local RSS ceiling and the page-advice policy.
+    tmp_dir = tempfile.mkdtemp(prefix="exp16-")
+    try:
+        snap_path = os.path.join(tmp_dir, "scale.tspgsnap")
+        save_snapshot(scale_graph, snap_path)
+        profiles: Dict[str, Dict[str, object]] = {}
+        for mode in ("full", "window"):
+            profile = measure_residency_rss(
+                snap_path, mode=mode, interval=window
+            )
+            if profile is None:
+                report.add_note(
+                    f"rss({mode}): not measurable on this platform — skipped"
+                )
+                continue
+            profiles[mode] = profile
+            growth = profile["rss_touched"] - profile["rss_base"]
+            report.add_row(
+                mode=f"rss-{mode}",
+                touch_growth_mb=round(growth / 1e6, 2),
+                mapped_mb=round(profile["mapped_column_bytes"] / 1e6, 2),
+                total_mb=round(profile["total_column_bytes"] / 1e6, 2),
+                rows=profile["num_edges"],
+            )
+        if "full" in profiles and "window" in profiles:
+            report.add_note(
+                f"extent-local boot maps "
+                f"{profiles['window']['mapped_column_bytes']} of "
+                f"{profiles['window']['total_column_bytes']} column bytes "
+                f"(rows {profiles['window']['row_range']}); touch growth "
+                f"{profiles['window']['rss_touched'] - profiles['window']['rss_base']} "
+                f"vs {profiles['full']['rss_touched'] - profiles['full']['rss_base']} "
+                f"bytes for the whole file"
+            )
+
+        policy = ResidencyPolicy()
+        boot = boot_snapshot(
+            snap_path, mmap=True, interval=window, residency=policy
+        )
+        policy.advise_warm()
+        policy.advise_serve()
+        evicted = policy.evict_cold()
+        stats = policy.stats()
+        report.add_row(
+            mode="page-advice",
+            supported=stats["supported"],
+            mapped_bytes=stats["mapped_bytes"],
+            advised_bytes=stats["advised_bytes"],
+            evicted_bytes=evicted,
+            errors=stats["errors"],
+        )
+        report.add_note(
+            "page advice: "
+            + (
+                f"warm+serve+evict advised {stats['advised_bytes']} bytes "
+                f"over {stats['mappings']} mappings"
+                if stats["supported"]
+                else f"no-op — {stats['unsupported_reason']}"
+            )
+            + f"; extent boot decoded {boot.graph.num_edges} rows"
+        )
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+
+    # Leg 4: registry-wide tri-path identity, deadlines off and on.
+    graph = _load(dataset_key)
+    dataset_ts = graph.timestamps()
+    restrict_lo = dataset_ts[0]
+    restrict_hi = dataset_ts[(len(dataset_ts) * 3) // 5]
+    restriction = (restrict_lo, restrict_hi)
+    tmp_dir = tempfile.mkdtemp(prefix="exp16-identity-")
+    try:
+        snap_path = os.path.join(tmp_dir, "identity.tspgsnap")
+        save_snapshot(graph, snap_path)
+        eager = boot_snapshot(snap_path).graph
+        whole = boot_snapshot(snap_path, mmap=True).graph
+        extent = boot_snapshot(snap_path, mmap=True, interval=restriction).graph
+        # Sampling the workload from the extent graph keeps every query
+        # interval inside the restriction, so all three boots hold every
+        # edge the query can use.
+        queries = list(
+            _workload(extent, dataset_key, num_queries, seed=seed)
+        )
+        all_identical = True
+        for name in available_algorithms():
+            algorithm = get_algorithm(name)
+            identical = True
+            runs = 0
+            for query in queries:
+                outcomes = []
+                for contender in (eager, whole, extent):
+                    for deadline in (None, Deadline.after(60.0)):
+                        outcome = algorithm.run(
+                            contender,
+                            query.source,
+                            query.target,
+                            query.interval,
+                            deadline=deadline,
+                        )
+                        outcomes.append(outcome)
+                        runs += 1
+                reference = outcomes[0]
+                identical = identical and all(
+                    other.result.vertices == reference.result.vertices
+                    and other.result.edges == reference.result.edges
+                    and not other.timed_out
+                    for other in outcomes
+                )
+            all_identical = all_identical and identical
+            report.add_row(
+                mode=f"identity-{name}", identical=identical, runs=runs
+            )
+        report.add_note(
+            f"tri-path identity on {dataset_key} (restriction "
+            f"{restriction}): "
+            f"{'bit-identical' if all_identical else 'MISMATCH'} across "
+            f"eager / whole-file mmap / extent-local mmap, deadlines off "
+            f"and on, for every registered algorithm"
+        )
+    finally:
+        shutil.rmtree(tmp_dir, ignore_errors=True)
+    return report
+
+
 EXPERIMENTS = {
     "table1": table1_datasets,
     "exp1": exp1_response_time,
@@ -1638,4 +1925,5 @@ EXPERIMENTS = {
     "exp13": exp13_serving_pool,
     "exp14": exp14_vectorized_kernels,
     "exp15": exp15_mmap_boot,
+    "exp16": exp16_query_residency,
 }

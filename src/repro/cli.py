@@ -16,12 +16,15 @@ main operations:
   touching any payload byte;
 * ``datasets``    — list the synthetic dataset analogues and their statistics
   (plus the ``synth-scale`` streaming generator's parameters, never loaded);
-* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp15);
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp16);
 * ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
 
 ``batch`` and ``serve`` accept ``--mmap`` on their snapshot sources: the v4
 columnar boot then maps the file zero-copy instead of decoding it (pre-v4
-files degrade to the eager boot with a printed note).
+files degrade to the eager boot with a printed note).  ``--residency``
+additionally drives ``madvise`` page advice over the mappings (see
+:mod:`repro.store.residency`), and ``serve --evict-every N`` periodically
+releases cold pages so a long session's memory tracks its working set.
 """
 
 from __future__ import annotations
@@ -138,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
         "columnar path (zero-copy; pre-v4 files degrade to the eager boot "
         "with a note)",
     )
+    batch.add_argument(
+        "--residency", "--madvise", action="store_true", dest="residency",
+        help="with --mmap: drive madvise page advice over the mapped "
+        "snapshot columns (SEQUENTIAL for warm-up, RANDOM for serving) "
+        "and report resident-byte counters; a no-op where madvise is "
+        "unavailable",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -193,6 +203,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="boot --snapshot / --shard-snapshots via the mmap-backed v4 "
         "columnar path (zero-copy; pre-v4 files degrade to the eager boot "
         "with a note)",
+    )
+    serve.add_argument(
+        "--residency", "--madvise", action="store_true", dest="residency",
+        help="with --mmap: drive madvise page advice over the mapped "
+        "snapshot columns (SEQUENTIAL for warm-up, RANDOM for serving) "
+        "and report resident-byte counters under the stats op; a no-op "
+        "where madvise is unavailable",
+    )
+    serve.add_argument(
+        "--evict-every", type=int, default=0, metavar="N",
+        help="with --residency: drop cold mapped pages (MADV_DONTNEED) "
+        "after every N served requests; evicted pages re-fault from the "
+        "snapshot file on the next touch (0 disables, the default)",
     )
     serve.add_argument(
         "--input", default=None,
@@ -349,6 +372,22 @@ def _print_mmap_note(args: argparse.Namespace, service) -> None:
         print("note: mmap boot degraded to eager — " + "; ".join(reasons))
 
 
+def _print_residency_line(service, file: Optional[TextIO] = None) -> None:
+    """One-line page-advice summary (both service flavours expose it)."""
+    stats = service.residency_stats()
+    if stats is None:
+        return
+    if stats.get("supported"):
+        detail = (
+            f"{stats['mapped_bytes']} mapped bytes across "
+            f"{stats['mappings']} mappings, {stats['advised_bytes']} "
+            f"advised, {stats['evictions']} evictions"
+        )
+    else:
+        detail = f"no-op — {stats.get('unsupported_reason')}"
+    print(f"residency: {detail}", file=file)
+
+
 def _command_batch(args: argparse.Namespace) -> int:
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
@@ -370,13 +409,15 @@ def _command_batch(args: argparse.Namespace) -> int:
         )
     if args.mmap and not (args.snapshot or args.shard_snapshots):
         raise SystemExit("--mmap requires --snapshot or --shard-snapshots")
+    if args.residency and not args.mmap:
+        raise SystemExit("--residency requires --mmap (advice needs mappings)")
     service = None
     if args.edge_list:
         graph = load_edge_list(args.edge_list)
     elif args.shard_snapshots:
         try:
             service = ShardedTspgService.from_shard_snapshots(
-                args.shard_snapshots, mmap=args.mmap,
+                args.shard_snapshots, mmap=args.mmap, residency=args.residency,
                 default_algorithm=args.algorithm, cache_size=args.cache_size,
                 kernel_backend=args.kernel_backend,
             )
@@ -394,7 +435,7 @@ def _command_batch(args: argparse.Namespace) -> int:
                 # Boot through from_snapshot so the snapshot stays attached
                 # and --executor processes has a file to boot workers from.
                 service = TspgService.from_snapshot(
-                    args.snapshot, mmap=args.mmap,
+                    args.snapshot, mmap=args.mmap, residency=args.residency,
                     default_algorithm=args.algorithm, cache_size=args.cache_size,
                     kernel_backend=args.kernel_backend,
                 )
@@ -455,6 +496,8 @@ def _command_batch(args: argparse.Namespace) -> int:
         f"cache: {stats.hits} hits, {stats.misses} misses, {stats.evictions} evictions "
         f"(hit rate {stats.hit_rate:.0%}); indices warmed once: {service.index_stats}"
     )
+    if args.residency:
+        _print_residency_line(service)
     if args.executor == "processes" and all(
         row["executor"] != "processes" for row in rows
     ):
@@ -495,14 +538,14 @@ def _serve_service(args: argparse.Namespace, pool: Optional[WorkerPool]):
     """Boot the service a ``tspg serve`` session answers from."""
     if args.shard_snapshots:
         service = ShardedTspgService.from_shard_snapshots(
-            args.shard_snapshots, mmap=args.mmap,
+            args.shard_snapshots, mmap=args.mmap, residency=args.residency,
             default_algorithm=args.algorithm, cache_size=args.cache_size,
             pool=pool, kernel_backend=args.kernel_backend,
         )
         return service, f"shard snapshots {args.shard_snapshots}"
     if args.snapshot:
         service = TspgService.from_snapshot(
-            args.snapshot, mmap=args.mmap,
+            args.snapshot, mmap=args.mmap, residency=args.residency,
             default_algorithm=args.algorithm, cache_size=args.cache_size,
             pool=pool, kernel_backend=args.kernel_backend,
         )
@@ -564,6 +607,9 @@ def _serve_handle(request: dict, service, args, pool: Optional[WorkerPool]) -> d
             },
             "index": dict(service.index_stats),
         }
+        residency = service.residency_stats()
+        if residency is not None:
+            response["residency"] = residency
         if pool is not None:
             response["pool"] = pool.stats()
         return response
@@ -631,6 +677,12 @@ def _command_serve(args: argparse.Namespace, stdin: Optional[TextIO] = None) -> 
         raise SystemExit("--workers must be at least 1")
     if args.cache_size < 0:
         raise SystemExit("--cache-size must be non-negative")
+    if args.residency and not args.mmap:
+        raise SystemExit("--residency requires --mmap (advice needs mappings)")
+    if args.evict_every < 0:
+        raise SystemExit("--evict-every must be non-negative")
+    if args.evict_every and not args.residency:
+        raise SystemExit("--evict-every requires --residency")
     pool = WorkerPool(max_workers=args.workers) if args.executor == "processes" else None
     opened = None
     try:
@@ -696,7 +748,15 @@ def _command_serve(args: argparse.Namespace, stdin: Optional[TextIO] = None) -> 
                 response = {"ok": False, "error": str(exc)}
             print(json.dumps(response), flush=True)
             served += 1
+            if args.evict_every and served % args.evict_every == 0:
+                # Periodic DONTNEED keeps a long session's resident set
+                # proportional to its recent working set; dropped pages
+                # re-fault from the snapshot file, so this trades a little
+                # tail latency for bounded memory.
+                service.evict_cold_pages()
         print(f"served {served} requests from {source}", file=sys.stderr)
+        if args.residency:
+            _print_residency_line(service, file=sys.stderr)
     finally:
         if opened is not None:
             opened.close()
@@ -827,13 +887,15 @@ def _command_experiment(args: argparse.Namespace) -> int:
         )
     elif name in {"exp12", "exp13"}:
         report = driver(args.dataset, num_queries=args.queries, workers=args.workers)
-    elif name in {"exp10", "exp11", "exp14", "exp15"}:
+    elif name in {"exp10", "exp11", "exp14", "exp15", "exp16"}:
         report = driver(args.dataset, num_queries=args.queries)
     else:
         report = driver(keys=args.datasets, num_queries=args.queries)
     if name in {"exp2", "exp5-fig10", "exp6", "exp7"}:
         x_label = "theta"
-    elif name in {"exp9", "exp10", "exp11", "exp12", "exp13", "exp14", "exp15"}:
+    elif name in {
+        "exp9", "exp10", "exp11", "exp12", "exp13", "exp14", "exp15", "exp16"
+    }:
         x_label = "mode"
     else:
         x_label = "dataset"

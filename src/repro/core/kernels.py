@@ -36,11 +36,20 @@ iterates, producing the identical ascending index list — including the
 ``lo == hi`` empty-window convention pinned by the degenerate-interval
 regression tests.
 
-The sweep reads a per-view *timestamp-group layout* (each group's edges
+The sweep reads a *window-local timestamp-group layout* (each group's edges
 sorted by head for the forward pass and by tail for the backward pass, with
-``reduceat`` boundaries) that is built lazily on first use and cached in
-``GraphView._kernel_scratch`` — the same lifecycle as the CSR-aligned
-columns: built once, shared by every query, never persisted.
+``reduceat`` boundaries) built over the query window's ``[lo, hi)`` edge
+slice only — never the whole column — and cached per window under a small
+bounded LRU in ``GraphView._kernel_scratch``.  Restricting the layout to
+the window is exact by the group-monotonicity argument above: a timestamp
+group outside ``[τb, τe]`` is never iterated by either sweep, so edges
+outside the window can never relax a table value any in-window consumer
+reads.  The payoff is residency: layout cost is O(w log w) in the window's
+edge count ``w`` (not O(E log E)), and on an mmap-booted view a narrow
+query faults in only the window's pages of ``src``/``dst``/``ts``.  Like
+the CSR-aligned columns the cache is never persisted, and the view's
+immutability (mutation rebuilds the view, and with it an empty scratch)
+keeps every cached layout valid for the view's whole lifetime.
 
 When numpy is not installed (:func:`numpy_available` is ``False``) callers
 must use the pure-Python kernels; the dispatching layers (``VUG``,
@@ -50,6 +59,7 @@ safe to request.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Tuple
 
 from ..graph.columns import BUFFER_COLUMN_TYPES, numpy_available, numpy_or_none
@@ -66,8 +76,14 @@ __all__ = [
 #: The selectable kernel backends, in fallback order.
 KERNEL_BACKENDS = ("python", "numpy")
 
-#: Cache key of the timestamp-group layout in ``GraphView._kernel_scratch``.
-_LAYOUT_KEY = "ts_group_layout"
+#: Cache key of the window-layout LRU in ``GraphView._kernel_scratch``.
+_LAYOUT_KEY = "ts_group_layouts"
+
+#: Max distinct ``(lo, hi)`` window layouts cached per view.  Serve loops
+#: typically repeat a handful of hot intervals; beyond that, rebuilding a
+#: window layout is O(w log w) in the window's edge count, so eviction is
+#: cheap to recover from and the cache never anchors cold pages.
+_LAYOUT_CACHE_CAPACITY = 8
 
 
 def _as_numpy(column):
@@ -87,44 +103,66 @@ def _window_columns(view: GraphView, window) -> Tuple[int, int, object, object, 
     return lo, hi, src, dst, ts
 
 
-def _ts_group_layout(view: GraphView):
-    """The per-distinct-timestamp relaxation layout of ``view`` (cached).
+def _layout_cache(view: GraphView) -> "OrderedDict":
+    """The per-view window-layout LRU, created on first use."""
+    cache = view._kernel_scratch.get(_LAYOUT_KEY)
+    if cache is None:
+        cache = OrderedDict()
+        view._kernel_scratch[_LAYOUT_KEY] = cache
+    return cache
 
-    Returns ``(uts, fwd, bwd)`` where ``uts`` is the sorted distinct
-    timestamps and ``fwd[i]``/``bwd[i]`` describe timestamp group ``i``
-    (one contiguous slice of the ts-sorted edge columns):
+
+def _ts_group_layout(view: GraphView, window):
+    """The window-local timestamp-group relaxation layout (LRU-cached).
+
+    Returns ``(uts, fwd, bwd)`` built over the ``[lo, hi)`` edge slice of
+    ``slice_bounds(window)`` only, where ``uts`` is the window's sorted
+    distinct timestamps and ``fwd[i]``/``bwd[i]`` describe timestamp group
+    ``i`` (one contiguous run of the ts-sorted window slice):
 
     * ``fwd[i] = (t, src_g, gdst, starts)`` — the group's edge tails in
       head-sorted order, the distinct heads, and the ``reduceat``
       boundaries of each head's run;
     * ``bwd[i] = (t, dst_g, gsrc, starts)`` — the mirror, tail-grouped.
 
-    Built once per view (O(E log E)) and cached in ``_kernel_scratch``;
-    the view is immutable, so the layout never goes stale.
+    Every group of the slice is in-window by construction (``lo`` and
+    ``hi`` bisect the sorted ``ts`` column on the window bounds), so the
+    sweeps iterate the layout whole — no per-query searchsorted needed.
+    The layout stores vertex ids, never edge indices, so slice-local
+    arrays need no offset correction.  Layouts are keyed by ``(lo, hi)``
+    in a small LRU per view; the view is immutable (mutation rebuilds the
+    view and its scratch), so cached layouts never go stale.
     """
-    layout = view._kernel_scratch.get(_LAYOUT_KEY)
-    if layout is None:
-        np = numpy_or_none()
-        src = _as_numpy(view.src)
-        dst = _as_numpy(view.dst)
-        ts = _as_numpy(view.ts)
-        uts, group_starts = np.unique(ts, return_index=True)
-        bounds = group_starts.tolist() + [len(ts)]
-        fwd, bwd = [], []
-        for i in range(len(uts)):
-            s, e = bounds[i], bounds[i + 1]
-            src_g, dst_g = src[s:e], dst[s:e]
-            by_head = np.argsort(dst_g, kind="stable")
-            heads = dst_g[by_head]
-            head_starts = np.flatnonzero(np.r_[True, heads[1:] != heads[:-1]])
-            by_tail = np.argsort(src_g, kind="stable")
-            tails = src_g[by_tail]
-            tail_starts = np.flatnonzero(np.r_[True, tails[1:] != tails[:-1]])
-            t = int(uts[i])
-            fwd.append((t, src_g[by_head], heads[head_starts], head_starts))
-            bwd.append((t, dst_g[by_tail], tails[tail_starts], tail_starts))
-        layout = (uts, fwd, bwd)
-        view._kernel_scratch[_LAYOUT_KEY] = layout
+    lo, hi = view.slice_bounds(window)
+    cache = _layout_cache(view)
+    key = (lo, hi)
+    layout = cache.get(key)
+    if layout is not None:
+        cache.move_to_end(key)
+        return layout
+    np = numpy_or_none()
+    src = _as_numpy(view.src)[lo:hi]
+    dst = _as_numpy(view.dst)[lo:hi]
+    ts = _as_numpy(view.ts)[lo:hi]
+    uts, group_starts = np.unique(ts, return_index=True)
+    bounds = group_starts.tolist() + [hi - lo]
+    fwd, bwd = [], []
+    for i in range(len(uts)):
+        s, e = bounds[i], bounds[i + 1]
+        src_g, dst_g = src[s:e], dst[s:e]
+        by_head = np.argsort(dst_g, kind="stable")
+        heads = dst_g[by_head]
+        head_starts = np.flatnonzero(np.r_[True, heads[1:] != heads[:-1]])
+        by_tail = np.argsort(src_g, kind="stable")
+        tails = src_g[by_tail]
+        tail_starts = np.flatnonzero(np.r_[True, tails[1:] != tails[:-1]])
+        t = int(uts[i])
+        fwd.append((t, src_g[by_head], heads[head_starts], head_starts))
+        bwd.append((t, dst_g[by_tail], tails[tail_starts], tail_starts))
+    layout = (uts, fwd, bwd)
+    cache[key] = layout
+    while len(cache) > _LAYOUT_CACHE_CAPACITY:
+        cache.popitem(last=False)
     return layout
 
 
@@ -160,9 +198,10 @@ def polarity_id_arrays_numpy(
     departure = np.full(num_vertices, -np.inf)
     source_id = view.index_of.get(source)
     target_id = view.index_of.get(target)
-    uts, fwd, bwd = _ts_group_layout(view)
-    first = int(np.searchsorted(uts, window.begin, side="left"))
-    last = int(np.searchsorted(uts, window.end, side="right"))
+    # The window-local layout holds exactly the in-window timestamp groups,
+    # so both sweeps walk it end to end.
+    uts, fwd, bwd = _ts_group_layout(view, window)
+    first, last = 0, len(uts)
 
     if source_id is not None:
         arrival[source_id] = window.begin - 1

@@ -148,6 +148,15 @@ class MmapColumn:
     def __repr__(self) -> str:
         return f"MmapColumn(len={len(self._view)})"
 
+    @property
+    def nbytes(self) -> int:
+        """Bytes of mapped file this column's elements span.
+
+        Residency accounting reads this to report how much of a snapshot's
+        column payload an extent-local boot actually mapped.
+        """
+        return len(self._view) * self._view.itemsize
+
     def tolist(self) -> List[int]:
         """The column as a plain list of Python ints (copies)."""
         return self._view.tolist()
@@ -171,7 +180,12 @@ class MmapColumn:
                     "MmapColumn.numpy() requires numpy, which is not "
                     "installed; gate calls behind columns.numpy_available()"
                 )
-            view = np.frombuffer(self._view, dtype=np.int64)
+            try:
+                view = np.frombuffer(self._view, dtype=np.int64)
+            except (ValueError, BufferError):
+                # ``frombuffer`` requires a C-contiguous buffer; a step-sliced
+                # offset view is not one, so fall back to a copying coercion.
+                view = np.array(self._view.tolist(), dtype=np.int64)
             self._np = view
             return view
 

@@ -145,7 +145,7 @@ def _chunk_positions(count: int, chunks: int) -> List[List[int]]:
 #: counters and *can* coincide across different graphs, but a rewritten
 #: file cannot keep its ``(mtime_ns, inode, size)``.
 _WORKER_SERVICES: Dict[
-    Tuple[str, Optional[int], str, str, bool],
+    Tuple[str, Optional[int], str, str, bool, str, bool],
     Tuple["TspgService", Optional[Tuple[int, int, int]]],
 ] = {}
 
@@ -170,6 +170,8 @@ def _snapshot_worker_run_batch(
     deadline_at: Optional[float] = None,
     snapshot_epoch: Optional[int] = None,
     snapshot_mmap: bool = False,
+    snapshot_interval=None,
+    snapshot_residency: bool = False,
     max_workers: int = 1,
 ) -> BatchReport:
     """Process-pool worker: boot from a snapshot, answer a sub-batch.
@@ -196,7 +198,10 @@ def _snapshot_worker_run_batch(
     ``snapshot_mmap`` propagates the parent's active mmap boot: each
     worker then maps the same snapshot file instead of unpickling a
     private copy, so the column payload lives once in the page cache no
-    matter how many workers serve from it.
+    matter how many workers serve from it.  ``snapshot_interval`` narrows
+    the worker's boot to its time extent (extent-local mapping: the
+    worker's address space holds its extent's rows, not the file), and
+    ``snapshot_residency`` attaches a per-worker page-advice policy.
     """
     cache_key = (
         snapshot_path,
@@ -204,6 +209,8 @@ def _snapshot_worker_run_batch(
         default_algorithm,
         repr(algorithm_options),
         bool(snapshot_mmap),
+        repr(snapshot_interval),
+        bool(snapshot_residency),
     )
     file_sig = _snapshot_file_signature(snapshot_path)
     cached = _WORKER_SERVICES.get(cache_key)
@@ -213,6 +220,8 @@ def _snapshot_worker_run_batch(
         service = TspgService.from_snapshot(
             snapshot_path,
             mmap=snapshot_mmap,
+            interval=snapshot_interval,
+            residency=snapshot_residency,
             default_algorithm=default_algorithm,
             algorithm_options=algorithm_options,
         )
@@ -449,6 +458,11 @@ class TspgService:
         self._snapshot_mmap_requested: bool = False
         self._snapshot_mmap: bool = False
         self._snapshot_mmap_reasons: List[str] = []
+        # Page-advice policy over the boot's mappings (set by
+        # from_snapshot when residency management was requested).
+        self._residency = None
+        self._snapshot_interval = None
+        self._snapshot_boot = None
         # ``kernel_backend`` is baked into the per-algorithm options here,
         # once: the merged dict then crosses every existing boundary
         # (process workers, snapshot boots, cache keys) unchanged.
@@ -480,7 +494,15 @@ class TspgService:
         return cls(store.load(), **kwargs)
 
     @classmethod
-    def from_snapshot(cls, path, *, mmap: bool = False, **kwargs) -> "TspgService":
+    def from_snapshot(
+        cls,
+        path,
+        *,
+        mmap: bool = False,
+        interval=None,
+        residency=False,
+        **kwargs,
+    ) -> "TspgService":
         """Boot a service from a binary index snapshot in O(read).
 
         The snapshot (written by :func:`repro.store.save_snapshot` or the
@@ -506,11 +528,40 @@ class TspgService:
         association is epoch-guarded — mutating the graph afterwards
         disables the process backend (workers would boot a stale graph)
         until a fresh snapshot is attached.
+
+        ``interval`` restricts the boot to that (inclusive) time range's
+        edges — combined with ``mmap`` this is the extent-local boot that
+        maps only the range's rows (see :func:`repro.store.boot_snapshot`).
+        Queries whose window lies inside the interval answer bit-identically
+        to an unrestricted boot.
+
+        ``residency=True`` attaches a :class:`~repro.store.ResidencyPolicy`
+        driving ``madvise`` page advice over the boot's mappings:
+        ``MADV_SEQUENTIAL`` for the warm scan, ``MADV_RANDOM`` once
+        serving starts, and :meth:`evict_cold_pages` for the serve loop's
+        periodic ``MADV_DONTNEED``.  A pre-built policy may be passed
+        instead of ``True``.  Advice degrades to a recorded no-op where
+        unsupported — it never changes results, only paging behaviour.
         """
         from ..store.graph_store import SnapshotGraphStore  # deferred: cycle
+        from ..store.residency import ResidencyPolicy  # deferred: cycle
 
-        store = SnapshotGraphStore(path, mmap=mmap)
-        service = cls.from_store(store, **kwargs)
+        policy = None
+        if residency:
+            policy = (
+                residency
+                if isinstance(residency, ResidencyPolicy)
+                else ResidencyPolicy()
+            )
+        store = SnapshotGraphStore(
+            path, mmap=mmap, interval=interval, residency=policy
+        )
+        graph = store.load()
+        if policy is not None:
+            policy.advise_warm()  # sequential read-ahead for the warm scan
+        service = cls(graph, **kwargs)
+        if policy is not None:
+            policy.advise_serve()  # point queries from here on
         service._snapshot_path = store.path
         service._snapshot_epoch = service.graph.epoch
         service._snapshot_mmap_requested = store.mmap_requested
@@ -518,6 +569,9 @@ class TspgService:
         service._snapshot_mmap_reasons = (
             store.mmap_fallback_reasons() if mmap else []
         )
+        service._residency = policy
+        service._snapshot_interval = interval
+        service._snapshot_boot = store.last_boot
         return service
 
     # ------------------------------------------------------------------
@@ -990,6 +1044,45 @@ class TspgService:
         """Whether this service booted over an mmap-backed snapshot."""
         return self._snapshot_mmap
 
+    @property
+    def residency(self):
+        """The attached :class:`~repro.store.ResidencyPolicy`, or ``None``."""
+        return self._residency
+
+    @property
+    def snapshot_boot(self):
+        """The :class:`~repro.store.SnapshotBoot` this service booted from.
+
+        Carries the extent-local accounting (``row_range``,
+        ``mapped_column_bytes``, ``total_column_bytes``); ``None`` for
+        services not built by :meth:`from_snapshot`.
+        """
+        return self._snapshot_boot
+
+    def residency_stats(self) -> Optional[Dict[str, object]]:
+        """Page-advice counters, or ``None`` when no policy is attached."""
+        if self._residency is None:
+            return None
+        stats = self._residency.stats()
+        boot = self._snapshot_boot
+        if boot is not None:
+            stats["mapped_column_bytes"] = boot.mapped_column_bytes
+            stats["total_column_bytes"] = boot.total_column_bytes
+            stats["row_range"] = boot.row_range
+        return stats
+
+    def evict_cold_pages(self) -> int:
+        """``MADV_DONTNEED`` the boot's mappings; returns bytes advised.
+
+        The ``tspg serve`` loop calls this periodically so a long-running
+        server's resident set tracks the recent query mix instead of
+        accreting every page ever touched.  A no-op (returning 0) without a
+        policy or on platforms without madvise support.
+        """
+        if self._residency is None:
+            return 0
+        return self._residency.evict_cold()
+
     def mmap_fallback_reasons(self) -> List[str]:
         """Why the boot is not mmap-backed (empty when it is).
 
@@ -1077,6 +1170,8 @@ class TspgService:
                             deadline_at=deadline_at,
                             snapshot_epoch=self._snapshot_epoch,
                             snapshot_mmap=self._snapshot_mmap,
+                            snapshot_interval=self._snapshot_interval,
+                            snapshot_residency=self._residency is not None,
                         ),
                     )
                 )

@@ -288,6 +288,9 @@ class ShardedTspgService:
         self._shard_snapshot_mmap_requested: bool = False
         self._shard_snapshot_mmap: bool = False
         self._shard_snapshot_mmap_reasons: List[str] = []
+        # One page-advice policy per shard when the boot requested
+        # residency tracking (empty otherwise).
+        self._shard_residency: Tuple[object, ...] = ()
         # Edge-less source vertices a snapshot boot carries outside the
         # shard projections; folded back in when the union materialises.
         self._extra_vertices: Tuple[Vertex, ...] = ()
@@ -301,6 +304,7 @@ class ShardedTspgService:
         path,
         *,
         mmap: bool = False,
+        residency: bool = False,
         default_algorithm: str = "VUG",
         cache_size: int = DEFAULT_CACHE_SIZE,
         max_workers: int = 1,
@@ -326,9 +330,19 @@ class ShardedTspgService:
         :meth:`mmap_fallback_reasons` lists each degradation labelled with
         its shard.
 
+        Shard boots are *extent-local*: each shard maps only the rows of
+        its manifest time extent (a no-op for well-formed shard files,
+        whose rows are exactly the extent — see
+        :meth:`~repro.store.ShardSnapshotSet.boot_shard`).
+        ``residency=True`` attaches one page-advice policy per shard;
+        :meth:`residency_stats` aggregates their counters and
+        :meth:`evict_cold_pages` drives periodic eviction across all of
+        them.
+
         Raises :class:`~repro.store.SnapshotError` on a missing/malformed
         manifest or any per-shard checksum or count mismatch.
         """
+        from ..store.residency import ResidencyPolicy  # deferred: cycle
         shard_set = ShardSnapshotSet(path)
         manifest = shard_set.manifest()
         router = cls.__new__(cls)
@@ -348,9 +362,13 @@ class ShardedTspgService:
         services: List[TspgService] = []
         mmap_reasons: List[str] = []
         mmap_active = bool(mmap) and bool(manifest.shards)
+        policies: List[ResidencyPolicy] = []
         for entry in manifest.shards:
-            boot = shard_set.boot_shard(entry, mmap=mmap)
+            policy = ResidencyPolicy() if residency else None
+            boot = shard_set.boot_shard(entry, mmap=mmap, residency=policy)
             graph = boot.graph
+            if policy is not None:
+                policy.advise_warm()
             if mmap and not boot.mmap_active:
                 mmap_active = False
                 mmap_reasons.extend(
@@ -367,6 +385,12 @@ class ShardedTspgService:
                 )
             )
             services.append(TspgService(graph, **router._service_kwargs))
+            if policy is not None:
+                # Index warm-up (service construction) is the sequential
+                # scan; from here on access is query-driven.
+                policy.advise_serve()
+                policies.append(policy)
+        router._shard_residency = tuple(policies)
         router._shard_snapshot_mmap_requested = bool(mmap)
         router._shard_snapshot_mmap = mmap_active
         router._shard_snapshot_mmap_reasons = mmap_reasons
@@ -634,6 +658,34 @@ class ShardedTspgService:
         if not self._shard_snapshot_mmap_requested:
             return ["mmap boot was not requested (pass mmap=True / --mmap)"]
         return list(self._shard_snapshot_mmap_reasons)
+
+    @property
+    def residency(self) -> Tuple[object, ...]:
+        """Per-shard page-advice policies (empty without ``residency=True``)."""
+        return self._shard_residency
+
+    def residency_stats(self) -> Optional[Dict[str, object]]:
+        """Aggregated page-advice counters across every shard policy.
+
+        The sharded counterpart of :meth:`TspgService.residency_stats`:
+        one merged dict (see
+        :meth:`~repro.store.ResidencyPolicy.merged_with`) over all shard
+        policies, or ``None`` when the boot did not request residency
+        tracking.
+        """
+        if not self._shard_residency:
+            return None
+        first = self._shard_residency[0]
+        return first.merged_with(self._shard_residency[1:])
+
+    def evict_cold_pages(self) -> int:
+        """Drop cold mapped pages on every shard (``MADV_DONTNEED``).
+
+        Returns the total bytes advised; 0 when residency tracking is off
+        or ``madvise`` is unavailable.  Safe to call from a serve loop —
+        evicted pages re-fault from the shard files on the next access.
+        """
+        return sum(policy.evict_cold() for policy in self._shard_residency)
 
     def _all_services(self) -> List[TspgService]:
         services = list(self._current_topology().services)
@@ -936,6 +988,19 @@ class ShardedTspgService:
                                         index
                                     ].graph.epoch,
                                     snapshot_mmap=self._shard_snapshot_mmap,
+                                    # Workers mirror the parent's
+                                    # extent-local mapping so each maps
+                                    # only its shard's rows (a no-op for
+                                    # well-formed shard files, but it
+                                    # bounds resident bytes either way).
+                                    snapshot_interval=(
+                                        topology.shards[index].extent.as_tuple()
+                                        if self._shard_snapshot_mmap
+                                        else None
+                                    ),
+                                    snapshot_residency=bool(
+                                        self._shard_residency
+                                    ),
                                 ),
                             )
                         )

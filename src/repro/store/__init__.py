@@ -36,6 +36,7 @@ True
 """
 
 from .graph_store import GraphStore, InMemoryGraphStore, SnapshotGraphStore, store_for
+from .residency import ResidencyPolicy, madvise_supported, madvise_unsupported_reason
 from .shard_set import (
     SHARD_MANIFEST_NAME,
     SHARD_MANIFEST_VERSION,
@@ -66,6 +67,9 @@ __all__ = [
     "InMemoryGraphStore",
     "SnapshotGraphStore",
     "store_for",
+    "ResidencyPolicy",
+    "madvise_supported",
+    "madvise_unsupported_reason",
     "SnapshotBoot",
     "SnapshotError",
     "SnapshotInfo",

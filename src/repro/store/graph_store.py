@@ -73,13 +73,30 @@ class SnapshotGraphStore(GraphStore):
     are recorded on :meth:`mmap_fallback_reasons` after a load (mirroring
     the service layer's ``process_fallback_reasons()`` style) instead of
     being raised — a readable snapshot always boots.
+
+    ``interval`` restricts loads to that (inclusive) time range's edges —
+    with ``mmap`` this is the extent-local boot that maps only the range's
+    rows.  ``residency`` accepts a :class:`~repro.store.residency.
+    ResidencyPolicy`; every mapping a load creates is registered with it so
+    the service layer can drive ``madvise`` page advice and report
+    resident-byte counters.
     """
 
-    def __init__(self, path: PathLike, *, mmap: bool = False) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        *,
+        mmap: bool = False,
+        interval=None,
+        residency=None,
+    ) -> None:
         self._path = os.fspath(path)
         self._mmap = bool(mmap)
+        self._interval = interval
+        self._residency = residency
         self._mmap_active = False
         self._mmap_fallback_reasons: List[str] = []
+        self._last_boot = None
 
     @property
     def path(self) -> str:
@@ -116,11 +133,32 @@ class SnapshotGraphStore(GraphStore):
         """Validated header of the backing snapshot (no payload read)."""
         return peek_snapshot(self._path)
 
+    @property
+    def residency(self):
+        """The attached residency policy, if any."""
+        return self._residency
+
+    @property
+    def last_boot(self):
+        """The :class:`SnapshotBoot` of the most recent :meth:`load`.
+
+        Carries the extent-local accounting (``row_range``,
+        ``mapped_column_bytes`` vs ``total_column_bytes``); ``None`` before
+        the first load.
+        """
+        return self._last_boot
+
     def load(self) -> TemporalGraph:
         """Load the warmed graph; raises ``SnapshotError`` on any corruption."""
-        boot = boot_snapshot(self._path, mmap=self._mmap)
+        boot = boot_snapshot(
+            self._path,
+            mmap=self._mmap,
+            interval=self._interval,
+            residency=self._residency,
+        )
         self._mmap_active = boot.mmap_active
         self._mmap_fallback_reasons = list(boot.fallback_reasons)
+        self._last_boot = boot
         return boot.graph
 
     def save(self, graph: TemporalGraph) -> SnapshotInfo:
@@ -131,6 +169,10 @@ class SnapshotGraphStore(GraphStore):
         row: Dict[str, object] = {"backend": "snapshot", "path": self._path}
         if self._mmap:
             row["mmap"] = "active" if self._mmap_active else "requested"
+        if self._interval is not None:
+            row["interval"] = str(self._interval)
+        if self._last_boot is not None and self._last_boot.mapped_column_bytes:
+            row["mapped_column_bytes"] = self._last_boot.mapped_column_bytes
         if self.exists():
             row.update(self.info().as_row())
         else:

@@ -1,0 +1,190 @@
+"""Page-advice policy for mmap-booted snapshots (``mmap.madvise``).
+
+An mmap boot makes *boot* cheap — no page is resident until touched — but a
+long-running serve loop decides what stays resident afterwards.  This module
+centralizes that policy as :class:`ResidencyPolicy`: the boot path registers
+every mapping it creates, and the service layer drives three advice phases
+through it:
+
+* :meth:`ResidencyPolicy.advise_warm` — ``MADV_SEQUENTIAL`` before a warm
+  scan (index warm-up reads columns front to back; sequential read-ahead
+  doubles down on that, and already-read pages become eviction candidates);
+* :meth:`ResidencyPolicy.advise_serve` — ``MADV_RANDOM`` once serving
+  starts (point queries touch scattered window slices; read-ahead would
+  fault in pages no query asked for, inflating residency);
+* :meth:`ResidencyPolicy.evict_cold` — periodic ``MADV_DONTNEED`` from the
+  serve loop, releasing cold pages back to the OS.  The mappings are
+  read-only and file-backed, so dropped pages simply re-fault from the
+  snapshot file — eviction can cost latency, never correctness.
+
+Degradation is graceful everywhere: platforms without ``mmap.madvise``
+(pre-3.8, some BSDs/macOS constants, Windows) or with ``TSPG_NO_MADVISE=1``
+in the environment record a human-readable reason and every call becomes a
+no-op.  Advice is *advice* — it can only change paging behaviour, never
+bytes — so the no-op path is bit-identical by construction, and CI proves
+it by re-running the identity oracle with madvise forced unavailable.
+"""
+
+from __future__ import annotations
+
+import mmap as _mmap
+import os
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "ResidencyPolicy",
+    "madvise_supported",
+    "madvise_unsupported_reason",
+]
+
+#: Environment variable forcing the unsupported (no-op) path, used by tests
+#: and the CI degradation leg.
+NO_MADVISE_ENV = "TSPG_NO_MADVISE"
+
+_ADVICE_NAMES = ("MADV_SEQUENTIAL", "MADV_RANDOM", "MADV_DONTNEED")
+
+
+def madvise_unsupported_reason() -> Optional[str]:
+    """Why page advice is unavailable here, or ``None`` when it works."""
+    if os.environ.get(NO_MADVISE_ENV, "").strip() not in ("", "0"):
+        return f"madvise disabled by {NO_MADVISE_ENV} in the environment"
+    if not hasattr(_mmap.mmap, "madvise"):
+        return "mmap.madvise is not available on this platform (needs CPython >= 3.8 with madvise support)"
+    missing = [name for name in _ADVICE_NAMES if not hasattr(_mmap, name)]
+    if missing:
+        return "platform does not define madvise constants: " + ", ".join(missing)
+    return None
+
+
+def madvise_supported() -> bool:
+    """``True`` iff page advice calls can reach the OS from here."""
+    return madvise_unsupported_reason() is None
+
+
+class ResidencyPolicy:
+    """Tracks a boot's mappings and issues page advice over them.
+
+    One policy instance belongs to one booted snapshot (services with many
+    shards aggregate one policy per shard).  ``register`` records a mapping
+    plus the byte range of it the boot actually uses; the advice methods
+    walk the registered ranges.  All OS errors are swallowed and counted —
+    advice must never take a serve loop down.
+    """
+
+    __slots__ = ("_mappings", "_phase", "_advised_bytes", "_evictions",
+                 "_errors", "_reason")
+
+    def __init__(self) -> None:
+        self._mappings: List[Tuple[object, int, int]] = []
+        self._phase = "boot"
+        self._advised_bytes = 0
+        self._evictions = 0
+        self._errors = 0
+        # Pinned at construction so one policy reports one consistent mode
+        # even if the environment changes under a long-running process.
+        self._reason = madvise_unsupported_reason()
+
+    @property
+    def supported(self) -> bool:
+        return self._reason is None
+
+    @property
+    def unsupported_reason(self) -> Optional[str]:
+        return self._reason
+
+    @property
+    def phase(self) -> str:
+        """The last advice phase applied: boot, warm, serve."""
+        return self._phase
+
+    def register(self, mapping, offset: int = 0, length: Optional[int] = None) -> None:
+        """Track ``length`` bytes at ``offset`` of ``mapping`` for advice.
+
+        ``mapping`` is an :class:`mmap.mmap`; ``offset``/``length`` bound
+        the slice of it the boot uses (an extent-local boot maps aligned
+        ranges, so the interesting bytes rarely start at 0).  Offsets are
+        aligned down to the page so the kernel accepts them.
+        """
+        if length is None:
+            length = max(len(mapping) - offset, 0)
+        if length <= 0:
+            return
+        page = _mmap.PAGESIZE
+        aligned = (offset // page) * page
+        length += offset - aligned
+        self._mappings.append((mapping, aligned, length))
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes across the registered (page-aligned) ranges."""
+        return sum(length for _, _, length in self._mappings)
+
+    def _advise(self, advice_name: str) -> int:
+        """Apply one advice constant to every registered range."""
+        applied = 0
+        if self._reason is not None:
+            return applied
+        advice = getattr(_mmap, advice_name, None)
+        if advice is None:
+            return applied
+        for mapping, offset, length in self._mappings:
+            try:
+                mapping.madvise(advice, offset, length)
+                applied += length
+            except (ValueError, OSError):
+                # Closed mapping, shrunk file, or an OS that rejects the
+                # advice for this range — note it and keep serving.
+                self._errors += 1
+        self._advised_bytes += applied
+        return applied
+
+    def advise_warm(self) -> int:
+        """``MADV_SEQUENTIAL`` ahead of the warm scan; returns bytes advised."""
+        self._phase = "warm"
+        return self._advise("MADV_SEQUENTIAL")
+
+    def advise_serve(self) -> int:
+        """``MADV_RANDOM`` for the point-query serving phase."""
+        self._phase = "serve"
+        return self._advise("MADV_RANDOM")
+
+    def evict_cold(self) -> int:
+        """``MADV_DONTNEED`` — release cold pages; returns bytes advised.
+
+        Safe on the read-only file-backed snapshot mappings: evicted pages
+        re-fault from the file on next touch.  Counted separately so serve
+        stats can report eviction cadence.
+        """
+        released = self._advise("MADV_DONTNEED")
+        if released:
+            self._evictions += 1
+        return released
+
+    def stats(self) -> Dict[str, object]:
+        """Counters for the service ``stats`` surface."""
+        return {
+            "supported": self.supported,
+            "phase": self._phase,
+            "mappings": len(self._mappings),
+            "mapped_bytes": self.mapped_bytes,
+            "advised_bytes": self._advised_bytes,
+            "evictions": self._evictions,
+            "errors": self._errors,
+            "unsupported_reason": self._reason,
+        }
+
+    def merged_with(self, others: "List[ResidencyPolicy]") -> Dict[str, object]:
+        """Aggregate stats across this policy and ``others`` (shard sets)."""
+        policies = [self] + list(others)
+        return {
+            "supported": all(p.supported for p in policies),
+            "phase": self._phase,
+            "mappings": sum(len(p._mappings) for p in policies),
+            "mapped_bytes": sum(p.mapped_bytes for p in policies),
+            "advised_bytes": sum(p._advised_bytes for p in policies),
+            "evictions": sum(p._evictions for p in policies),
+            "errors": sum(p._errors for p in policies),
+            "unsupported_reason": next(
+                (p._reason for p in policies if p._reason), None
+            ),
+        }

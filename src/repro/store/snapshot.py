@@ -64,8 +64,9 @@ from dataclasses import dataclass, field
 from typing import BinaryIO, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..graph.columns import INDEX_TYPECODE, IndexColumn, MmapColumn
+from ..graph.edge import as_interval
 from ..graph.temporal_graph import LazyGraphBoot, TemporalGraph
-from ..graph.views import GraphView
+from ..graph.views import GraphView, _csr
 
 #: First bytes of every snapshot file.
 SNAPSHOT_MAGIC = b"TSPGSNAP"
@@ -186,6 +187,13 @@ class SnapshotBoot:
     :meth:`TspgService.process_fallback_reasons`: when ``mmap=True`` was
     requested but the boot degraded to eager, each reason records why, so
     callers surface the degradation instead of silently eating it.
+
+    ``row_range`` / ``mapped_column_bytes`` / ``total_column_bytes`` account
+    for extent-local mapping: an interval-restricted mmap boot maps only the
+    ``[row_lo, row_hi)`` rows of the edge columns, so ``mapped_column_bytes``
+    (actual bytes of column extents placed in the address space, including
+    page-alignment slop) can be far below ``total_column_bytes`` (the file's
+    full column payload).  Eager boots map nothing and report 0.
     """
 
     graph: TemporalGraph
@@ -193,6 +201,9 @@ class SnapshotBoot:
     mmap_requested: bool = False
     mmap_active: bool = False
     fallback_reasons: List[str] = field(default_factory=list)
+    row_range: Optional[Tuple[int, int]] = None
+    mapped_column_bytes: int = 0
+    total_column_bytes: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -700,6 +711,24 @@ def _load_v4_eager(
     return graph
 
 
+def _column_payload_span(
+    sections: Dict[str, SnapshotSection]
+) -> Tuple[int, int]:
+    """``(offset, length)`` of the contiguous raw-column region of the file."""
+    offsets = [sections[name].offset for name in V4_COLUMN_SECTIONS]
+    ends = [
+        sections[name].offset + sections[name].length
+        for name in V4_COLUMN_SECTIONS
+    ]
+    lo = min(offsets)
+    return lo, max(ends) - lo
+
+
+def _total_column_bytes(sections: Dict[str, SnapshotSection]) -> int:
+    """Sum of the raw column extents' lengths (the mmap-able payload)."""
+    return sum(sections[name].length for name in V4_COLUMN_SECTIONS)
+
+
 def _boot_v4_mmap(
     path: str,
     *,
@@ -709,7 +738,8 @@ def _boot_v4_mmap(
     n_ts: int,
     payload_len: int,
     table_crc: int,
-) -> TemporalGraph:
+    residency=None,
+) -> Tuple[TemporalGraph, int]:
     """Map a v4 snapshot and build a lazily-hydrating graph over it.
 
     Eagerly verified: file size, the section table CRC and the small
@@ -718,6 +748,11 @@ def _boot_v4_mmap(
     hydrated; the raw column extents are *not* CRC-checked on this path —
     checking them would fault in every page and defeat the lazy boot (the
     eager loader and the shard set's whole-file check cover them).
+
+    Returns ``(graph, column_bytes)`` where ``column_bytes`` is the total
+    size of the raw column extents now present in the address space.  When a
+    :class:`~repro.store.residency.ResidencyPolicy` is passed, the mapping's
+    column region is registered with it for page advice.
     """
     with open(path, "rb") as handle:
         mapped = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
@@ -729,6 +764,9 @@ def _boot_v4_mmap(
         _validate_v4_shapes(
             sections, path, n_vertices=n_vertices, n_edges=n_edges
         )
+        if residency is not None:
+            span_offset, span_length = _column_payload_span(sections)
+            residency.register(mapped, span_offset, span_length)
         meta = _decode_section(buf, sections["meta"], path)
         columns = {
             name: MmapColumn(
@@ -770,9 +808,240 @@ def _boot_v4_mmap(
             warm_stats=dict(meta.get("warm_stats") or {}),
             load_adjacency=load_adjacency,
         )
-        return TemporalGraph.from_lazy_boot(boot)
+        return TemporalGraph.from_lazy_boot(boot), _total_column_bytes(sections)
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise SnapshotError(f"{path}: malformed snapshot state: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# extent-local (interval-restricted) boot
+# ----------------------------------------------------------------------
+def _read_table_block(handle: BinaryIO, path: str, *, payload_len: int) -> bytes:
+    """Read just the v4 section-table block with ordinary file reads."""
+    handle.seek(HEADER_SIZE)
+    table = handle.read(min(payload_len, _TABLE_HEADER_STRUCT.size))
+    if len(table) >= _TABLE_HEADER_STRUCT.size:
+        _, table_bytes = _TABLE_HEADER_STRUCT.unpack(table)
+        if 0 < table_bytes <= payload_len:
+            table += handle.read(table_bytes - len(table))
+    return table
+
+
+def _read_section(handle: BinaryIO, record: SnapshotSection, path: str) -> bytes:
+    """Seek-read and CRC-check one section without mapping anything."""
+    handle.seek(record.offset)
+    data = handle.read(record.length)
+    if (zlib.crc32(data) & 0xFFFFFFFF) != record.crc32:
+        raise SnapshotError(
+            f"{path}: snapshot section {record.name!r} checksum mismatch"
+        )
+    return data
+
+
+_TS_CELL_STRUCT = struct.Struct("<q")
+
+
+def _bisect_rows(
+    handle: BinaryIO, ts_offset: int, n_edges: int, window
+) -> Tuple[int, int]:
+    """``[row_lo, row_hi)`` of the rows whose timestamp lies in ``window``.
+
+    Binary search over the sorted on-disk ``view.ts`` extent with 8-byte
+    seek-reads — O(log E) tiny I/Os, no mapping, no page faults beyond the
+    probed cells.  Mirrors :meth:`GraphView.slice_bounds` exactly.
+    """
+
+    def cell(index: int) -> int:
+        handle.seek(ts_offset + 8 * index)
+        return _TS_CELL_STRUCT.unpack(handle.read(8))[0]
+
+    lo, hi = 0, n_edges
+    while lo < hi:  # leftmost row with ts >= window.begin
+        mid = (lo + hi) // 2
+        if cell(mid) < window.begin:
+            lo = mid + 1
+        else:
+            hi = mid
+    row_lo = lo
+    hi = n_edges
+    while lo < hi:  # leftmost row with ts > window.end
+        mid = (lo + hi) // 2
+        if cell(mid) <= window.end:
+            lo = mid + 1
+        else:
+            hi = mid
+    return row_lo, lo
+
+
+def _map_rows(
+    fileno: int, start: int, length: int
+) -> Tuple[MmapColumn, int]:
+    """Map ``length`` bytes at file offset ``start`` as an offset column view.
+
+    The mapping offset is aligned down to ``mmap.ALLOCATIONGRANULARITY`` (the
+    OS requires it) and the column is the exact ``[start, start + length)``
+    sub-view, so alignment slop costs at most one extra page of address
+    space.  Returns ``(column, mapped_bytes)``.
+    """
+    if length <= 0:
+        return MmapColumn(memoryview(b"")), 0
+    granularity = _mmap.ALLOCATIONGRANULARITY
+    aligned = (start // granularity) * granularity
+    delta = start - aligned
+    mapped = _mmap.mmap(
+        fileno, delta + length, access=_mmap.ACCESS_READ, offset=aligned
+    )
+    column = MmapColumn(memoryview(mapped)[delta : delta + length], keepalive=mapped)
+    return column, delta + length
+
+
+def _boot_v4_extent(
+    path: str,
+    *,
+    interval,
+    epoch: int,
+    n_vertices: int,
+    n_edges: int,
+    n_ts: int,
+    payload_len: int,
+    table_crc: int,
+    residency=None,
+):
+    """Interval-restricted mmap boot: map only the interval's rows.
+
+    Returns ``(graph, (row_lo, row_hi), mapped_bytes, total_bytes)`` for a
+    proper row subset, or ``None`` when the interval covers every row — the
+    caller then uses the whole-file mapping, which additionally adopts the
+    persisted CSR extents instead of rebuilding them.
+
+    The restricted graph keeps the **full vertex label table** (so vertex
+    interning, absent-vertex handling and result shapes match the
+    unrestricted boot bit-for-bit) but holds only the ``[row_lo, row_hi)``
+    edge rows: three page-aligned mappings (``src``/``dst``/``ts`` row
+    ranges) instead of eleven whole-column extents.  CSR adjacency is
+    rebuilt over the rows — O(rows + V), proportional to the extent, and
+    backed by private :class:`IndexColumn` storage rather than mapped pages.
+    Queries whose window lies inside ``interval`` see exactly the rows they
+    would have seen on the full boot (the window slice of a restricted
+    column equals the restricted slice of the full column), so results are
+    bit-identical by construction.
+    """
+    window = as_interval(interval)
+    with open(path, "rb") as handle:
+        table = _read_table_block(handle, path, payload_len=payload_len)
+        sections = _parse_v4_table(
+            table, path, payload_len=payload_len, table_crc=table_crc
+        )
+        _validate_v4_shapes(
+            sections, path, n_vertices=n_vertices, n_edges=n_edges
+        )
+        row_lo, row_hi = _bisect_rows(
+            handle, sections["view.ts"].offset, n_edges, window
+        )
+        if row_lo == 0 and row_hi == n_edges:
+            return None
+        meta_blob = _read_section(handle, sections["meta"], path)
+        try:
+            meta = pickle.loads(zlib.decompress(meta_blob))
+        except Exception as exc:  # zlib.error, pickle errors, ...
+            raise SnapshotError(
+                f"{path}: cannot decode snapshot section 'meta': {exc}"
+            ) from exc
+        rows = row_hi - row_lo
+        columns: Dict[str, MmapColumn] = {}
+        mapped_bytes = 0
+        for name in ("view.src", "view.dst", "view.ts"):
+            record = sections[name]
+            column, nbytes = _map_rows(
+                handle.fileno(), record.offset + 8 * row_lo, 8 * rows
+            )
+            columns[name] = column
+            mapped_bytes += nbytes
+            if residency is not None and column._keepalive is not None:
+                residency.register(column._keepalive)
+    try:
+        labels = list(meta["labels"])
+        if len(labels) != n_vertices:
+            raise SnapshotError(
+                f"{path}: snapshot header does not match payload "
+                f"(header says |V|={n_vertices}, metadata has {len(labels)})"
+            )
+        meta_epoch = int(meta["epoch"])
+        timestamps = [
+            t for t in meta["timestamps"] if window.begin <= t <= window.end
+        ]
+        src, dst, ts = (
+            columns["view.src"],
+            columns["view.dst"],
+            columns["view.ts"],
+        )
+        out_offsets, out_edges = _csr(src, n_vertices, rows)
+        in_offsets, in_edges = _csr(dst, n_vertices, rows)
+        view = GraphView(
+            labels, src, dst, ts,
+            out_offsets, out_edges, in_offsets, in_edges,
+            epoch=meta_epoch,
+        )
+
+        def load_adjacency() -> dict:
+            # Derived from the mapped rows, not the pickled section: the
+            # persisted adjacency covers the whole graph, and unpickling it
+            # would both leak out-of-extent edges and fault in its pages.
+            # Rows are globally ts-sorted, so per-vertex append order is
+            # already timestamp-ascending.
+            out = {label: [] for label in labels}
+            into = {label: [] for label in labels}
+            for s, d, t in zip(src, dst, ts):
+                out[labels[s]].append((labels[d], t))
+                into[labels[d]].append((labels[s], t))
+            return {
+                "out": out,
+                "in": into,
+                "out_timestamps": {
+                    label: sorted({t for _, t in entries})
+                    for label, entries in out.items()
+                },
+                "in_timestamps": {
+                    label: sorted({t for _, t in entries})
+                    for label, entries in into.items()
+                },
+            }
+
+        boot = LazyGraphBoot(
+            view=view,
+            timestamps=timestamps,
+            epoch=meta_epoch,
+            num_edges=rows,
+            warm_stats=dict(meta.get("warm_stats") or {}),
+            load_adjacency=load_adjacency,
+        )
+        graph = TemporalGraph.from_lazy_boot(boot)
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise SnapshotError(f"{path}: malformed snapshot state: {exc}") from exc
+    return graph, (row_lo, row_hi), mapped_bytes, _total_column_bytes(sections)
+
+
+def _restrict_graph_eager(graph: TemporalGraph, interval) -> TemporalGraph:
+    """Rebuild ``graph`` keeping only the edges inside ``interval``.
+
+    The eager twin of :func:`_boot_v4_extent` for boots that cannot map
+    (pre-v4 files, big-endian hosts, failed mappings, ``mmap=False``): the
+    full vertex set is preserved and the restricted edge rows are re-sorted
+    by the same deterministic key, so query results inside ``interval``
+    match the extent-local boot bit-for-bit.  The snapshot's epoch is
+    carried over so epoch-keyed caches treat both restrictions as the same
+    graph state.
+    """
+    window = as_interval(interval)
+    restricted = TemporalGraph(vertices=list(graph.vertices()))
+    restricted.add_edges(
+        (u, v, t)
+        for (u, v, t) in graph.edge_tuples()
+        if window.begin <= t <= window.end
+    )
+    restricted._epoch = graph.epoch
+    restricted.warm_indices()
+    return restricted
 
 
 def _load_legacy_state(
@@ -822,7 +1091,13 @@ def _load_legacy_state(
         raise SnapshotError(f"{path}: cannot decode snapshot payload: {exc}") from exc
 
 
-def boot_snapshot(path: PathLike, *, mmap: bool = False) -> SnapshotBoot:
+def boot_snapshot(
+    path: PathLike,
+    *,
+    mmap: bool = False,
+    interval=None,
+    residency=None,
+) -> SnapshotBoot:
     """Load the snapshot at ``path``, optionally mmap-backed, with provenance.
 
     With ``mmap=True`` and a v4 file, the returned graph's columnar view
@@ -832,6 +1107,19 @@ def boot_snapshot(path: PathLike, *, mmap: bool = False) -> SnapshotBoot:
     to the eager boot, with the reason recorded on the returned
     :class:`SnapshotBoot` rather than raised: a readable snapshot always
     boots.
+
+    ``interval`` restricts the boot to the edges whose timestamp lies in
+    the (inclusive) interval, preserving the full vertex set.  Combined
+    with ``mmap=True`` this is the *extent-local* boot: only the interval's
+    rows of the edge columns are mapped (see :func:`_boot_v4_extent`), so a
+    shard worker's address space holds its time extent, not the file.  An
+    interval spanning every row is a no-op and keeps the whole-file fast
+    path.  Eager boots honour the restriction by rebuilding the in-interval
+    subgraph after loading.
+
+    ``residency`` is an optional :class:`~repro.store.residency.
+    ResidencyPolicy`; every mapping the boot creates is registered with it
+    so the serving layer can drive ``madvise`` page advice.
 
     Raises
     ------
@@ -875,7 +1163,30 @@ def boot_snapshot(path: PathLike, *, mmap: bool = False) -> SnapshotBoot:
                     )
                 else:
                     try:
-                        graph = _boot_v4_mmap(
+                        if interval is not None:
+                            extent_boot = _boot_v4_extent(
+                                path,
+                                interval=interval,
+                                epoch=epoch,
+                                n_vertices=n_vertices,
+                                n_edges=n_edges,
+                                n_ts=n_ts,
+                                payload_len=payload_len,
+                                table_crc=crc,
+                                residency=residency,
+                            )
+                            if extent_boot is not None:
+                                graph, rows, mapped_bytes, total = extent_boot
+                                return SnapshotBoot(
+                                    graph=graph,
+                                    info=info,
+                                    mmap_requested=True,
+                                    mmap_active=True,
+                                    row_range=rows,
+                                    mapped_column_bytes=mapped_bytes,
+                                    total_column_bytes=total,
+                                )
+                        graph, column_bytes = _boot_v4_mmap(
                             path,
                             epoch=epoch,
                             n_vertices=n_vertices,
@@ -883,17 +1194,22 @@ def boot_snapshot(path: PathLike, *, mmap: bool = False) -> SnapshotBoot:
                             n_ts=n_ts,
                             payload_len=payload_len,
                             table_crc=crc,
+                            residency=residency,
                         )
                         return SnapshotBoot(
                             graph=graph,
                             info=info,
                             mmap_requested=True,
                             mmap_active=True,
+                            row_range=(0, n_edges),
+                            mapped_column_bytes=column_bytes,
+                            total_column_bytes=column_bytes,
                         )
                     except (OSError, _mmap.error) as exc:
                         reasons.append(
                             f"mmap of the snapshot failed ({exc}): booted eagerly"
                         )
+            handle.seek(HEADER_SIZE)
             buf = handle.read(payload_len)
             graph = _load_v4_eager(
                 buf,
@@ -905,6 +1221,8 @@ def boot_snapshot(path: PathLike, *, mmap: bool = False) -> SnapshotBoot:
                 payload_len=payload_len,
                 table_crc=crc,
             )
+            if interval is not None:
+                graph = _restrict_graph_eager(graph, interval)
             return SnapshotBoot(
                 graph=graph,
                 info=info,
@@ -929,6 +1247,8 @@ def boot_snapshot(path: PathLike, *, mmap: bool = False) -> SnapshotBoot:
     _check_counts(
         graph, path, epoch=epoch, n_vertices=n_vertices, n_edges=n_edges, n_ts=n_ts
     )
+    if interval is not None:
+        graph = _restrict_graph_eager(graph, interval)
     return SnapshotBoot(
         graph=graph,
         info=info,
@@ -938,12 +1258,15 @@ def boot_snapshot(path: PathLike, *, mmap: bool = False) -> SnapshotBoot:
     )
 
 
-def load_snapshot(path: PathLike, *, mmap: bool = False) -> TemporalGraph:
+def load_snapshot(
+    path: PathLike, *, mmap: bool = False, interval=None
+) -> TemporalGraph:
     """Load a fully-warmed :class:`TemporalGraph` from the snapshot at ``path``.
 
     ``mmap=True`` requests the zero-copy columnar boot (v4 files only; older
     formats degrade to eager — use :func:`boot_snapshot` to observe the
-    recorded fallback reasons).
+    recorded fallback reasons).  ``interval`` restricts the boot to that
+    time range's edges (extent-local mapping when combined with ``mmap``).
 
     Raises
     ------
@@ -952,4 +1275,4 @@ def load_snapshot(path: PathLike, *, mmap: bool = False) -> TemporalGraph:
         truncated payload, trailing garbage, checksum mismatch, an
         undecodable payload, or header counts that contradict the payload.
     """
-    return boot_snapshot(path, mmap=mmap).graph
+    return boot_snapshot(path, mmap=mmap, interval=interval).graph

@@ -133,14 +133,116 @@ class TestKernelEquivalence:
                 == quick_mask_kernel(view, *reference, window).indices
             ), (source, target, window)
 
-    def test_layout_is_cached_per_view(self, graph):
+    def test_layout_is_cached_per_window(self, graph):
         view = graph.view()
         vertices = sorted(graph.vertices())
         window = as_interval(graph.time_interval())
+        key = view.slice_bounds(window)
         polarity_id_arrays_numpy(view, vertices[0], vertices[1], window)
-        layout = view._kernel_scratch[_LAYOUT_KEY]
+        layout = view._kernel_scratch[_LAYOUT_KEY][key]
         polarity_id_arrays_numpy(view, vertices[2], vertices[3], window)
-        assert view._kernel_scratch[_LAYOUT_KEY] is layout
+        assert view._kernel_scratch[_LAYOUT_KEY][key] is layout
+
+
+@needs_numpy
+class TestWindowLocalLayouts:
+    """The window-local layout LRU: identity, bound, and invalidation."""
+
+    def test_window_layouts_match_full_view_tables(self, graph):
+        """Overlapping, nested and degenerate windows all agree with the
+        pure-Python sweeps, which never build a layout at all."""
+        view = graph.view()
+        vertices = sorted(graph.vertices())
+        span = graph.time_interval()
+        mid = (span.begin + span.end) // 2
+        quarter = (span.end - span.begin) // 4
+        windows = _windows(graph) + [
+            (span.begin + quarter, span.end - quarter),      # nested
+            (span.begin, mid + quarter),                     # overlaps prefix
+            (mid - quarter, span.end),                       # overlaps suffix
+        ]
+        for source, target in ((vertices[0], vertices[5]),
+                               (vertices[7], vertices[2])):
+            for window in windows:
+                reference = compute_polarity_id_arrays(
+                    view, source, target, window
+                )
+                tables = polarity_id_arrays_numpy(view, source, target, window)
+                assert list(tables[0]) == reference[0], (source, target, window)
+                assert list(tables[1]) == reference[1], (source, target, window)
+
+    def test_layout_cache_stays_bounded(self, graph):
+        from repro.core.kernels import _LAYOUT_CACHE_CAPACITY
+
+        view = graph.view()
+        vertices = sorted(graph.vertices())
+        span = graph.time_interval()
+        distinct = 0
+        seen = set()
+        for begin in range(span.begin, span.end + 1):
+            window = (begin, span.end)
+            key = view.slice_bounds(as_interval(window))
+            if key not in seen:
+                seen.add(key)
+                distinct += 1
+            polarity_id_arrays_numpy(view, vertices[0], vertices[1], window)
+        assert distinct > _LAYOUT_CACHE_CAPACITY
+        cache = view._kernel_scratch[_LAYOUT_KEY]
+        assert len(cache) <= _LAYOUT_CACHE_CAPACITY
+
+    def test_layout_cache_hit_moves_entry_to_mru(self, graph):
+        from repro.core.kernels import _LAYOUT_CACHE_CAPACITY
+
+        view = graph.view()
+        vertices = sorted(graph.vertices())
+        span = graph.time_interval()
+        first = (span.begin, span.end)
+        polarity_id_arrays_numpy(view, vertices[0], vertices[1], first)
+        key = view.slice_bounds(as_interval(first))
+        kept = view._kernel_scratch[_LAYOUT_KEY][key]
+        # Fill the cache with other windows, re-touching the first window
+        # before each insert so it stays most-recently-used throughout.
+        inserted = 0
+        begin = span.begin
+        while inserted < 2 * _LAYOUT_CACHE_CAPACITY and begin < span.end:
+            begin += 1
+            other_key = view.slice_bounds(as_interval((begin, span.end)))
+            if other_key == key or other_key in view._kernel_scratch[_LAYOUT_KEY]:
+                continue
+            polarity_id_arrays_numpy(view, vertices[0], vertices[1], first)
+            polarity_id_arrays_numpy(
+                view, vertices[0], vertices[1], (begin, span.end)
+            )
+            inserted += 1
+        assert inserted > _LAYOUT_CACHE_CAPACITY
+        assert view._kernel_scratch[_LAYOUT_KEY][key] is kept
+
+    def test_mutation_epoch_invalidates_cached_layouts(self):
+        g = bursty_email_graph(
+            num_vertices=12, num_bursts=3, edges_per_burst=20, burst_width=3,
+            gap_between_bursts=5, seed=3,
+        )
+        g.warm_indices()
+        view = g.view()
+        vertices = sorted(g.vertices())
+        window = g.time_interval()
+        polarity_id_arrays_numpy(view, vertices[0], vertices[1], window)
+        assert view._kernel_scratch[_LAYOUT_KEY]
+        epoch = g.epoch
+        span = g.time_interval()
+        g.add_edge(vertices[0], vertices[1], span.end + 7)
+        assert g.epoch > epoch
+        fresh = g.view()
+        assert fresh is not view
+        assert _LAYOUT_KEY not in fresh._kernel_scratch
+        reference = compute_polarity_id_arrays(
+            fresh, vertices[0], vertices[1], g.time_interval()
+        )
+        tables = polarity_id_arrays_numpy(
+            fresh, vertices[0], vertices[1], g.time_interval()
+        )
+        assert list(tables[0]) == reference[0]
+        assert list(tables[1]) == reference[1]
 
 
 @pytest.fixture

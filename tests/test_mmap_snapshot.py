@@ -95,6 +95,53 @@ class TestMmapColumn:
         view = column.numpy()
         assert view.tolist() == values
 
+    def test_step_slices(self):
+        column, values = self.column([0, 1, 2, 3, 4, 5, 6, 7])
+        for step_slice in (
+            slice(None, None, 2),
+            slice(1, 7, 3),
+            slice(None, None, -1),
+            slice(6, 1, -2),
+        ):
+            sliced = column[step_slice]
+            assert isinstance(sliced, MmapColumn)
+            assert sliced.tolist() == values[step_slice]
+
+    def test_step_slice_numpy_copies_non_contiguous(self):
+        np = pytest.importorskip("numpy")
+        column, values = self.column([0, 1, 2, 3, 4, 5, 6, 7])
+        strided = column[::2]
+        view = strided.numpy()
+        assert view.dtype == np.int64
+        assert view.tolist() == values[::2]
+
+    def test_negative_indices(self):
+        column, values = self.column([10, 20, 30, 40])
+        assert column[-1] == values[-1]
+        assert column[-4] == values[-4]
+        assert column[-3:-1].tolist() == values[-3:-1]
+        with pytest.raises(IndexError):
+            column[-5]
+
+    def test_empty_and_out_of_range_slices(self):
+        column, values = self.column([1, 2, 3])
+        for empty in (column[3:], column[2:1], column[5:9], column[0:0]):
+            assert isinstance(empty, MmapColumn)
+            assert len(empty) == 0
+            assert empty.tolist() == []
+        assert column[:99].tolist() == values
+        with pytest.raises(IndexError):
+            column[3]
+
+    def test_offset_views_equal_materialized_slices(self):
+        column, values = self.column(list(range(16)))
+        for window in (slice(0, 16), slice(3, 11), slice(8, 8), slice(12, 16)):
+            offset_view = column[window]
+            materialized = column.materialize()[window]
+            assert offset_view == materialized
+            assert offset_view.tolist() == list(materialized)
+            assert offset_view.nbytes == 8 * len(offset_view)
+
 
 # ----------------------------------------------------------------------
 # v4 round trip + lazy boot
@@ -376,3 +423,147 @@ class TestMmapSurfaces:
         assert len(reasons) == 1
         assert reasons[0].startswith("shard 1 (")
         assert "v3" in reasons[0]
+
+
+# ----------------------------------------------------------------------
+# extent-local boots + page-advice policy
+# ----------------------------------------------------------------------
+class TestExtentLocalBoot:
+    def restriction(self, graph):
+        """A middle slice of the graph's timestamp span (a proper subset)."""
+        timestamps = graph.timestamps()
+        return (timestamps[len(timestamps) // 4],
+                timestamps[(len(timestamps) * 3) // 4])
+
+    def test_extent_boot_maps_only_the_interval_rows(self, tmp_path):
+        graph = scale_graph()
+        path = str(tmp_path / "g.tspgsnap")
+        save_snapshot(graph, path)
+        interval = self.restriction(graph)
+        boot = boot_snapshot(path, mmap=True, interval=interval)
+        assert boot.mmap_active
+        lo, hi = boot.row_range
+        assert 0 < hi - lo < graph.num_edges
+        assert boot.graph.num_edges == hi - lo
+        assert 0 < boot.mapped_column_bytes < boot.total_column_bytes
+        begin, end = interval
+        view = boot.graph.view()
+        assert all(begin <= ts <= end for ts in view.ts)
+
+    def test_extent_boot_matches_eager_restriction(self, tmp_path):
+        graph = scale_graph()
+        path = str(tmp_path / "g.tspgsnap")
+        save_snapshot(graph, path)
+        interval = self.restriction(graph)
+        extent = boot_snapshot(path, mmap=True, interval=interval).graph
+        eager = boot_snapshot(path, interval=interval).graph
+        assert sorted(extent.edge_tuples()) == sorted(eager.edge_tuples())
+        assert set(extent.vertices()) == set(eager.vertices())
+        assert extent.timestamps() == eager.timestamps()
+
+    def test_covering_interval_takes_the_whole_file_fast_path(self, tmp_path):
+        graph = scale_graph()
+        path = str(tmp_path / "g.tspgsnap")
+        save_snapshot(graph, path)
+        timestamps = graph.timestamps()
+        boot = boot_snapshot(
+            path, mmap=True, interval=(timestamps[0], timestamps[-1])
+        )
+        assert boot.mmap_active
+        assert boot.row_range == (0, graph.num_edges)
+        assert boot.mapped_column_bytes == boot.total_column_bytes
+        assert boot.graph.is_lazily_booted
+
+    def test_extent_boot_registers_residency_mappings(self, tmp_path):
+        from repro.store import ResidencyPolicy, madvise_supported
+
+        graph = scale_graph()
+        path = str(tmp_path / "g.tspgsnap")
+        save_snapshot(graph, path)
+        policy = ResidencyPolicy()
+        boot = boot_snapshot(
+            path, mmap=True, interval=self.restriction(graph),
+            residency=policy,
+        )
+        assert boot.mmap_active
+        stats = policy.stats()
+        assert stats["mappings"] > 0
+        assert stats["mapped_bytes"] > 0
+        if madvise_supported():
+            assert policy.advise_warm() > 0
+            assert policy.advise_serve() > 0
+            assert policy.evict_cold() > 0
+            assert policy.stats()["errors"] == 0
+
+    def test_no_madvise_env_forces_noop(self, tmp_path, monkeypatch):
+        from repro.store import ResidencyPolicy, madvise_unsupported_reason
+
+        monkeypatch.setenv("TSPG_NO_MADVISE", "1")
+        assert "TSPG_NO_MADVISE" in madvise_unsupported_reason()
+        policy = ResidencyPolicy()
+        graph = sample_graph()
+        path = str(tmp_path / "g.tspgsnap")
+        save_snapshot(graph, path)
+        boot = boot_snapshot(path, mmap=True, residency=policy)
+        assert boot.mmap_active
+        assert not policy.supported
+        assert policy.advise_warm() == 0
+        assert policy.evict_cold() == 0
+        assert policy.stats()["errors"] == 0
+
+    def test_store_surfaces_interval_and_mapped_bytes(self, tmp_path):
+        graph = scale_graph()
+        path = str(tmp_path / "g.tspgsnap")
+        save_snapshot(graph, path)
+        interval = self.restriction(graph)
+        store = SnapshotGraphStore(path, mmap=True, interval=interval)
+        store.load()
+        row = store.describe()
+        assert "interval" in row
+        assert row["mapped_column_bytes"] > 0
+        assert store.last_boot.row_range is not None
+
+    def test_service_from_snapshot_with_interval_and_residency(self, tmp_path):
+        graph = scale_graph()
+        path = str(tmp_path / "g.tspgsnap")
+        save_snapshot(graph, path)
+        interval = self.restriction(graph)
+        service = TspgService.from_snapshot(
+            path, mmap=True, interval=interval, residency=True
+        )
+        stats = service.residency_stats()
+        assert stats is not None
+        assert stats["phase"] == "serve"
+        assert 0 < stats["mapped_column_bytes"] < stats["total_column_bytes"]
+        service.evict_cold_pages()
+
+    def test_shard_boot_with_residency_stays_whole_file(self, tmp_path):
+        from repro.store import ResidencyPolicy
+
+        graph = scale_graph()
+        router = ShardedTspgService(graph, 2)
+        shard_dir = str(tmp_path / "shards")
+        router.save_shards(shard_dir)
+        shard_set = ShardSnapshotSet(shard_dir)
+        manifest = shard_set.manifest()
+        policy = ResidencyPolicy()
+        boot = shard_set.boot_shard(
+            manifest.shards[0], mmap=True, residency=policy
+        )
+        # A well-formed shard file holds exactly its extent's rows, so the
+        # extent restriction is a no-op and the lazy whole-file path runs.
+        assert boot.mmap_active
+        assert boot.graph.is_lazily_booted
+        assert policy.stats()["mappings"] > 0
+
+    def test_sharded_router_residency_stats_aggregate(self, tmp_path):
+        graph = scale_graph()
+        ShardedTspgService(graph, 3).save_shards(str(tmp_path / "shards"))
+        booted = ShardedTspgService.from_shard_snapshots(
+            str(tmp_path / "shards"), mmap=True, residency=True
+        )
+        assert len(booted.residency) == 3
+        stats = booted.residency_stats()
+        assert stats["mappings"] >= 3
+        assert stats["mapped_bytes"] > 0
+        booted.evict_cold_pages()
