@@ -1,0 +1,312 @@
+"""Exp-17 (new) — live ingest while serving: the identity oracle.
+
+No paper analogue: this benchmark caps the live-ingest work — the
+epoch-delta journal (``repro.store.journal``), incremental view extension
+(``GraphView.extended_with``) and the generation-swap shard re-warm
+(``ShardedTspgService.rewarm_shards``).  Five properties are asserted as
+acceptance criteria:
+
+* **Append-vs-re-warm wall-clock floor** — on a synth-scale graph with a
+  warm view, appending a batch via :meth:`TemporalGraph.append_edges`
+  (which extends the sorted backing and the cached view in place) must
+  beat the legacy path — :meth:`add_edges` + :meth:`warm_indices` + a
+  full view rebuild — by at least ``MIN_APPEND_SPEEDUP``×, with both
+  paths reaching identical end states.
+* **Append-throughput floor** — a snapshot-booted service must sustain at
+  least ``MIN_ROWS_PER_S`` journaled ingest rows per second.
+* **Journal-replay identity** — after a service ingests batches onto its
+  snapshot, a *fresh* boot of the same file must replay the journal to
+  the exact final epoch and answer every workload query bit-identically
+  to an in-memory serial replay; ``save_snapshot(..., compact=True)``
+  must then fold the journal away.
+* **Mmap appends stay lazy** — an append-only ingest into a zero-copy
+  (mmap) boot must not hydrate the mapped adjacency, and the lazy graph
+  must keep answering identically to an eager re-boot.
+* **Generation-swap identity** — a shard router booted from snapshots
+  must ingest through the set-level journal, re-warm into generation N+1
+  with the journal cleared, and a re-boot of the set must answer
+  identically to the post-ingest reference.
+
+The concurrent (threads racing ingest) oracle itself runs inside
+``exp17_live_ingest`` and is re-asserted from its report rows in
+``test_exp17_summary_table``.
+
+Environment knobs (used by the CI smoke job to run on a tiny graph):
+
+* ``TSPG_EXP17_VERTICES`` / ``TSPG_EXP17_EDGES`` / ``TSPG_EXP17_TIMESTAMPS``
+  — synth-scale generator size (defaults ``20000`` / ``120000`` / ``2000``).
+* ``TSPG_EXP17_MIN_APPEND_SPEEDUP`` — append-over-re-warm floor (default
+  ``3.0``; ``0`` disables the assert).
+* ``TSPG_EXP17_MIN_ROWS_PER_S`` — journaled ingest throughput floor
+  (default ``200``; ``0`` disables).
+* ``TSPG_EXP17_QUERIES`` / ``TSPG_EXP17_BATCHES`` /
+  ``TSPG_EXP17_BATCH_SIZE`` / ``TSPG_EXP17_ROUNDS`` — workload size,
+  ingest batch count/size, and best-of timing rounds.
+* ``TSPG_EXP17_DATASET`` — oracle-leg dataset key (default ``D1``).
+
+The aggregated series is written to ``results/exp17_live_ingest.txt`` and
+the raw numbers to ``results/exp17_live_ingest.json`` (the artifact the
+CI job uploads next to the exp10–exp16 ones).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.bench.experiments import (
+    _exp17_batches,
+    _workload,
+    exp17_live_ingest,
+)
+from repro.datasets.registry import SYNTH_SCALE, get_dataset
+from repro.service import ShardedTspgService, TspgService
+from repro.store import boot_snapshot, journal_path, save_snapshot
+
+#: synth-scale generator size for the append-vs-re-warm leg.
+SCALE_VERTICES = int(os.environ.get("TSPG_EXP17_VERTICES", "20000"))
+SCALE_EDGES = int(os.environ.get("TSPG_EXP17_EDGES", "120000"))
+SCALE_TIMESTAMPS = int(os.environ.get("TSPG_EXP17_TIMESTAMPS", "2000"))
+
+#: Acceptance floor for the append-over-re-warm speedup.
+MIN_APPEND_SPEEDUP = float(
+    os.environ.get("TSPG_EXP17_MIN_APPEND_SPEEDUP", "3.0")
+)
+
+#: Acceptance floor for journaled ingest throughput (rows per second).
+MIN_ROWS_PER_S = float(os.environ.get("TSPG_EXP17_MIN_ROWS_PER_S", "200"))
+
+#: Queries in the oracle workloads.
+BENCH_NUM_QUERIES = int(os.environ.get("TSPG_EXP17_QUERIES", "8"))
+
+#: Journaled ingest batches and their size.
+BENCH_NUM_BATCHES = int(os.environ.get("TSPG_EXP17_BATCHES", "4"))
+BENCH_BATCH_SIZE = int(os.environ.get("TSPG_EXP17_BATCH_SIZE", "24"))
+
+#: Timing rounds (best-of) for the append measurement.
+BENCH_ROUNDS = int(os.environ.get("TSPG_EXP17_ROUNDS", "3"))
+
+#: Small dataset for the oracle legs.
+ORACLE_DATASET = os.environ.get("TSPG_EXP17_DATASET", "D1")
+
+
+def _answer(graph, query):
+    outcome = get_algorithm("VUG").run(
+        graph, query.source, query.target, query.interval
+    )
+    return (
+        frozenset(outcome.result.vertices),
+        frozenset(outcome.result.edges),
+    )
+
+
+def test_exp17_append_vs_rewarm_floor():
+    """Acceptance: append_edges + view extension ≥MIN_APPEND_SPEEDUP× vs
+    add_edges + warm_indices + full view rebuild, identical end states."""
+    if MIN_APPEND_SPEEDUP <= 0:
+        pytest.skip("TSPG_EXP17_MIN_APPEND_SPEEDUP <= 0 disables the floor")
+    spec = SYNTH_SCALE.scaled(
+        num_vertices=SCALE_VERTICES,
+        num_edges=SCALE_EDGES,
+        num_timestamps=SCALE_TIMESTAMPS,
+    )
+    graph = spec.load()
+    graph.warm_indices()
+    (rows,) = _exp17_batches(
+        graph, 1, BENCH_BATCH_SIZE, random.Random(17), in_span_half=False
+    )
+    timings = {"delta": float("inf"), "rewarm": float("inf")}
+    for _ in range(max(1, BENCH_ROUNDS)):
+        delta_graph = graph.copy()
+        delta_graph.view()
+        started = time.perf_counter()
+        delta = delta_graph.append_edges(rows)
+        delta_graph.view()
+        timings["delta"] = min(timings["delta"], time.perf_counter() - started)
+        assert delta.append_only and delta.num_rows == len(rows)
+        legacy_graph = graph.copy()
+        legacy_graph.view()
+        started = time.perf_counter()
+        legacy_graph.add_edges(rows)
+        legacy_graph.warm_indices()
+        legacy_graph.view()
+        timings["rewarm"] = min(
+            timings["rewarm"], time.perf_counter() - started
+        )
+    assert delta_graph.num_edges == legacy_graph.num_edges
+    assert list(delta_graph.edge_tuples()) == list(legacy_graph.edge_tuples())
+    speedup = timings["rewarm"] / max(timings["delta"], 1e-12)
+    assert speedup >= MIN_APPEND_SPEEDUP, (
+        f"delta append only {speedup:.2f}x cheaper than the full re-warm "
+        f"(needs {MIN_APPEND_SPEEDUP}x; rewarm {timings['rewarm']:.5f}s vs "
+        f"delta {timings['delta']:.6f}s for {len(rows)} rows)"
+    )
+
+
+def test_exp17_journal_replay_identity(tmp_path):
+    """Acceptance: a fresh boot replays the journal to the service's exact
+    final state; a compacting save folds the journal away."""
+    graph = get_dataset(ORACLE_DATASET).load()
+    queries = list(
+        _workload(graph, ORACLE_DATASET, BENCH_NUM_QUERIES, seed=17)
+    )
+    batches = _exp17_batches(
+        graph, BENCH_NUM_BATCHES, BENCH_BATCH_SIZE, random.Random(18),
+        in_span_half=True,
+    )
+    snap_path = str(tmp_path / "live.tspgsnap")
+    save_snapshot(graph, snap_path)
+    service = TspgService.from_snapshot(snap_path)
+    base_epoch = service.graph.epoch
+    reference = graph.copy()
+    for batch in batches:
+        appended = service.ingest(batch)
+        assert appended.num_rows == len(batch)
+        reference.append_edges(batch)
+    assert os.path.exists(journal_path(snap_path))
+    assert service.graph.epoch == base_epoch + len(batches)
+    reboot = boot_snapshot(snap_path)
+    assert reboot.journal_records == len(batches)
+    assert reboot.graph.epoch == service.graph.epoch
+    assert list(reboot.graph.edge_tuples()) == list(reference.edge_tuples())
+    for query in queries:
+        assert _answer(reboot.graph, query) == _answer(reference, query)
+    save_snapshot(reboot.graph, snap_path, compact=True)
+    assert not os.path.exists(journal_path(snap_path))
+    compacted = boot_snapshot(snap_path)
+    assert compacted.journal_records == 0
+    assert compacted.graph.epoch == reboot.graph.epoch
+
+
+def test_exp17_append_throughput_floor(tmp_path):
+    """Acceptance: journaled ingest sustains MIN_ROWS_PER_S rows/second."""
+    if MIN_ROWS_PER_S <= 0:
+        pytest.skip("TSPG_EXP17_MIN_ROWS_PER_S <= 0 disables the floor")
+    graph = get_dataset(ORACLE_DATASET).load()
+    batches = _exp17_batches(
+        graph, BENCH_NUM_BATCHES, BENCH_BATCH_SIZE, random.Random(19),
+        in_span_half=True,
+    )
+    snap_path = str(tmp_path / "throughput.tspgsnap")
+    save_snapshot(graph, snap_path)
+    service = TspgService.from_snapshot(snap_path)
+    started = time.perf_counter()
+    appended = 0
+    for batch in batches:
+        appended += service.ingest(batch).num_rows
+    elapsed = time.perf_counter() - started
+    throughput = appended / max(elapsed, 1e-12)
+    assert throughput >= MIN_ROWS_PER_S, (
+        f"journaled ingest sustained only {throughput:.0f} rows/s "
+        f"({appended} rows in {elapsed:.3f}s; floor {MIN_ROWS_PER_S:.0f})"
+    )
+
+
+def test_exp17_mmap_append_stays_lazy(tmp_path):
+    """Acceptance: append-only ingest into a zero-copy boot does not
+    hydrate the mapped adjacency, and answers stay identical."""
+    graph = get_dataset(ORACLE_DATASET).load()
+    snap_path = str(tmp_path / "lazy.tspgsnap")
+    save_snapshot(graph, snap_path)
+    service = TspgService.from_snapshot(snap_path, mmap=True)
+    if not service.graph.is_lazily_booted:
+        pytest.skip(
+            "zero-copy boot unavailable: "
+            + "; ".join(service.mmap_fallback_reasons())
+        )
+    (batch,) = _exp17_batches(
+        graph, 1, BENCH_BATCH_SIZE, random.Random(20), in_span_half=False
+    )
+    delta = service.ingest(batch)
+    assert delta.append_only
+    assert service.graph.is_lazily_booted, "append-only ingest hydrated"
+    assert service.graph._out_data is None, "adjacency was materialised"
+    eager = boot_snapshot(snap_path).graph  # replays the journal eagerly
+    queries = list(
+        _workload(graph, ORACLE_DATASET, BENCH_NUM_QUERIES, seed=20)
+    )
+    for query in queries:
+        outcome = service.submit(query)
+        assert (
+            frozenset(outcome.result.vertices),
+            frozenset(outcome.result.edges),
+        ) == _answer(eager, query)
+
+
+def test_exp17_generation_swap_identity(tmp_path):
+    """Acceptance: ingest → journal → re-warm produces generation N+1 whose
+    re-boot matches the post-ingest reference, with the journal cleared."""
+    graph = get_dataset(ORACLE_DATASET).load()
+    shard_dir = str(tmp_path / "shards")
+    ShardedTspgService(graph, 3).save_shards(shard_dir)
+    router = ShardedTspgService.from_shard_snapshots(shard_dir)
+    (batch,) = _exp17_batches(
+        graph, 1, BENCH_BATCH_SIZE, random.Random(21), in_span_half=True
+    )
+    delta = router.ingest(batch)
+    assert delta.num_rows == len(batch)
+    assert os.path.exists(os.path.join(shard_dir, "ingest.tspgjournal"))
+    reference = graph.copy()
+    reference.append_edges(batch)
+    queries = list(
+        _workload(graph, ORACLE_DATASET, BENCH_NUM_QUERIES, seed=21)
+    )
+    manifest = router.rewarm_shards()
+    assert manifest.epoch == delta.new_epoch
+    assert not os.path.exists(os.path.join(shard_dir, "ingest.tspgjournal"))
+    for contender in (router, ShardedTspgService.from_shard_snapshots(shard_dir)):
+        for query in queries:
+            outcome = contender.submit(query)
+            assert (
+                frozenset(outcome.result.vertices),
+                frozenset(outcome.result.edges),
+            ) == _answer(reference, query)
+
+
+def test_exp17_summary_table(save_report, results_dir):
+    """The full Exp-17 row set (including the concurrent oracles), plus the
+    JSON artifact for CI."""
+    report = exp17_live_ingest(
+        dataset_key=ORACLE_DATASET,
+        num_queries=BENCH_NUM_QUERIES,
+        scale_vertices=SCALE_VERTICES,
+        scale_edges=SCALE_EDGES,
+        scale_timestamps=SCALE_TIMESTAMPS,
+        batch_size=BENCH_BATCH_SIZE,
+        num_batches=BENCH_NUM_BATCHES,
+        rounds=BENCH_ROUNDS,
+    )
+    save_report("exp17_live_ingest", report, x_label="mode")
+    payload = {
+        "experiment": "exp17_live_ingest",
+        "oracle_dataset": ORACLE_DATASET,
+        "scale": {
+            "num_vertices": SCALE_VERTICES,
+            "num_edges": SCALE_EDGES,
+            "num_timestamps": SCALE_TIMESTAMPS,
+        },
+        "min_append_speedup_required": MIN_APPEND_SPEEDUP,
+        "min_rows_per_s_required": MIN_ROWS_PER_S,
+        "rows": report.rows,
+        "notes": report.notes,
+    }
+    (results_dir / "exp17_live_ingest.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    assert report.rows, "report produced no rows"
+    oracle_rows = [
+        row for row in report.rows
+        if row["mode"] in ("flat-oracle", "mmap-append", "sharded-swap")
+    ]
+    assert len(oracle_rows) == 3, "an oracle leg produced no row"
+    for row in oracle_rows:
+        assert row["identical"], f"oracle mismatch in {row['mode']}: {row}"
+    flat = next(row for row in report.rows if row["mode"] == "flat-oracle")
+    assert flat["reboot_identical"], "journal replay diverged after ingest"
+    swap = next(row for row in report.rows if row["mode"] == "sharded-swap")
+    assert swap["journal_cleared"] and swap["regen_identical"], swap

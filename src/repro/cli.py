@@ -16,7 +16,7 @@ main operations:
   touching any payload byte;
 * ``datasets``    — list the synthetic dataset analogues and their statistics
   (plus the ``synth-scale`` streaming generator's parameters, never loaded);
-* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp16);
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp17);
 * ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
 
 ``batch`` and ``serve`` accept ``--mmap`` on their snapshot sources: the v4
@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import List, Optional, Sequence, TextIO
@@ -54,7 +55,13 @@ from .service import (
     WorkerPool,
     WorkerPoolError,
 )
-from .store import SnapshotError, SnapshotGraphStore, inspect_snapshot
+from .store import (
+    SnapshotError,
+    SnapshotGraphStore,
+    inspect_journal,
+    inspect_snapshot,
+    journal_path,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -158,7 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
             '{"source": S, "target": T, "begin": B, "end": E, '
             '"algorithm"?, "deadline_ms"?} for one query; '
             '{"queries": [[S, T, B, E], ...], "algorithm"?, "budget_ms"?, '
-            '"workers"?} for a batch; {"op": "stats"} for counters; '
+            '"workers"?} for a batch; {"op": "ingest", "edges": '
+            '[[U, V, T], ...]} to append edges live (journaled next to a '
+            'snapshot boot); {"op": "stats"} for counters; '
             '{"op": "quit"} to stop. One JSON response per line on stdout.'
         ),
     )
@@ -662,7 +671,34 @@ def _serve_handle(request: dict, service, args, pool: Optional[WorkerPool]) -> d
         row = report.as_row()
         row["num_timed_out"] = report.num_timed_out
         return {"ok": True, "op": "batch", **row}
-    raise ValueError(f"unknown op {operation!r} (expected query, batch, stats or quit)")
+    if operation == "ingest":
+        raw = request.get("edges")
+        if not isinstance(raw, list) or not raw:
+            raise ValueError("ingest request needs a non-empty 'edges' list")
+        edges = []
+        for entry in raw:
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise ValueError(
+                    "each ingested edge must be [source, target, timestamp]"
+                )
+            source, target, timestamp = entry
+            if isinstance(source, str):
+                source = _coerce_vertex(source, service)
+            if isinstance(target, str):
+                target = _coerce_vertex(target, service)
+            edges.append((source, target, int(timestamp)))
+        delta = service.ingest(edges)
+        return {
+            "ok": True,
+            "op": "ingest",
+            "appended": delta.num_rows,
+            "epoch": delta.new_epoch,
+            "append_only": bool(delta.append_only),
+            "new_vertices": [str(vertex) for vertex in delta.new_vertices],
+        }
+    raise ValueError(
+        f"unknown op {operation!r} (expected query, batch, ingest, stats or quit)"
+    )
 
 
 def _command_serve(args: argparse.Namespace, stdin: Optional[TextIO] = None) -> int:
@@ -840,6 +876,21 @@ def _command_inspect(args: argparse.Namespace) -> int:
             "zlib-compressed pickle; re-save with this build for the "
             "mmap-able section layout"
         )
+    sidecar = journal_path(args.snapshot)
+    if os.path.exists(sidecar):
+        try:
+            journal, records = inspect_journal(sidecar)
+        except SnapshotError as exc:
+            raise SystemExit(str(exc)) from None
+        stale = journal.base_epoch != info.epoch
+        print(
+            f"\n{sidecar}: journal v{journal.version} "
+            f"base_epoch={journal.base_epoch} records={journal.num_records} "
+            f"({journal.byte_length} bytes)"
+            + (" [STALE: base epoch does not match the snapshot]" if stale else "")
+        )
+        if records:
+            print(render_table([record.as_row() for record in records]))
     return 0
 
 
@@ -887,14 +938,15 @@ def _command_experiment(args: argparse.Namespace) -> int:
         )
     elif name in {"exp12", "exp13"}:
         report = driver(args.dataset, num_queries=args.queries, workers=args.workers)
-    elif name in {"exp10", "exp11", "exp14", "exp15", "exp16"}:
+    elif name in {"exp10", "exp11", "exp14", "exp15", "exp16", "exp17"}:
         report = driver(args.dataset, num_queries=args.queries)
     else:
         report = driver(keys=args.datasets, num_queries=args.queries)
     if name in {"exp2", "exp5-fig10", "exp6", "exp7"}:
         x_label = "theta"
     elif name in {
-        "exp9", "exp10", "exp11", "exp12", "exp13", "exp14", "exp15", "exp16"
+        "exp9", "exp10", "exp11", "exp12", "exp13", "exp14", "exp15", "exp16",
+        "exp17",
     }:
         x_label = "mode"
     else:

@@ -29,7 +29,7 @@ Two conventions keep the copy discipline auditable across the codebase:
 """
 
 from .edge import TemporalEdge, TimeInterval, as_edge, as_interval
-from .temporal_graph import TemporalGraph
+from .temporal_graph import EdgeDelta, TemporalGraph
 from .views import GraphView, SubgraphView
 from .builder import TemporalGraphBuilder, graph_from_edges, graph_from_temporal_edges
 from .validation import (
@@ -57,6 +57,7 @@ __all__ = [
     "TemporalEdge",
     "TimeInterval",
     "TemporalGraph",
+    "EdgeDelta",
     "GraphView",
     "SubgraphView",
     "TemporalGraphBuilder",

@@ -190,8 +190,132 @@ class MmapColumn:
             return view
 
 
+class ChainedColumn:
+    """A read-only concatenation of a frozen base column and an appended tail.
+
+    The live-ingest fast path (:meth:`GraphView.extended_with`) produces
+    epoch N+1's edge columns by appending a small delta after epoch N's
+    frozen columns.  Copying an mmap-backed base would fault every page of
+    the column just to add a few rows, so this wrapper keeps the base —
+    an :class:`IndexColumn`, an :class:`MmapColumn` or a previous chain's
+    base — untouched and presents ``base + tail`` through the same read
+    surface the views and kernels consume (``len``, indexing, slicing,
+    iteration, ``tolist``/``tobytes``, cached :meth:`numpy`).
+
+    Chains never nest: extending a chained column merges the new rows into
+    its (small, private) tail, so depth stays 1 over the original base no
+    matter how many ingest batches arrive.  ``.numpy()`` concatenates —
+    one copy, only when the vectorized kernels first touch the column.
+    """
+
+    __slots__ = ("base", "tail", "_base_len", "_np")
+
+    #: Mirrors ``array.typecode`` so diagnostics can treat columns uniformly.
+    typecode = INDEX_TYPECODE
+
+    def __init__(self, base, tail) -> None:
+        self.base = base
+        self.tail = tail if isinstance(tail, IndexColumn) else as_index_column(tail)
+        self._base_len = len(base)
+
+    def __len__(self) -> int:
+        return self._base_len + len(self.tail)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            start, stop, step = item.indices(len(self))
+            if step == 1:
+                if stop <= self._base_len:
+                    return self.base[start:stop]
+                if start >= self._base_len:
+                    return self.tail[start - self._base_len : stop - self._base_len]
+            return index_column(self[i] for i in range(start, stop, step))
+        index = item
+        if index < 0:
+            index += len(self)
+        if index < 0 or index >= len(self):
+            raise IndexError("ChainedColumn index out of range")
+        if index < self._base_len:
+            return self.base[index]
+        return self.tail[index - self._base_len]
+
+    def __iter__(self):
+        yield from self.base
+        yield from self.tail
+
+    def __contains__(self, value) -> bool:
+        return value in self.base or value in self.tail
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ChainedColumn):
+            return self.tolist() == other.tolist()
+        if isinstance(other, (array, MmapColumn)):
+            return self.tolist() == list(other)
+        if isinstance(other, (list, tuple)):
+            return self.tolist() == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"ChainedColumn(base={self._base_len}, tail={len(self.tail)})"
+
+    def tolist(self) -> List[int]:
+        """The column as a plain list of Python ints (copies)."""
+        return list(self.base.tolist()) + self.tail.tolist()
+
+    def tobytes(self) -> bytes:
+        """The column's raw int64 bytes (copies, faults the base's pages)."""
+        return self.base.tobytes() + self.tail.tobytes()
+
+    def materialize(self) -> IndexColumn:
+        """A private, mutable :class:`IndexColumn` copy of this column."""
+        return IndexColumn(INDEX_TYPECODE, self.tobytes())
+
+    def numpy(self):
+        """This column as one contiguous ``int64`` numpy array (cached copy)."""
+        try:
+            return self._np
+        except AttributeError:
+            np = numpy_or_none()
+            if np is None:
+                raise RuntimeError(
+                    "ChainedColumn.numpy() requires numpy, which is not "
+                    "installed; gate calls behind columns.numpy_available()"
+                )
+            base = self.base
+            if isinstance(base, (IndexColumn, MmapColumn)):
+                base_np = base.numpy()
+            else:
+                base_np = np.asarray(base.tolist(), dtype=np.int64)
+            view = np.concatenate([base_np, self.tail.numpy()]) if len(
+                self.tail
+            ) else base_np
+            self._np = view
+            return view
+
+
+def extended_column(base, tail: "IndexColumn"):
+    """``base`` with ``tail`` appended, reusing frozen buffers where possible.
+
+    * :class:`MmapColumn` base → a :class:`ChainedColumn` over the mapped
+      pages (zero-copy: no base page is faulted).
+    * :class:`ChainedColumn` base → a new chain over the *original* base
+      with the tails merged (depth stays 1).
+    * :class:`IndexColumn` / ``array`` base → one C-speed ``memcpy`` concat
+      (the base bytes are already resident, chaining would only add
+      per-access indirection to the hot columns).
+    """
+    if isinstance(base, ChainedColumn):
+        merged = IndexColumn(INDEX_TYPECODE, base.tail.tobytes() + tail.tobytes())
+        return ChainedColumn(base.base, merged)
+    if isinstance(base, MmapColumn):
+        return ChainedColumn(base, tail)
+    merged = IndexColumn(INDEX_TYPECODE, base.tobytes())
+    merged.extend(tail)
+    return merged
+
+
 #: Columns the kernels can take a zero-copy ``.numpy()`` view of.
-BUFFER_COLUMN_TYPES = (IndexColumn, MmapColumn)
+BUFFER_COLUMN_TYPES = (IndexColumn, MmapColumn, ChainedColumn)
 
 
 def index_column(initializer: Union[bytes, Iterable[int]] = b"") -> IndexColumn:
@@ -213,7 +337,7 @@ def as_index_column(column) -> IndexColumn:
     """
     if isinstance(column, IndexColumn):
         return column
-    if isinstance(column, MmapColumn):
+    if isinstance(column, (MmapColumn, ChainedColumn)):
         return column.materialize()
     if isinstance(column, array) and column.typecode == INDEX_TYPECODE:
         return IndexColumn(INDEX_TYPECODE, column.tobytes())

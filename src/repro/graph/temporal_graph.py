@@ -59,6 +59,82 @@ def _edge_sort_key(edge: Tuple[Vertex, Vertex, Timestamp]):
     return (timestamp, repr(source), repr(target))
 
 
+class EdgeDelta:
+    """A structured mutation record produced by :meth:`TemporalGraph.append_edges`.
+
+    Where the legacy mutators collapse every change into an opaque epoch
+    bump (forcing derived state — views, caches, snapshots — to rebuild
+    wholesale), an :class:`EdgeDelta` says exactly *what* changed: the new
+    rows in deterministic :func:`_edge_sort_key` order, the epoch
+    transition, the edge-count transition, the timestamp range touched and
+    the vertices that did not exist before.  Consumers use it to extend
+    instead of rebuild: :meth:`GraphView.extended_with` merges the rows
+    into the frozen columns, the store appends it to the snapshot's
+    ``*.tspgjournal`` sidecar, and the service drops only the cache
+    entries whose query window intersects ``[min_timestamp, max_timestamp]``.
+
+    ``append_only`` is ``True`` when every new row sorts at or after the
+    last existing row — the fast path where epoch N's buffers are reused
+    as a frozen prefix.  An empty delta (every staged edge was a
+    duplicate) has ``rows == ()`` and ``old_epoch == new_epoch``.
+    """
+
+    __slots__ = (
+        "rows",
+        "old_epoch",
+        "new_epoch",
+        "old_num_edges",
+        "new_num_edges",
+        "append_only",
+        "min_timestamp",
+        "max_timestamp",
+        "new_vertices",
+    )
+
+    def __init__(
+        self,
+        *,
+        rows: Tuple[Tuple[Vertex, Vertex, Timestamp], ...],
+        old_epoch: int,
+        new_epoch: int,
+        old_num_edges: int,
+        new_num_edges: int,
+        append_only: bool,
+        min_timestamp: Optional[Timestamp],
+        max_timestamp: Optional[Timestamp],
+        new_vertices: Tuple[Vertex, ...],
+    ) -> None:
+        self.rows = rows
+        self.old_epoch = old_epoch
+        self.new_epoch = new_epoch
+        self.old_num_edges = old_num_edges
+        self.new_num_edges = new_num_edges
+        self.append_only = append_only
+        self.min_timestamp = min_timestamp
+        self.max_timestamp = max_timestamp
+        self.new_vertices = new_vertices
+
+    @property
+    def num_rows(self) -> int:
+        """Number of new edges this delta appends."""
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EdgeDelta(rows={len(self.rows)}, epoch={self.old_epoch}->"
+            f"{self.new_epoch}, append_only={self.append_only})"
+        )
+
+
+#: Bounded length of the per-graph delta log consulted by
+#: :meth:`TemporalGraph.deltas_since`; beyond it, consumers fall back to
+#: the wholesale rebuild path exactly as if a legacy mutator had run.
+_DELTA_LOG_LIMIT = 64
+
+
 class LazyGraphBoot:
     """Deferred hydration state of an mmap-booted graph (snapshot v4).
 
@@ -108,6 +184,35 @@ class LazyGraphBoot:
         if self._vertex_set is None:
             self._vertex_set = set(self.view.labels)
         return self._vertex_set
+
+
+def _composed_adjacency_loader(base_loader, rows):
+    """Wrap an adjacency loader so it replays journaled append rows.
+
+    The lazy append path defers adjacency hydration; when a consumer
+    finally touches the dict API, the base snapshot section is unpickled
+    once and every delta accumulated since boot is merged in.  Rows are
+    append-only (sorted, all at-or-after the base's last timestamp), so a
+    plain append keeps each per-vertex list timestamp-sorted.  Touched
+    per-vertex timestamp views are dropped and rebuild lazily.
+    """
+
+    def load_adjacency():
+        state = base_loader()
+        out, inn = state["out"], state["in"]
+        out_ts, in_ts = state["out_timestamps"], state["in_timestamps"]
+        for source, target, timestamp in rows:
+            for vertex in (source, target):
+                if vertex not in out:
+                    out[vertex] = []
+                    inn[vertex] = []
+            out[source].append((target, timestamp))
+            inn[target].append((source, timestamp))
+            out_ts.pop(source, None)
+            in_ts.pop(target, None)
+        return state
+
+    return load_adjacency
 
 
 class TemporalGraph:
@@ -160,6 +265,7 @@ class TemporalGraph:
         "_in_ts_data",
         "_view_cache",
         "_lazy_boot",
+        "_append_log",
     )
 
     def __init__(
@@ -191,6 +297,10 @@ class TemporalGraph:
         # Frozen CSR columnar projection (see repro.graph.views); rebuilt
         # lazily after mutation, shared by copies, persisted by snapshots.
         self._view_cache: Optional["GraphView"] = None
+        # Recent EdgeDelta records (append_edges only), newest last.  A
+        # legacy mutation clears it: the epoch gap it leaves is exactly the
+        # "rebuild wholesale" signal deltas_since() reports as None.
+        self._append_log: List[EdgeDelta] = []
         if vertices is not None:
             for vertex in vertices:
                 self.add_vertex(vertex)
@@ -418,6 +528,275 @@ class TemporalGraph:
         self._invalidate_caches()
         return len(staged)
 
+    # ------------------------------------------------------------------
+    # live ingest (structured mutation records)
+    # ------------------------------------------------------------------
+    def append_edges(self, edges: Iterable) -> EdgeDelta:
+        """Append edges as a structured :class:`EdgeDelta` mutation record.
+
+        Unlike :meth:`add_edges` — which bumps the epoch and invalidates
+        every derived structure wholesale — this path tells the rest of the
+        stack *what* changed so it can extend instead of rebuild:
+
+        * the sorted tuple backing, the edge-tuple cache and the distinct
+          timestamps are extended in place (merged for out-of-order rows),
+          never discarded;
+        * a cached :class:`GraphView` is replaced by
+          :meth:`GraphView.extended_with` (append-mostly rows reuse the old
+          column buffers as a frozen prefix);
+        * on a lazily-booted (mmap) graph, an append-only delta does **not**
+          hydrate: the delta is folded into the boot state (the adjacency
+          loader replays it on eventual first touch) and the mapped columns
+          stay the frozen prefix of the extended view.  Out-of-order rows
+          degrade to full hydration + merge.
+
+        Validation matches :meth:`add_edges`: exact duplicates are skipped,
+        a self loop anywhere in ``edges`` raises before any edge is
+        applied.  The epoch advances by exactly one per non-empty delta,
+        and the delta is remembered in a bounded log so consumers
+        (:meth:`deltas_since`) can invalidate selectively.
+        """
+        staged: List[Tuple[Vertex, Vertex, Timestamp]] = []
+        staged_seen: Set[Tuple[Vertex, Vertex, Timestamp]] = set()
+        lazy_membership = self._lazy_boot is not None and self._edge_set_data is None
+        for edge in edges:
+            e = as_edge(edge)
+            if e.source == e.target:
+                raise ValueError(f"self loops are not allowed: {e.source!r}")
+            key = (e.source, e.target, e.timestamp)
+            if key in staged_seen:
+                continue
+            if lazy_membership:
+                if self._lazy_has_edge(key):
+                    continue
+            elif key in self._edge_set:
+                continue
+            staged_seen.add(key)
+            staged.append(key)
+        old_epoch = self._epoch
+        old_num = self.num_edges
+        if not staged:
+            return EdgeDelta(
+                rows=(),
+                old_epoch=old_epoch,
+                new_epoch=old_epoch,
+                old_num_edges=old_num,
+                new_num_edges=old_num,
+                append_only=True,
+                min_timestamp=None,
+                max_timestamp=None,
+                new_vertices=(),
+            )
+        staged.sort(key=_edge_sort_key)
+        append_only = True
+        if old_num:
+            if _edge_sort_key(staged[0]) < self._last_sort_key():
+                append_only = False
+        new_vertices: List[Vertex] = []
+        seen_new: Set[Vertex] = set()
+        for source, target, _ in staged:
+            for vertex in (source, target):
+                if vertex in seen_new:
+                    continue
+                if not self.has_vertex(vertex):
+                    seen_new.add(vertex)
+                    new_vertices.append(vertex)
+        delta = EdgeDelta(
+            rows=tuple(staged),
+            old_epoch=old_epoch,
+            new_epoch=old_epoch + 1,
+            old_num_edges=old_num,
+            new_num_edges=old_num + len(staged),
+            append_only=append_only,
+            min_timestamp=staged[0][2],
+            max_timestamp=max(t for (_, _, t) in staged),
+            new_vertices=tuple(new_vertices),
+        )
+        if self._lazy_boot is not None and delta.append_only:
+            self._apply_append_lazy(delta)
+        else:
+            self._ensure_hydrated()
+            self._apply_append_eager(delta)
+        self._append_log.append(delta)
+        if len(self._append_log) > _DELTA_LOG_LIMIT:
+            del self._append_log[: len(self._append_log) - _DELTA_LOG_LIMIT]
+        return delta
+
+    def deltas_since(self, epoch: int) -> Optional[List[EdgeDelta]]:
+        """The contiguous :class:`EdgeDelta` chain from ``epoch`` to now.
+
+        Returns ``[]`` when ``epoch`` is current, or ``None`` when the gap
+        cannot be explained by logged appends alone (a legacy mutator ran,
+        or the bounded log has already dropped part of the chain) — the
+        caller must then fall back to wholesale invalidation.
+        """
+        if epoch == self._epoch:
+            return []
+        chain: List[EdgeDelta] = []
+        cursor = self._epoch
+        for delta in reversed(self._append_log):
+            if delta.new_epoch != cursor:
+                return None
+            chain.append(delta)
+            cursor = delta.old_epoch
+            if cursor == epoch:
+                chain.reverse()
+                return chain
+            if cursor < epoch:
+                return None
+        return None
+
+    def _last_sort_key(self):
+        """Sort key of the last row of the sorted backing (lazy-boot safe)."""
+        if self._sorted_tuples_data is not None:
+            return _edge_sort_key(self._sorted_tuples_data[-1])
+        if self._lazy_boot is not None:
+            view = self._view_cache
+            labels = view.labels
+            last = len(view.ts) - 1
+            return (
+                view.ts[last],
+                repr(labels[view.src[last]]),
+                repr(labels[view.dst[last]]),
+            )
+        return _edge_sort_key(self._sorted_tuple_backing()[-1])
+
+    def _lazy_has_edge(self, key: Tuple[Vertex, Vertex, Timestamp]) -> bool:
+        """Exact-edge membership over the mapped columns, without hydrating.
+
+        Two bisects on the sorted ``ts`` column plus a scan of the (usually
+        tiny) equal-timestamp run — touches O(log E) pages instead of
+        deriving the whole edge set.
+        """
+        source, target, timestamp = key
+        view = self._view_cache
+        index_of = view.index_of
+        sid = index_of.get(source)
+        tid = index_of.get(target)
+        if sid is None or tid is None:
+            return False
+        lo = bisect_left(view.ts, timestamp)
+        hi = bisect_right(view.ts, timestamp)
+        src, dst = view.src, view.dst
+        for row in range(lo, hi):
+            if src[row] == sid and dst[row] == tid:
+                return True
+        return False
+
+    def _apply_append_eager(self, delta: EdgeDelta) -> None:
+        """Apply ``delta`` to fully-hydrated storage without cache discard."""
+        from heapq import merge
+
+        rows = delta.rows
+        touched_out: Set[Vertex] = set()
+        touched_in: Set[Vertex] = set()
+        for source, target, timestamp in rows:
+            for vertex in (source, target):
+                if vertex not in self._out_data:
+                    self._out_data[vertex] = []
+                    self._in_data[vertex] = []
+            if delta.append_only:
+                # Globally append-only ⇒ every new timestamp is >= every
+                # existing entry's, and rows arrive in sorted order, so a
+                # plain append keeps each adjacency list sorted.
+                self._out_data[source].append((target, timestamp))
+                self._in_data[target].append((source, timestamp))
+            else:
+                insort_right(
+                    self._out_data[source], (target, timestamp), key=_entry_timestamp
+                )
+                insort_right(
+                    self._in_data[target], (source, timestamp), key=_entry_timestamp
+                )
+            touched_out.add(source)
+            touched_in.add(target)
+        self._edge_set_data.update(rows)
+        if self._sorted_tuples_data is not None:
+            if delta.append_only:
+                self._sorted_tuples_data.extend(rows)
+            else:
+                self._sorted_tuples_data = list(
+                    merge(self._sorted_tuples_data, rows, key=_edge_sort_key)
+                )
+        if self._edge_tuples_cache is not None:
+            if delta.append_only:
+                self._edge_tuples_cache = self._edge_tuples_cache + rows
+            else:
+                self._edge_tuples_cache = None
+        # TemporalEdge materialisations rebuild lazily from the (extended)
+        # tuple backing; dropping them loses no per-edge sort work.
+        self._sorted_edges_cache = None
+        if self._ts_cache is not None:
+            self._ts_cache = self._merged_timestamps(delta)
+        for vertex in touched_out:
+            self._out_ts_data.pop(vertex, None)
+        for vertex in touched_in:
+            self._in_ts_data.pop(vertex, None)
+        old_view = self._view_cache
+        self._epoch = delta.new_epoch
+        if old_view is not None:
+            self._view_cache = old_view.extended_with(delta)
+        else:
+            self._view_cache = None
+
+    def _apply_append_lazy(self, delta: EdgeDelta) -> None:
+        """Fold an append-only ``delta`` into the boot state — no hydration.
+
+        The mapped columns become the frozen prefix of the extended view,
+        and the adjacency loader is wrapped so an *eventual* first touch
+        replays the delta after unpickling the base section.  Whatever has
+        already hydrated (either tier) is extended in place.
+        """
+        boot = self._lazy_boot
+        new_view = self._view_cache.extended_with(delta)
+        rows = delta.rows
+        if self._out_data is not None:
+            # Adjacency tier already hydrated: extend it directly.
+            for source, target, timestamp in rows:
+                for vertex in (source, target):
+                    if vertex not in self._out_data:
+                        self._out_data[vertex] = []
+                        self._in_data[vertex] = []
+                self._out_data[source].append((target, timestamp))
+                self._in_data[target].append((source, timestamp))
+                self._out_ts_data.pop(source, None)
+                self._in_ts_data.pop(target, None)
+            load_adjacency = boot.load_adjacency
+        else:
+            load_adjacency = _composed_adjacency_loader(boot.load_adjacency, rows)
+        if self._edge_set_data is not None:
+            self._edge_set_data.update(rows)
+            if self._sorted_tuples_data is not None:
+                self._sorted_tuples_data.extend(rows)
+            if self._edge_tuples_cache is not None:
+                self._edge_tuples_cache = self._edge_tuples_cache + rows
+        self._sorted_edges_cache = None
+        new_boot = LazyGraphBoot(
+            view=new_view,
+            timestamps=self._merged_timestamps(delta),
+            epoch=delta.new_epoch,
+            num_edges=delta.new_num_edges,
+            warm_stats=boot.warm_stats,
+            load_adjacency=load_adjacency,
+        )
+        self._lazy_boot = new_boot
+        self._view_cache = new_view
+        self._ts_cache = list(new_boot.timestamps)
+        self._epoch = delta.new_epoch
+
+    def _merged_timestamps(self, delta: EdgeDelta) -> List[Timestamp]:
+        """Distinct sorted timestamps after ``delta`` (extends the cache)."""
+        base = self._ts_cache if self._ts_cache is not None else []
+        fresh = sorted({t for (_, _, t) in delta.rows})
+        if not base:
+            return fresh
+        if fresh and fresh[0] > base[-1]:
+            return list(base) + fresh
+        known = set(base)
+        merged = list(base) + [t for t in fresh if t not in known]
+        merged.sort()
+        return merged
+
     def _invalidate_caches(self) -> None:
         self._epoch += 1
         self._sorted_edges_cache = None
@@ -427,6 +806,9 @@ class TemporalGraph:
         self._out_ts_cache.clear()
         self._in_ts_cache.clear()
         self._view_cache = None
+        # Legacy invalidate-everything contract: the delta chain is broken,
+        # so consumers must rebuild (deltas_since() now reports the gap).
+        self._append_log.clear()
 
     @property
     def epoch(self) -> int:
@@ -730,7 +1112,34 @@ class TemporalGraph:
         shared or shallow-copied — all of them are rebuilt-on-mutation, so the
         clone and the original cannot alias each other's future state.  The
         clone also inherits the source's mutation :attr:`epoch`.
+
+        A lazily-booted graph clones *lazy*: the boot state (frozen view,
+        metadata, adjacency loader) is shared — it is immutable and its
+        loader is idempotent — so copying an mmap boot neither faults the
+        mapped columns nor unpickles the adjacency section.  Structures
+        that already hydrated on the source are carried over hydrated.
         """
+        if self._lazy_boot is not None:
+            clone = TemporalGraph.from_lazy_boot(self._lazy_boot)
+            clone._epoch = self._epoch
+            if self._out_data is not None:
+                clone._out_data = {
+                    vertex: list(entries) for vertex, entries in self._out_data.items()
+                }
+                clone._in_data = {
+                    vertex: list(entries) for vertex, entries in self._in_data.items()
+                }
+                clone._out_ts_data = {
+                    v: list(ts) for v, ts in self._out_ts_data.items()
+                }
+                clone._in_ts_data = {v: list(ts) for v, ts in self._in_ts_data.items()}
+            if self._edge_set_data is not None:
+                clone._edge_set_data = set(self._edge_set_data)
+                if self._sorted_tuples_data is not None:
+                    clone._sorted_tuples_data = list(self._sorted_tuples_data)
+            clone._edge_tuples_cache = self._edge_tuples_cache
+            clone._append_log = list(self._append_log)
+            return clone
         clone = TemporalGraph()
         clone._out = {vertex: list(entries) for vertex, entries in self._out.items()}
         clone._in = {vertex: list(entries) for vertex, entries in self._in.items()}
@@ -751,6 +1160,7 @@ class TemporalGraph:
         # projection outright; a mutation on either side rebuilds its own.
         clone._view_cache = self._view_cache
         clone._epoch = self._epoch
+        clone._append_log = list(self._append_log)
         return clone
 
     # ------------------------------------------------------------------

@@ -31,10 +31,14 @@ from array import array
 from bisect import bisect_left, bisect_right
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
+from collections import OrderedDict
+
 from .columns import (
     INDEX_TYPECODE,
     IndexColumn,
+    MmapColumn,
     as_index_column,
+    extended_column,
     index_column,
     zeros_column,
 )
@@ -234,6 +238,126 @@ class GraphView:
         )
 
     # ------------------------------------------------------------------
+    # incremental extension (live ingest)
+    # ------------------------------------------------------------------
+    def extended_with(self, delta) -> "GraphView":
+        """Epoch N+1's view built by merging an :class:`EdgeDelta` into N's.
+
+        The receiver stays frozen (in-flight queries keep reading it); a
+        *new* view is returned.
+
+        **Append-mostly fast path** (``delta.append_only``): the delta's
+        rows sort at or after the last existing row, so the old
+        ``src``/``dst``/``ts`` columns are reused as a frozen prefix
+        (zero-copy :class:`~repro.graph.columns.ChainedColumn` over
+        mmap-backed columns, one C-speed concat otherwise) and the CSR
+        arrays are *spliced* — untouched per-vertex runs are bulk-copied
+        between the O(delta) insertion points, never re-sorted or
+        re-counted.  New vertices intern after the existing labels, so
+        every old id stays valid.  Cached kernel window layouts whose
+        ``[lo, hi)`` slice lies entirely inside the old columns are carried
+        to the new view — those rows are bit-identical, so warmed windows
+        stay warm across an ingest batch.
+
+        **Out-of-order fallback**: rows landing before the last existing
+        timestamp cannot be appended without breaking the sorted-``ts``
+        invariant every bisect relies on, so the merged row set is rebuilt
+        the way :meth:`from_graph` would (one O(E) merge of two sorted
+        sequences — no re-sort — then a fresh intern + CSR pass).
+        """
+        if not delta.rows:
+            return self
+        if not delta.append_only or delta.old_num_edges != self.num_edges:
+            return self._rebuilt_with(delta)
+        old_num_edges = self.num_edges
+        labels = list(self.labels)
+        index_of = dict(self.index_of)
+        for vertex in delta.new_vertices:
+            index_of[vertex] = len(labels)
+            labels.append(vertex)
+        tail_len = len(delta.rows)
+        src_tail = zeros_column(tail_len)
+        dst_tail = zeros_column(tail_len)
+        ts_tail = zeros_column(tail_len)
+        for offset, (u, v, t) in enumerate(delta.rows):
+            src_tail[offset] = index_of[u]
+            dst_tail[offset] = index_of[v]
+            ts_tail[offset] = t
+        num_vertices = len(labels)
+        out_offsets, out_edges = _csr_extended(
+            self.out_offsets, self.out_edges, src_tail, old_num_edges, num_vertices
+        )
+        in_offsets, in_edges = _csr_extended(
+            self.in_offsets, self.in_edges, dst_tail, old_num_edges, num_vertices
+        )
+        view = GraphView(
+            labels,
+            extended_column(self.src, src_tail),
+            extended_column(self.dst, dst_tail),
+            extended_column(self.ts, ts_tail),
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            epoch=delta.new_epoch,
+        )
+        self._carry_kernel_layouts(view, old_num_edges)
+        return view
+
+    def _carry_kernel_layouts(self, view: "GraphView", old_num_edges: int) -> None:
+        """Copy still-valid window layouts into the extended view's scratch.
+
+        Layouts are keyed ``(lo, hi)`` over the ts-sorted edge columns and
+        store vertex ids only; rows ``[0, old_num_edges)`` are bit-identical
+        in the extended view and old vertex ids are unchanged, so any layout
+        whose window closed before the append point transfers verbatim.
+        Windows reaching the append point re-bisect to a different ``hi``
+        on the new view and miss naturally.
+        """
+        cache = self._kernel_scratch.get("ts_group_layouts")
+        if not cache:
+            return
+        carried = OrderedDict(
+            (key, layout) for key, layout in cache.items() if key[1] <= old_num_edges
+        )
+        if carried:
+            view._kernel_scratch["ts_group_layouts"] = carried
+
+    def _rebuilt_with(self, delta) -> "GraphView":
+        """Full rebuild over the merged (still-sorted) row sequence."""
+        from heapq import merge
+
+        from .temporal_graph import _edge_sort_key
+
+        labels = list(self.labels)
+        index_of = dict(self.index_of)
+        for vertex in delta.new_vertices:
+            index_of[vertex] = len(labels)
+            labels.append(vertex)
+        own_labels = self.labels
+        base_rows = (
+            (own_labels[s], own_labels[d], t)
+            for s, d, t in zip(self.src, self.dst, self.ts)
+        )
+        num_edges = self.num_edges + len(delta.rows)
+        src = zeros_column(num_edges)
+        dst = zeros_column(num_edges)
+        ts = zeros_column(num_edges)
+        for index, (u, v, t) in enumerate(
+            merge(base_rows, delta.rows, key=_edge_sort_key)
+        ):
+            src[index] = index_of[u]
+            dst[index] = index_of[v]
+            ts[index] = t
+        num_vertices = len(labels)
+        out_offsets, out_edges = _csr(src, num_vertices, num_edges)
+        in_offsets, in_edges = _csr(dst, num_vertices, num_edges)
+        return GraphView(
+            labels, src, dst, ts, out_offsets, out_edges, in_offsets, in_edges,
+            epoch=delta.new_epoch,
+        )
+
+    # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
     @property
@@ -299,6 +423,63 @@ def _csr(column: array, num_vertices: int, num_edges: int) -> Tuple[array, array
         edges[cursor[vid]] = index
         cursor[vid] += 1
     return offsets, edges
+
+
+def _append_run(dest: IndexColumn, column, start: int, stop: int) -> None:
+    """Bulk-append ``column[start:stop]`` to ``dest`` (one memcpy per run)."""
+    if start >= stop:
+        return
+    piece = column[start:stop]
+    if isinstance(piece, MmapColumn):
+        dest.frombytes(piece.tobytes())
+    else:
+        dest.extend(piece)
+
+
+def _csr_extended(
+    offsets, edges, tail_vids, old_num_edges: int, num_vertices: int
+):
+    """Extend a frozen CSR with edge rows appended after ``old_num_edges``.
+
+    ``tail_vids[j]`` is the key vertex of appended row ``old_num_edges + j``.
+    Because the rows are append-only in timestamp order, each new edge index
+    lands at the *end* of its vertex's bucket, so the new CSR is the old one
+    with O(delta) splice points: offsets shift by the running count of
+    insertions before each vertex (one O(V) integer pass), and the edge
+    array is stitched from bulk-copied untouched runs plus the per-vertex
+    insertions — no counting sort over the full edge set.
+    """
+    old_num_vertices = len(offsets) - 1
+    buckets: Dict[int, List[int]] = {}
+    for j, vid in enumerate(tail_vids):
+        buckets.setdefault(vid, []).append(old_num_edges + j)
+    new_offsets = zeros_column(num_vertices + 1)
+    extra_before = 0
+    for vid in range(old_num_vertices):
+        new_offsets[vid] = offsets[vid] + extra_before
+        bucket = buckets.get(vid)
+        if bucket:
+            extra_before += len(bucket)
+    cursor = old_num_edges + extra_before
+    for vid in range(old_num_vertices, num_vertices):
+        new_offsets[vid] = cursor
+        bucket = buckets.get(vid)
+        if bucket:
+            cursor += len(bucket)
+    new_offsets[num_vertices] = cursor
+    new_edges = index_column()
+    prev = 0
+    for vid in sorted(vid for vid in buckets if vid < old_num_vertices):
+        stop = offsets[vid + 1]
+        _append_run(new_edges, edges, prev, stop)
+        new_edges.extend(buckets[vid])
+        prev = stop
+    _append_run(new_edges, edges, prev, old_num_edges)
+    for vid in range(old_num_vertices, num_vertices):
+        bucket = buckets.get(vid)
+        if bucket:
+            new_edges.extend(bucket)
+    return new_offsets, new_edges
 
 
 class SubgraphView:

@@ -126,6 +126,29 @@ class ResultCache(Generic[Value]):
         with self._lock:
             self._entries.clear()
 
+    def rekey(self, transform) -> int:
+        """Rewrite every key through ``transform``; returns entries dropped.
+
+        ``transform(key)`` returns the replacement key, or ``None`` to drop
+        the entry.  LRU recency order is preserved for the survivors.  This
+        is the delta-aware invalidation primitive: an append that provably
+        cannot change a cached query's answer lets the service carry the
+        entry across the epoch bump (re-keyed to the new warmed epoch)
+        instead of discarding the whole cache.
+        """
+        dropped = 0
+        with self._lock:
+            rewritten: "OrderedDict[CacheKey, Value]" = OrderedDict()
+            for key, value in self._entries.items():
+                new_key = transform(key)
+                if new_key is None:
+                    dropped += 1
+                    continue
+                rewritten[new_key] = value
+            self._entries = rewritten
+            self._evictions += dropped
+        return dropped
+
     def stats(self) -> CacheStats:
         """Snapshot of the cache counters."""
         with self._lock:

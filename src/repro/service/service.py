@@ -150,13 +150,27 @@ _WORKER_SERVICES: Dict[
 ] = {}
 
 
-def _snapshot_file_signature(path: str) -> Optional[Tuple[int, int, int]]:
-    """Cheap identity of the snapshot file's current bytes (None if gone)."""
+def _snapshot_file_signature(path: str):
+    """Cheap identity of the snapshot's current bytes (None if gone).
+
+    Covers the epoch-delta journal sidecar too: a journaled append changes
+    what a boot of ``path`` produces without touching the snapshot file
+    itself, so worker-side service caching must see the journal grow.
+    """
     try:
         stat = os.stat(path)
     except OSError:
         return None
-    return (stat.st_mtime_ns, stat.st_ino, stat.st_size)
+    signature = (stat.st_mtime_ns, stat.st_ino, stat.st_size)
+    try:
+        journal_stat = os.stat(path + ".tspgjournal")
+    except OSError:
+        return signature
+    return signature + (
+        journal_stat.st_mtime_ns,
+        journal_stat.st_ino,
+        journal_stat.st_size,
+    )
 
 
 def _snapshot_worker_run_batch(
@@ -635,15 +649,91 @@ class TspgService:
         warm time, so a cached result computed over the old edge set can
         never be served.  (Cache keys embed the epoch too, which also
         protects against a mutation racing a query already in flight.)
+
+        When the gap is covered by structured append deltas
+        (:meth:`TemporalGraph.deltas_since`), invalidation is *delta-aware*:
+        an appended edge can only change a query whose window intersects the
+        appended timestamps (the algorithms never look outside the window)
+        or whose endpoints are among the newly added vertices.  Every other
+        cached entry is provably still correct and is carried across the
+        epoch bump re-keyed to the new warmed epoch.  Legacy mutators leave
+        a gap in the delta log, and the rewarm falls back to the wholesale
+        clear.
         """
         if self._graph.epoch == self._warmed_epoch:
             return
         with self._rewarm_lock:
             if self._graph.epoch == self._warmed_epoch:
                 return  # another thread already rewarmed
-            self.clear_cache()
+            deltas = self._graph.deltas_since(self._warmed_epoch)
+            if deltas:
+                self._invalidate_for_deltas(deltas)
+            else:
+                self.clear_cache()
             self.index_stats = self._graph.warm_indices()
             self._warmed_epoch = self._graph.epoch
+
+    def _invalidate_for_deltas(self, deltas) -> int:
+        """Drop only the cache entries a batch of append deltas can affect.
+
+        Returns the number of entries dropped.  Survivors are re-keyed to
+        the current graph epoch so post-rewarm lookups (whose keys embed
+        the new warmed epoch) still hit them.  Pinned algorithm instances
+        are kept — surviving keys embed ``id(instance)``.
+        """
+        populated = [d for d in deltas if d.rows]
+        if not populated:
+            return 0
+        lo = min(d.min_timestamp for d in populated)
+        hi = max(d.max_timestamp for d in populated)
+        fresh_vertices = set()
+        for delta in populated:
+            fresh_vertices.update(delta.new_vertices)
+        new_epoch = self._graph.epoch
+
+        def transform(key):
+            source, target, interval, algorithm_id, _epoch = key
+            begin, end = interval
+            if end >= lo and begin <= hi:
+                return None  # window sees appended timestamps
+            if source in fresh_vertices or target in fresh_vertices:
+                return None  # endpoint did not exist before the append
+            return (source, target, interval, algorithm_id, new_epoch)
+
+        return self._cache.rekey(transform)
+
+    def ingest(self, edges) -> "EdgeDelta":
+        """Append edges through the journaled delta path and serve on.
+
+        The live-ingest entry point: applies ``edges`` via
+        :meth:`TemporalGraph.append_edges` (an mmap-booted graph stays lazy
+        and its columnar view is *extended*, not rebuilt), records the
+        delta in the snapshot's ``*.tspgjournal`` sidecar when this service
+        was booted from a snapshot, and runs the delta-aware cache rewarm.
+        Returns the applied :class:`~repro.graph.temporal_graph.EdgeDelta`.
+
+        Because a snapshot boot replays the journal, process-pool workers
+        booting from the same path reconstruct the identical post-append
+        graph — so the ``executor="processes"`` backend stays enabled
+        across journaled ingests instead of degrading to threads.
+        """
+        with self._rewarm_lock:
+            delta = self._graph.append_edges(edges)
+            if (
+                delta
+                and self._snapshot_path is not None
+                and self._snapshot_epoch == delta.old_epoch
+            ):
+                # Journal only while snapshot + journal still reproduce the
+                # live graph; a legacy mutation in between broke that chain
+                # (and already disabled the process backend).
+                from ..store.journal import append_journal_delta  # deferred: cycle
+
+                append_journal_delta(self._snapshot_path, delta)
+                # Workers boot snapshot + journal and land on this epoch.
+                self._snapshot_epoch = self._graph.epoch
+        self._ensure_current()
+        return delta
 
     def refresh_indices(self) -> Dict[str, int]:
         """Deprecated: staleness is now detected automatically via the epoch.

@@ -41,6 +41,7 @@ next query transparently rebuilds the shard partitions.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
@@ -50,8 +51,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from ..algorithms import get_algorithm, merge_kernel_backend
 from ..baselines.interface import AlgorithmResult, TspgAlgorithm
 from ..core.deadline import Deadline
-from ..graph.edge import TimeInterval, Vertex, as_interval
-from ..graph.temporal_graph import TemporalGraph
+from ..graph.edge import TimeInterval, Vertex, as_edge, as_interval
+from ..graph.temporal_graph import EdgeDelta, TemporalGraph, _edge_sort_key
 from ..queries.query import QueryWorkload, TspgQuery
 from ..store.shard_set import ShardSetManifest, ShardSnapshotSet
 from .cache import CacheStats
@@ -163,6 +164,82 @@ def partition_time_range(
         pairs.append((core, extent))
         begin = core.end + 1
     return pairs
+
+
+def _stage_ingest_rows(edges) -> List[Tuple[Vertex, Vertex, int]]:
+    """Validate and normalise an ingest batch for a snapshot-booted router.
+
+    Mirrors :meth:`TemporalGraph.append_edges` staging — self loops raise
+    before anything is applied, in-batch duplicates collapse, rows come
+    back in deterministic sort-key order — without needing a union graph.
+    Rows already present in some shard are *not* filtered here; each
+    shard's own ``append_edges`` dedups them (lazily, without hydration).
+    """
+    staged: List[Tuple[Vertex, Vertex, int]] = []
+    seen: set = set()
+    for edge in edges:
+        e = as_edge(edge)
+        if e.source == e.target:
+            raise ValueError(f"self loops are not allowed: {e.source!r}")
+        key = (e.source, e.target, e.timestamp)
+        if key in seen:
+            continue
+        seen.add(key)
+        staged.append(key)
+    staged.sort(key=_edge_sort_key)
+    return staged
+
+
+def _boot_shard_generation(
+    shard_set: ShardSnapshotSet,
+    manifest: ShardSetManifest,
+    *,
+    mmap: bool,
+    residency: bool,
+    service_kwargs: Dict[str, object],
+):
+    """Boot one manifest generation's shard services from its files.
+
+    Shared by :meth:`ShardedTspgService.from_shard_snapshots` (initial boot)
+    and the generation-swap re-warm, so both paths produce identically
+    configured services.  Returns ``(shards, services, policies,
+    mmap_active, mmap_reasons)``.
+    """
+    from ..store.residency import ResidencyPolicy  # deferred: cycle
+
+    shards: List[ShardSpec] = []
+    services: List[TspgService] = []
+    mmap_reasons: List[str] = []
+    mmap_active = bool(mmap) and bool(manifest.shards)
+    policies: List[ResidencyPolicy] = []
+    for entry in manifest.shards:
+        policy = ResidencyPolicy() if residency else None
+        boot = shard_set.boot_shard(entry, mmap=mmap, residency=policy)
+        graph = boot.graph
+        if policy is not None:
+            policy.advise_warm()
+        if mmap and not boot.mmap_active:
+            mmap_active = False
+            mmap_reasons.extend(
+                f"shard {entry.index} ({entry.filename}): {reason}"
+                for reason in boot.fallback_reasons
+            )
+        shards.append(
+            ShardSpec(
+                index=entry.index,
+                core=TimeInterval(*entry.core),
+                extent=TimeInterval(*entry.extent),
+                num_edges=graph.num_edges,
+                num_vertices=graph.num_vertices,
+            )
+        )
+        services.append(TspgService(graph, **service_kwargs))
+        if policy is not None:
+            # Index warm-up (service construction) is the sequential
+            # scan; from here on access is query-driven.
+            policy.advise_serve()
+            policies.append(policy)
+    return shards, services, policies, mmap_active, mmap_reasons
 
 
 class ShardedTspgService:
@@ -294,6 +371,18 @@ class ShardedTspgService:
         # Edge-less source vertices a snapshot boot carries outside the
         # shard projections; folded back in when the union materialises.
         self._extra_vertices: Tuple[Vertex, ...] = ()
+        # Live-ingest state.  The shard-set directory (when booted from /
+        # saved to one) carries the set-level ``ingest.tspgjournal``;
+        # ``_overflow_rows`` holds ingested rows outside every shard extent
+        # of a snapshot-booted router (answerable via the fallback; folded
+        # into the next generation by :meth:`rewarm_shards`).
+        self._ingest_lock = threading.Lock()
+        self._shard_set_path: Optional[str] = None
+        self._shard_residency_requested: bool = False
+        self._overflow_rows: List[Tuple[Vertex, Vertex, int]] = []
+        # Mappings retired from superseded generations (survives the
+        # per-generation policies being swapped out).
+        self._residency_retired: int = 0
 
     # ------------------------------------------------------------------
     # per-shard snapshot persistence
@@ -342,7 +431,6 @@ class ShardedTspgService:
         Raises :class:`~repro.store.SnapshotError` on a missing/malformed
         manifest or any per-shard checksum or count mismatch.
         """
-        from ..store.residency import ResidencyPolicy  # deferred: cycle
         shard_set = ShardSnapshotSet(path)
         manifest = shard_set.manifest()
         router = cls.__new__(cls)
@@ -358,38 +446,15 @@ class ShardedTspgService:
             algorithm_options=algorithm_options,
             kernel_backend=kernel_backend,
         )
-        shards: List[ShardSpec] = []
-        services: List[TspgService] = []
-        mmap_reasons: List[str] = []
-        mmap_active = bool(mmap) and bool(manifest.shards)
-        policies: List[ResidencyPolicy] = []
-        for entry in manifest.shards:
-            policy = ResidencyPolicy() if residency else None
-            boot = shard_set.boot_shard(entry, mmap=mmap, residency=policy)
-            graph = boot.graph
-            if policy is not None:
-                policy.advise_warm()
-            if mmap and not boot.mmap_active:
-                mmap_active = False
-                mmap_reasons.extend(
-                    f"shard {entry.index} ({entry.filename}): {reason}"
-                    for reason in boot.fallback_reasons
-                )
-            shards.append(
-                ShardSpec(
-                    index=entry.index,
-                    core=TimeInterval(*entry.core),
-                    extent=TimeInterval(*entry.extent),
-                    num_edges=graph.num_edges,
-                    num_vertices=graph.num_vertices,
-                )
+        shards, services, policies, mmap_active, mmap_reasons = (
+            _boot_shard_generation(
+                shard_set,
+                manifest,
+                mmap=mmap,
+                residency=residency,
+                service_kwargs=router._service_kwargs,
             )
-            services.append(TspgService(graph, **router._service_kwargs))
-            if policy is not None:
-                # Index warm-up (service construction) is the sequential
-                # scan; from here on access is query-driven.
-                policy.advise_serve()
-                policies.append(policy)
+        )
         router._shard_residency = tuple(policies)
         router._shard_snapshot_mmap_requested = bool(mmap)
         router._shard_snapshot_mmap = mmap_active
@@ -404,7 +469,10 @@ class ShardedTspgService:
             shard_set.file_path(entry.filename) for entry in manifest.shards
         )
         router._shard_snapshot_epoch = manifest.epoch
+        router._shard_set_path = os.fspath(path)
+        router._shard_residency_requested = bool(residency)
         router._extra_vertices = tuple(shard_set.load_isolated(manifest))
+        router._replay_set_journal(manifest)
         return router
 
     def save_shards(self, path) -> ShardSetManifest:
@@ -450,6 +518,296 @@ class ShardedTspgService:
             shard_set.file_path(entry.filename) for entry in manifest.shards
         )
         self._shard_snapshot_epoch = topology.epoch
+        self._shard_set_path = os.fspath(path)
+        return manifest
+
+    # ------------------------------------------------------------------
+    # live ingest and generation re-warm
+    # ------------------------------------------------------------------
+    def _set_journal_base(self) -> Optional[str]:
+        """Base path of the set-level ingest journal (``<dir>/ingest``).
+
+        The journal module appends its suffix, yielding
+        ``<dir>/ingest.tspgjournal`` — a name
+        :meth:`~repro.store.ShardSnapshotSet.save`'s generation pruning
+        never touches (it only deletes ``*.tspgsnap`` files).
+        """
+        if self._shard_set_path is None:
+            return None
+        return os.path.join(self._shard_set_path, "ingest")
+
+    def _replay_set_journal(self, manifest: ShardSetManifest) -> int:
+        """Replay the set-level ingest journal onto a freshly booted topology.
+
+        Called at the end of :meth:`from_shard_snapshots`.  Mirrors the
+        flat snapshot rules: a journal whose base epoch matches the
+        manifest epoch is replayed record by record (each record routed to
+        the shard extents exactly like a live :meth:`ingest`); a *stale*
+        journal (base epoch below the manifest's — a re-warm crashed after
+        the manifest commit but before the journal unlink) is skipped; a
+        journal *ahead* of the manifest raises.  Returns records applied.
+        """
+        from ..store.journal import journal_path, read_journal
+        from ..store.snapshot import SnapshotError
+
+        base = self._set_journal_base()
+        if base is None:
+            return 0
+        sidecar = journal_path(base)
+        if not os.path.exists(sidecar):
+            return 0
+        info, records = read_journal(sidecar)
+        if info.base_epoch > manifest.epoch:
+            raise SnapshotError(
+                f"{sidecar}: ingest journal base epoch {info.base_epoch} is "
+                f"ahead of manifest epoch {manifest.epoch}: the shard set "
+                "regressed underneath its journal"
+            )
+        if info.base_epoch < manifest.epoch:
+            return 0  # already folded into this generation by a re-warm
+        topology = self._topology
+        for record in records:
+            topology = self._apply_ingest_rows(
+                topology, list(record.rows), record.epoch_after
+            )
+        self._topology = topology
+        return len(records)
+
+    def _apply_ingest_rows(
+        self,
+        topology: "_Topology",
+        rows: List[Tuple[Vertex, Vertex, int]],
+        new_epoch: int,
+    ) -> "_Topology":
+        """Route ``rows`` into the shard services; return the next topology.
+
+        Every shard whose *extent* covers a row's timestamp receives it
+        (overlap regions duplicate rows across neighbours, exactly like the
+        original projection; per-shard ``append_edges`` dedups).  Rows no
+        extent covers go to the overflow list — they are answerable through
+        the fallback because the published span is widened to cover them,
+        so :meth:`_route_in` stops clipping their windows into a shard.
+        The shard *services* are reused as-is: their own epoch tracking
+        runs the delta-aware cache invalidation on next query.
+        """
+        new_shards = list(topology.shards)
+        for position, (spec, service) in enumerate(
+            zip(topology.shards, topology.services)
+        ):
+            extent = spec.extent
+            mine = [row for row in rows if extent.begin <= row[2] <= extent.end]
+            if not mine:
+                continue
+            graph = service.graph
+            graph.append_edges(mine)
+            new_shards[position] = ShardSpec(
+                index=spec.index,
+                core=spec.core,
+                extent=extent,
+                num_edges=graph.num_edges,
+                num_vertices=graph.num_vertices,
+            )
+        if self._graph is None:
+            known = set(self._overflow_rows)
+            for row in rows:
+                if any(
+                    spec.extent.begin <= row[2] <= spec.extent.end
+                    for spec in topology.shards
+                ):
+                    continue
+                if row not in known:
+                    known.add(row)
+                    self._overflow_rows.append(row)
+        span = topology.span
+        if rows:
+            lo = min(row[2] for row in rows)
+            hi = max(row[2] for row in rows)
+            if span is None:
+                span = TimeInterval(lo, hi)
+            elif lo < span.begin or hi > span.end:
+                span = TimeInterval(min(span.begin, lo), max(span.end, hi))
+        return _Topology(
+            shards=tuple(new_shards),
+            services=topology.services,
+            span=span,
+            epoch=new_epoch,
+        )
+
+    def ingest(self, edges) -> EdgeDelta:
+        """Append edges to the live sharded deployment; serve on.
+
+        The router counterpart of :meth:`TspgService.ingest`: each edge is
+        applied to every shard whose extent covers its timestamp (shard
+        caches invalidate delta-aware, untouched shards keep serving warm),
+        the source/union graph — when one exists — is appended through the
+        same structured-delta path, and the whole batch is recorded in the
+        shard set's ``ingest.tspgjournal`` so a crash or re-boot replays
+        it on top of the current generation.  Edges beyond every shard
+        extent stay answerable via the fallback until the next
+        :meth:`rewarm_shards` folds them into generation N+1.
+
+        Returns the applied :class:`~repro.graph.temporal_graph.EdgeDelta`.
+        """
+        with self._ingest_lock:
+            if self._graph is not None:
+                topology = self._current_topology()
+                delta = self._graph.append_edges(edges)
+                rows = list(delta.rows)
+                new_epoch = self._graph.epoch
+            else:
+                topology = self._topology
+                rows = _stage_ingest_rows(edges)
+                old_total = sum(spec.num_edges for spec in topology.shards)
+                new_vertices = []
+                seen: set = set()
+                for source, target, _ in rows:
+                    for vertex in (source, target):
+                        if vertex not in seen and not self.has_vertex(vertex):
+                            seen.add(vertex)
+                            new_vertices.append(vertex)
+                new_epoch = topology.epoch + (1 if rows else 0)
+                delta = EdgeDelta(
+                    rows=tuple(rows),
+                    old_epoch=topology.epoch,
+                    new_epoch=new_epoch,
+                    old_num_edges=old_total,
+                    new_num_edges=old_total + len(rows),
+                    append_only=(
+                        topology.span is None
+                        or (bool(rows) and rows[0][2] > topology.span.end)
+                    ),
+                    min_timestamp=rows[0][2] if rows else None,
+                    max_timestamp=max(r[2] for r in rows) if rows else None,
+                    new_vertices=tuple(new_vertices),
+                )
+            if not rows:
+                return delta
+            new_topology = self._apply_ingest_rows(topology, rows, new_epoch)
+            if (
+                self._shard_set_path is not None
+                and delta.old_epoch == topology.epoch
+            ):
+                # Journal only while generation + journal still reproduce
+                # the live deployment (a legacy mutation of the source
+                # graph breaks that chain and skips journaling).
+                from ..store.journal import append_journal_delta  # deferred
+
+                append_journal_delta(self._set_journal_base(), delta)
+            with self._rebuild_lock:
+                self._topology = new_topology
+        return delta
+
+    def rewarm_shards(
+        self, *, num_shards: Optional[int] = None, background: bool = False
+    ):
+        """Fold journaled ingests into shard generation N+1 and swap to it.
+
+        Re-partitions the current (post-ingest) graph over its widened
+        span, writes one snapshot per new shard plus the manifest as a
+        fresh generation of the attached
+        :class:`~repro.store.ShardSnapshotSet` (the crash-safe scheme:
+        generation files first, manifest committed atomically last), clears
+        the set-level ingest journal, then boots the new generation and
+        swaps the serving topology in one assignment.  Queries keep
+        answering from generation N throughout the build; page-advice
+        policies of the old generation are retired
+        (:meth:`~repro.store.ResidencyPolicy.retire_all`) as part of the
+        swap.
+
+        A crash before the manifest commit leaves generation N plus the
+        journal fully serveable (the next boot replays the journal); a
+        crash after it leaves generation N+1 with, at worst, a stale
+        journal the next boot skips.
+
+        With ``background=True`` the build runs on a daemon thread and the
+        started :class:`threading.Thread` is returned (join it to observe
+        completion); otherwise the new manifest is returned.
+        """
+        if self._shard_set_path is None:
+            raise RuntimeError(
+                "rewarm_shards needs an attached shard snapshot set "
+                "(save_shards or from_shard_snapshots)"
+            )
+        if num_shards is not None and num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if background:
+            thread = threading.Thread(
+                target=self._rewarm_generation,
+                kwargs={"num_shards": num_shards},
+                name="tspg-shard-rewarm",
+                daemon=True,
+            )
+            thread.start()
+            return thread
+        return self._rewarm_generation(num_shards=num_shards)
+
+    def _rewarm_generation(
+        self, *, num_shards: Optional[int] = None
+    ) -> ShardSetManifest:
+        from ..store.journal import clear_journal  # deferred: cycle
+
+        with self._ingest_lock:
+            shard_set = ShardSnapshotSet(self._shard_set_path)
+            if num_shards is not None:
+                self._num_shards = num_shards
+            union = self.graph  # materialises ingested + overflow rows
+            span = union.time_interval()
+            members = []
+            covered: set = set()
+            if span is not None:
+                for core, extent in partition_time_range(
+                    span, self._num_shards, self._overlap
+                ):
+                    subgraph = union.project(extent)
+                    covered.update(subgraph.vertices())
+                    members.append(
+                        (core.as_tuple(), extent.as_tuple(), subgraph)
+                    )
+            isolated = [v for v in union.vertices() if v not in covered]
+            manifest = shard_set.save(
+                members,
+                span=None if span is None else span.as_tuple(),
+                overlap=self._overlap,
+                epoch=union.epoch,
+                isolated=TemporalGraph(vertices=isolated) if isolated else None,
+            )
+            # The manifest commit is the generation swap's atomic point;
+            # the journal's deltas are folded into it, so the sidecar goes.
+            # (A crash between the two leaves a stale journal the next
+            # boot recognises by its base epoch and skips.)
+            clear_journal(self._set_journal_base())
+            shards, services, policies, mmap_active, mmap_reasons = (
+                _boot_shard_generation(
+                    shard_set,
+                    manifest,
+                    mmap=self._shard_snapshot_mmap_requested,
+                    residency=self._shard_residency_requested,
+                    service_kwargs=self._service_kwargs,
+                )
+            )
+            for policy in self._shard_residency:
+                self._residency_retired += policy.retire_all()
+            with self._rebuild_lock:
+                self._topology = _Topology(
+                    shards=tuple(shards),
+                    services=tuple(services),
+                    span=(
+                        None
+                        if manifest.span is None
+                        else TimeInterval(*manifest.span)
+                    ),
+                    epoch=manifest.epoch,
+                )
+                self._shard_residency = tuple(policies)
+                self._shard_snapshot_mmap = mmap_active
+                self._shard_snapshot_mmap_reasons = mmap_reasons
+                self._shard_snapshot_paths = tuple(
+                    shard_set.file_path(entry.filename)
+                    for entry in manifest.shards
+                )
+                self._shard_snapshot_epoch = manifest.epoch
+                self._extra_vertices = tuple(shard_set.load_isolated(manifest))
+                self._overflow_rows = []
         return manifest
 
     # ------------------------------------------------------------------
@@ -527,6 +885,10 @@ class ShardedTspgService:
         union = TemporalGraph()
         for service in topology.services:
             union.add_edges(service.graph.edge_tuples())
+        if self._overflow_rows:
+            # Ingested rows outside every shard extent live only here (and
+            # in the set journal) until the next generation re-warm.
+            union.add_edges(self._overflow_rows)
         for vertex in self._extra_vertices:
             union.add_vertex(vertex)
         # Pin the union to the manifest epoch the topology carries:
@@ -565,6 +927,8 @@ class ShardedTspgService:
         if self._graph is not None:
             return self._graph.has_vertex(vertex)
         if vertex in self._extra_vertices:
+            return True
+        if any(vertex in row[:2] for row in self._overflow_rows):
             return True
         return any(
             service.graph.has_vertex(vertex)
@@ -676,7 +1040,13 @@ class ShardedTspgService:
         if not self._shard_residency:
             return None
         first = self._shard_residency[0]
-        return first.merged_with(self._shard_residency[1:])
+        merged = first.merged_with(self._shard_residency[1:])
+        # Fold in mappings retired from generations already swapped out —
+        # their policies are gone from _shard_residency.
+        merged["retirements"] = (
+            int(merged.get("retirements", 0)) + self._residency_retired
+        )
+        return merged
 
     def evict_cold_pages(self) -> int:
         """Drop cold mapped pages on every shard (``MADV_DONTNEED``).

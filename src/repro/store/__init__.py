@@ -36,6 +36,19 @@ True
 """
 
 from .graph_store import GraphStore, InMemoryGraphStore, SnapshotGraphStore, store_for
+from .journal import (
+    JOURNAL_MAGIC,
+    JOURNAL_SUFFIX,
+    JOURNAL_VERSION,
+    JournalInfo,
+    JournalRecord,
+    append_journal_delta,
+    clear_journal,
+    inspect_journal,
+    journal_path,
+    read_journal,
+    replay_journal,
+)
 from .residency import ResidencyPolicy, madvise_supported, madvise_unsupported_reason
 from .shard_set import (
     SHARD_MANIFEST_NAME,
@@ -85,6 +98,17 @@ __all__ = [
     "SNAPSHOT_VERSION",
     "V4_COLUMN_SECTIONS",
     "HEADER_SIZE",
+    "JournalInfo",
+    "JournalRecord",
+    "append_journal_delta",
+    "clear_journal",
+    "inspect_journal",
+    "journal_path",
+    "read_journal",
+    "replay_journal",
+    "JOURNAL_MAGIC",
+    "JOURNAL_SUFFIX",
+    "JOURNAL_VERSION",
     "ShardSnapshotSet",
     "ShardSetManifest",
     "ShardSnapshotEntry",

@@ -25,7 +25,7 @@ from typing import Dict, Union
 
 from typing import List
 
-from ..graph.temporal_graph import TemporalGraph
+from ..graph.temporal_graph import EdgeDelta, TemporalGraph
 from .snapshot import SnapshotInfo, boot_snapshot, peek_snapshot, save_snapshot
 
 PathLike = Union[str, "os.PathLike[str]"]
@@ -161,9 +161,33 @@ class SnapshotGraphStore(GraphStore):
         self._last_boot = boot
         return boot.graph
 
-    def save(self, graph: TemporalGraph) -> SnapshotInfo:
-        """Warm ``graph`` and (atomically) persist it to the backing file."""
-        return save_snapshot(graph, self._path)
+    def save(self, graph: TemporalGraph, *, compact: bool = False) -> SnapshotInfo:
+        """Warm ``graph`` and (atomically) persist it to the backing file.
+
+        ``compact=True`` also folds the epoch-delta journal sidecar into
+        the new snapshot (the graph already contains every journaled
+        append) and removes it — see :func:`~repro.store.snapshot.
+        save_snapshot`.
+        """
+        return save_snapshot(graph, self._path, compact=compact)
+
+    def append(self, edges) -> "EdgeDelta":
+        """Journal an edge append against the backing snapshot.
+
+        Applies ``edges`` to ``graph`` through the delta append path
+        (:meth:`TemporalGraph.append_edges` — an mmap-booted graph stays
+        lazy) and records the resulting delta in the snapshot's
+        ``*.tspgjournal`` sidecar, so the next :meth:`load` replays it.
+        Requires a prior :meth:`load`; returns the applied delta.
+        """
+        if self._last_boot is None:
+            raise RuntimeError("append() requires a prior load()")
+        from .journal import append_journal_delta  # deferred, mirrors snapshot.py
+
+        delta = self._last_boot.graph.append_edges(edges)
+        if delta:
+            append_journal_delta(self._path, delta)
+        return delta
 
     def describe(self) -> Dict[str, object]:
         row: Dict[str, object] = {"backend": "snapshot", "path": self._path}

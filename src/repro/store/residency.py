@@ -72,7 +72,7 @@ class ResidencyPolicy:
     """
 
     __slots__ = ("_mappings", "_phase", "_advised_bytes", "_evictions",
-                 "_errors", "_reason")
+                 "_errors", "_retirements", "_reason")
 
     def __init__(self) -> None:
         self._mappings: List[Tuple[object, int, int]] = []
@@ -80,6 +80,7 @@ class ResidencyPolicy:
         self._advised_bytes = 0
         self._evictions = 0
         self._errors = 0
+        self._retirements = 0
         # Pinned at construction so one policy reports one consistent mode
         # even if the environment changes under a long-running process.
         self._reason = madvise_unsupported_reason()
@@ -160,6 +161,22 @@ class ResidencyPolicy:
             self._evictions += 1
         return released
 
+    def retire_all(self) -> int:
+        """Drop every registered mapping; returns how many were retired.
+
+        Called on a generation swap: the old generation's snapshot files are
+        about to be superseded (and possibly pruned), so advising over their
+        mappings would at best be wasted syscalls and at worst keep dead
+        pages pinned in the accounting.  The mappings themselves stay open —
+        in-flight queries on the old generation still read through them —
+        this only removes them from the *advice* set.  The new generation's
+        boot re-registers its own mappings afterwards.
+        """
+        retired = len(self._mappings)
+        self._mappings.clear()
+        self._retirements += retired
+        return retired
+
     def stats(self) -> Dict[str, object]:
         """Counters for the service ``stats`` surface."""
         return {
@@ -170,6 +187,7 @@ class ResidencyPolicy:
             "advised_bytes": self._advised_bytes,
             "evictions": self._evictions,
             "errors": self._errors,
+            "retirements": self._retirements,
             "unsupported_reason": self._reason,
         }
 
@@ -184,6 +202,7 @@ class ResidencyPolicy:
             "advised_bytes": sum(p._advised_bytes for p in policies),
             "evictions": sum(p._evictions for p in policies),
             "errors": sum(p._errors for p in policies),
+            "retirements": sum(p._retirements for p in policies),
             "unsupported_reason": next(
                 (p._reason for p in policies if p._reason), None
             ),

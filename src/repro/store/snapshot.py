@@ -63,7 +63,7 @@ from array import array
 from dataclasses import dataclass, field
 from typing import BinaryIO, Callable, Dict, Iterable, List, Optional, Tuple, Union
 
-from ..graph.columns import INDEX_TYPECODE, IndexColumn, MmapColumn
+from ..graph.columns import ChainedColumn, INDEX_TYPECODE, IndexColumn, MmapColumn
 from ..graph.edge import as_interval
 from ..graph.temporal_graph import LazyGraphBoot, TemporalGraph
 from ..graph.views import GraphView, _csr
@@ -204,6 +204,11 @@ class SnapshotBoot:
     row_range: Optional[Tuple[int, int]] = None
     mapped_column_bytes: int = 0
     total_column_bytes: int = 0
+    #: Sidecar journal replayed on top of the booted graph (live ingest):
+    #: the journal's path and how many of its records were applied.  ``None``
+    #: / ``0`` when no (current) journal sat next to the snapshot.
+    journal_path: Optional[str] = None
+    journal_records: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -213,6 +218,10 @@ def _extent_bytes(column) -> bytes:
     """Raw little-endian int64 bytes of a column (any supported storage)."""
     if isinstance(column, MmapColumn):
         return column.tobytes()  # mapped extents are little-endian already
+    if isinstance(column, ChainedColumn):
+        if sys.byteorder == "little":
+            return column.tobytes()
+        column = column.materialize()
     if not (isinstance(column, array) and column.typecode == INDEX_TYPECODE):
         column = array(INDEX_TYPECODE, column)
     if sys.byteorder == "little":
@@ -408,16 +417,32 @@ def _commit_bytes(path: PathLike, chunks: Iterable[bytes]) -> None:
     _fsync_directory(os.path.dirname(path))
 
 
-def save_snapshot(graph: TemporalGraph, path: PathLike) -> SnapshotInfo:
+def save_snapshot(
+    graph: TemporalGraph, path: PathLike, *, compact: bool = False
+) -> SnapshotInfo:
     """Warm ``graph`` and write its full index state to ``path`` (format v4).
 
     The write goes through a temporary sibling file plus :func:`os.replace`,
     with the temp file and its directory both fsync'd, so a crash at any
     point either keeps the old snapshot or commits the new one — never a
     truncated or lost file.  Returns the header that was written.
+
+    ``compact=True`` folds an epoch-delta journal back in: the graph's
+    current state (which already contains every journaled append) becomes
+    the new snapshot and the ``*.tspgjournal`` sidecar is removed after the
+    snapshot commit.  The snapshot replace is the atomic point — a crash
+    between it and the journal unlink leaves a sidecar whose base epoch no
+    longer matches the snapshot, which the next boot recognises as stale
+    and skips (see :mod:`repro.store.journal`).  Without ``compact``, a
+    re-save over a journaled snapshot leaves the now-stale sidecar behind;
+    it is ignored on boot for the same reason.
     """
     header, body, info = _encode(graph)
     _commit_bytes(path, (header, body))
+    if compact:
+        from .journal import clear_journal  # deferred: journal imports us
+
+        clear_journal(path)
     return info
 
 
@@ -1091,14 +1116,14 @@ def _load_legacy_state(
         raise SnapshotError(f"{path}: cannot decode snapshot payload: {exc}") from exc
 
 
-def boot_snapshot(
+def _boot_snapshot_file(
     path: PathLike,
     *,
     mmap: bool = False,
     interval=None,
     residency=None,
 ) -> SnapshotBoot:
-    """Load the snapshot at ``path``, optionally mmap-backed, with provenance.
+    """Load the snapshot *file* at ``path`` — journal replay lives one level up.
 
     With ``mmap=True`` and a v4 file, the returned graph's columnar view
     reads straight out of the page cache (see :class:`MmapColumn`) and the
@@ -1256,6 +1281,65 @@ def boot_snapshot(
         mmap_active=False,
         fallback_reasons=reasons,
     )
+
+
+def boot_snapshot(
+    path: PathLike,
+    *,
+    mmap: bool = False,
+    interval=None,
+    residency=None,
+) -> SnapshotBoot:
+    """Load the snapshot at ``path``, optionally mmap-backed, with provenance.
+
+    See :func:`_boot_snapshot_file` for the file-level semantics (mmap,
+    extent-local interval boots, residency registration, fallback reasons).
+    On top of that, this wrapper replays the epoch-delta journal sidecar
+    (``path + ".tspgjournal"``) if one is present:
+
+    - the journal's base epoch must equal the snapshot epoch to apply —
+      appends are then replayed in order through the graph's journaled
+      append path (no cache invalidation, no column hydration on an mmap
+      boot);
+    - a *stale* journal (base epoch below the snapshot epoch) is skipped:
+      that is the residue of a compaction whose journal unlink was lost to
+      a crash, or of a plain re-save, and its appends are already folded
+      into the snapshot;
+    - a journal *ahead* of the snapshot (base epoch above it) means the
+      snapshot file regressed underneath the journal and raises
+      :class:`SnapshotError`.
+
+    ``interval`` restrictions apply to replayed rows too: only appends
+    whose timestamp lies inside the interval land in the booted graph.
+    ``journal_path``/``journal_records`` on the returned
+    :class:`SnapshotBoot` record what was replayed.
+    """
+    boot = _boot_snapshot_file(
+        path, mmap=mmap, interval=interval, residency=residency
+    )
+    # Deferred import: journal.py imports _commit_bytes and SnapshotError
+    # from this module.
+    from .journal import journal_path, read_journal, replay_journal
+
+    sidecar = journal_path(path)
+    if not os.path.exists(sidecar):
+        return boot
+    journal, _records = read_journal(sidecar)
+    if journal.base_epoch > boot.info.epoch:
+        raise SnapshotError(
+            f"{sidecar}: journal base epoch {journal.base_epoch} is ahead of "
+            f"snapshot epoch {boot.info.epoch}: the snapshot file regressed "
+            "underneath its journal"
+        )
+    if journal.base_epoch < boot.info.epoch:
+        # Stale sidecar from a crashed compaction or a plain re-save; its
+        # deltas are already folded into the snapshot payload.
+        return boot
+    boot.journal_path = sidecar
+    boot.journal_records = replay_journal(
+        boot.graph, sidecar, interval=interval
+    )
+    return boot
 
 
 def load_snapshot(
