@@ -1,0 +1,200 @@
+"""Exp-18 (new) — the TCP serving tier under concurrent traffic replay.
+
+No paper analogue: this benchmark caps the network serving tier
+(``repro.service.server``) — the asyncio front end behind
+``tspg serve --listen`` that multiplexes many JSONL clients onto one
+shared booted service with refuse-before-work admission control, bounded
+per-client queues and round-robin worker fairness.  Four properties are
+asserted as acceptance criteria:
+
+* **Sustained-QPS floor** — ``CLIENTS`` concurrent clients replaying a
+  zipfian repeat mix (lockstep singles alternating with pipelined bursts
+  of ``BURST``) must aggregate at least ``MIN_QPS`` responses per second.
+* **Tail-latency ceiling** — the client-observed p99 latency of the
+  sustained replay (queue wait and head-of-line blocking included) must
+  stay under ``MAX_P99_MS`` milliseconds.
+* **Registry-wide bit-identity** — every answer served under load, and
+  one sweep per registered algorithm, must match a serial evaluation of
+  the same query bit-for-bit *in wire format* (``include_edges`` order
+  included), so concurrency and the result cache are invisible in the
+  payload.
+* **Refusal contract** — a single-worker server flooded with one
+  pipelined window of distinct queries under a tight shared deadline
+  must refuse the tail before running it (refusals > 0, admitted >= 1),
+  and no admitted query may overshoot the deadline by more than
+  ``SLACK_MS`` — the documented cooperative-checkpoint slack.
+
+The concurrent replay itself runs inside ``exp18_serving_tier`` (shared
+with ``tspg experiment --name exp18``); the tests here assert on its
+report rows so the whole suite costs one replay.
+
+Environment knobs (used by the CI smoke job to run on a tiny budget):
+
+* ``TSPG_EXP18_DATASET`` — dataset key (default ``D1``).
+* ``TSPG_EXP18_CLIENTS`` / ``TSPG_EXP18_REQUESTS`` — concurrent client
+  count and requests per client (defaults ``8`` / ``40``).
+* ``TSPG_EXP18_BURST`` — pipelined burst width (default ``8``).
+* ``TSPG_EXP18_WORKERS`` — server worker threads (default ``2``).
+* ``TSPG_EXP18_QUERIES`` — distinct queries in the replay mix
+  (default ``12``).
+* ``TSPG_EXP18_FLOOD`` — pipelined window size of the saturated leg
+  (default ``48``).
+* ``TSPG_EXP18_DEADLINE_MS`` — shared deadline of the saturated leg
+  (default ``0`` = auto: a quarter of the window's measured serial cost).
+* ``TSPG_EXP18_SLACK_MS`` — documented admission/checkpoint slack
+  (default ``250``).
+* ``TSPG_EXP18_MIN_QPS`` — sustained throughput floor (default ``150``;
+  ``0`` disables the assert).
+* ``TSPG_EXP18_MAX_P99_MS`` — client-observed p99 ceiling (default
+  ``400``; ``0`` disables).
+
+The aggregated series is written to ``results/exp18_serving_tier.txt``
+and the raw numbers to ``results/exp18_serving_tier.json`` (the artifact
+the CI job uploads next to the exp10–exp17 ones).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.bench.experiments import exp18_serving_tier
+
+#: Dataset served by every leg.
+DATASET = os.environ.get("TSPG_EXP18_DATASET", "D1")
+
+#: Concurrent replay clients and the per-client request count.
+NUM_CLIENTS = int(os.environ.get("TSPG_EXP18_CLIENTS", "8"))
+REQUESTS_PER_CLIENT = int(os.environ.get("TSPG_EXP18_REQUESTS", "40"))
+
+#: Pipelined burst width of the replay's burst phases.
+BURST = int(os.environ.get("TSPG_EXP18_BURST", "8"))
+
+#: Server worker threads for the sustained leg.
+WORKERS = int(os.environ.get("TSPG_EXP18_WORKERS", "2"))
+
+#: Distinct queries in the zipfian mix.
+NUM_QUERIES = int(os.environ.get("TSPG_EXP18_QUERIES", "12"))
+
+#: Saturated-leg pipelined window size.
+FLOOD = int(os.environ.get("TSPG_EXP18_FLOOD", "48"))
+
+#: Saturated-leg shared deadline (0 = auto from measured serial cost).
+DEADLINE_MS = float(os.environ.get("TSPG_EXP18_DEADLINE_MS", "0"))
+
+#: Documented admission/cooperative-checkpoint slack.
+SLACK_MS = float(os.environ.get("TSPG_EXP18_SLACK_MS", "250"))
+
+#: Acceptance floor for sustained aggregate throughput.
+MIN_QPS = float(os.environ.get("TSPG_EXP18_MIN_QPS", "150"))
+
+#: Acceptance ceiling for the client-observed p99 (milliseconds).
+MAX_P99_MS = float(os.environ.get("TSPG_EXP18_MAX_P99_MS", "400"))
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One replay for the whole module — every test asserts on its rows."""
+    return exp18_serving_tier(
+        dataset_key=DATASET,
+        num_queries=NUM_QUERIES,
+        num_clients=NUM_CLIENTS,
+        requests_per_client=REQUESTS_PER_CLIENT,
+        burst=BURST,
+        workers=WORKERS,
+        flood=FLOOD,
+        deadline_ms=DEADLINE_MS if DEADLINE_MS > 0 else None,
+        slack_ms=SLACK_MS,
+    )
+
+
+def _row(report, mode):
+    return next(row for row in report.rows if row["mode"] == mode)
+
+
+def test_exp18_sustained_qps_floor(report):
+    """Acceptance: the concurrent replay aggregates MIN_QPS responses/s."""
+    if MIN_QPS <= 0:
+        pytest.skip("TSPG_EXP18_MIN_QPS <= 0 disables the floor")
+    row = _row(report, "sustained")
+    assert row["responses"] == NUM_CLIENTS * REQUESTS_PER_CLIENT
+    assert row["qps"] >= MIN_QPS, (
+        f"serving tier sustained only {row['qps']:.0f} QPS over "
+        f"{row['responses']} responses from {row['clients']} clients "
+        f"(floor {MIN_QPS:.0f})"
+    )
+
+
+def test_exp18_p99_ceiling(report):
+    """Acceptance: client-observed p99 stays under MAX_P99_MS under the
+    refusal contract (no refusals, no errors in the sustained leg)."""
+    if MAX_P99_MS <= 0:
+        pytest.skip("TSPG_EXP18_MAX_P99_MS <= 0 disables the ceiling")
+    row = _row(report, "sustained")
+    assert row["errors"] == 0, f"sustained leg produced errors: {row}"
+    assert row["refused"] == 0, (
+        f"undeadlined sustained traffic was refused: {row}"
+    )
+    assert row["p99_ms"] <= MAX_P99_MS, (
+        f"client-observed p99 {row['p99_ms']:.1f}ms exceeds the "
+        f"{MAX_P99_MS:.0f}ms ceiling (p50 {row['p50_ms']:.1f}ms)"
+    )
+
+
+def test_exp18_registry_identity(report):
+    """Acceptance: every served answer — under load and per registered
+    algorithm — is bit-identical in wire format to its serial replay."""
+    sustained = _row(report, "sustained")
+    assert sustained["identical"], (
+        "an answer served under concurrent load diverged from its serial "
+        "replay"
+    )
+    registry = _row(report, "registry-identity")
+    assert registry["answers"] >= registry["algorithms"]
+    assert registry["identical"], (
+        f"a registered algorithm answered differently over the socket "
+        f"than serially ({registry['answers']} answers across "
+        f"{registry['algorithms']} algorithms)"
+    )
+
+
+def test_exp18_refusal_contract(report):
+    """Acceptance: the saturated leg refuses before work — some requests
+    refused, at least one admitted, and no admitted query overshooting
+    the deadline beyond the documented slack."""
+    row = _row(report, "saturated")
+    assert row["refused"] > 0, (
+        f"flooding {row['flood']} queries (serial cost "
+        f"{row['serial_ms']}ms) under a {row['deadline_ms']}ms deadline "
+        f"refused nothing — admission control never engaged"
+    )
+    assert row["admitted"] >= 1, f"the flood admitted nothing: {row}"
+    assert row["admitted_ok"], f"an admitted query errored: {row}"
+    assert not row["overshoot"], (
+        f"an admitted query took {row['max_admitted_ms']}ms against a "
+        f"{row['deadline_ms']}ms deadline + {row['slack_ms']}ms slack"
+    )
+
+
+def test_exp18_summary_table(report, save_report, results_dir):
+    """The full Exp-18 row set, plus the JSON artifact for CI."""
+    save_report("exp18_serving_tier", report, x_label="mode")
+    payload = {
+        "experiment": "exp18_serving_tier",
+        "dataset": DATASET,
+        "clients": NUM_CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "burst": BURST,
+        "workers": WORKERS,
+        "min_qps_required": MIN_QPS,
+        "max_p99_ms_allowed": MAX_P99_MS,
+        "slack_ms": SLACK_MS,
+        "rows": report.rows,
+        "notes": report.notes,
+    }
+    (results_dir / "exp18_serving_tier.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    assert len(report.rows) == 3, report.rows

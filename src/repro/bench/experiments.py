@@ -27,6 +27,7 @@ Function                  Paper artifact
 ``exp15_mmap_boot``       (new)     — mmap-backed v4 columnar boot vs eager boots
 ``exp16_query_residency`` (new)     — window-local layouts, extent-local mapping
 ``exp17_live_ingest``     (new)     — ingest-while-querying identity oracle
+``exp18_serving_tier``    (new)     — TCP serving tier under concurrent replay
 ========================  =======================================================
 
 All drivers take ``num_queries`` / dataset-key parameters so the pytest
@@ -45,7 +46,7 @@ import tempfile
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..algorithms import PAPER_ALGORITHMS, get_algorithm
+from ..algorithms import PAPER_ALGORITHMS, available_algorithms, get_algorithm
 from ..analysis.upper_bound_ratio import UPPER_BOUND_METHODS, upper_bound_ratios_for_workload
 from ..baselines.enumeration import EnumerationBudgetExceeded, tspg_by_enumeration
 from ..baselines.reductions import tg_tsg_reduction
@@ -67,7 +68,14 @@ from ..paths.counting import count_temporal_simple_paths_capped
 from ..queries.query import QueryWorkload
 from ..queries.runner import QueryRunner
 from ..queries.workload import generate_workload
-from ..service import ShardedTspgService, TspgService, WorkerPool
+from ..service import (
+    RequestCore,
+    ServerThread,
+    ShardedTspgService,
+    TspgClient,
+    TspgService,
+    WorkerPool,
+)
 from ..store import (
     SnapshotGraphStore,
     boot_snapshot,
@@ -2331,6 +2339,360 @@ def exp17_live_ingest(
     return report
 
 
+def _exp18_zipf_schedule(count, population, rng, s: float = 1.1) -> List[int]:
+    """``count`` query indices drawn from a zipf(s) repeat mix.
+
+    Rank 0 is the hottest query: real serving traffic repeats a few
+    queries far more often than the tail, which is exactly the shape the
+    result cache (and the fairness scheduler under bursty clients) must
+    be exercised with.
+    """
+    weights = [1.0 / float(rank + 1) ** s for rank in range(population)]
+    return rng.choices(range(population), weights=weights, k=count)
+
+
+def _exp18_wire_answer(graph, algorithm_key: str, query) -> Dict[str, object]:
+    """The exact JSON payload the server must put on the wire for ``query``.
+
+    Mirrors the server's ``include_edges`` contract: edges sorted by
+    ``(t, str(u), str(v))`` and emitted as 3-lists, so a JSON round-trip
+    of a served answer compares bit-identically against this reference.
+    """
+    outcome = get_algorithm(algorithm_key).run(
+        graph, query.source, query.target, query.interval
+    )
+    return {
+        "num_vertices": outcome.result.num_vertices,
+        "num_edges": outcome.result.num_edges,
+        "edges": [
+            [u, v, t]
+            for u, v, t in sorted(
+                outcome.result.edges,
+                key=lambda item: (item[2], str(item[0]), str(item[1])),
+            )
+        ],
+    }
+
+
+def _exp18_query_request(query, **extra) -> Dict[str, object]:
+    request = {
+        "source": query.source,
+        "target": query.target,
+        "begin": query.interval.begin,
+        "end": query.interval.end,
+    }
+    request.update(extra)
+    return request
+
+
+def _exp18_replay(
+    address,
+    requests: Sequence[dict],
+    *,
+    num_clients: int,
+    requests_per_client: int,
+    burst: int,
+    zipf_s: float,
+    seed: int,
+):
+    """Replay a zipfian mix of ``requests`` from ``num_clients`` sockets.
+
+    Each client alternates lockstep singles with pipelined bursts of
+    ``burst`` requests (the burst phases), and times every response from
+    the moment its phase hit the wire — the latency a real client would
+    observe, queue wait and head-of-line blocking included.  Returns
+    ``(records, wall_s)`` where each record is
+    ``(request_index, client_latency_ms, response)``.
+    """
+    import random
+    import threading
+
+    records: List[Tuple[int, float, dict]] = []
+    records_lock = threading.Lock()
+    failures: List[BaseException] = []
+    barrier = threading.Barrier(num_clients)
+
+    def _client(ordinal: int) -> None:
+        rng = random.Random(seed * 1009 + ordinal)
+        schedule = _exp18_zipf_schedule(
+            requests_per_client, len(requests), rng, zipf_s
+        )
+        client = TspgClient(address, timeout=120.0)
+        try:
+            barrier.wait(timeout=30)
+            position = 0
+            phase = 0
+            while position < len(schedule):
+                width = burst if (burst > 1 and phase % 2 == 1) else 1
+                chunk = schedule[position : position + width]
+                position += len(chunk)
+                phase += 1
+                started = time.perf_counter()
+                for index in chunk:
+                    client.send(requests[index])
+                for index in chunk:
+                    response = client.recv()
+                    latency = (time.perf_counter() - started) * 1000.0
+                    with records_lock:
+                        records.append((index, latency, response))
+            client.quit()
+        except BaseException as exc:  # surfaced after join
+            failures.append(exc)
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=_client, args=(ordinal,))
+        for ordinal in range(num_clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if failures:
+        raise failures[0]
+    return records, wall
+
+
+def _exp18_quantile_ms(latencies: Sequence[float], q: float) -> float:
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, max(0, int(q * len(ordered)) - (q >= 1.0)))
+    return ordered[index]
+
+
+def exp18_serving_tier(
+    dataset_key: str = "D1",
+    num_queries: int = 12,
+    num_clients: int = 8,
+    requests_per_client: int = 40,
+    burst: int = 8,
+    zipf_s: float = 1.1,
+    workers: int = 2,
+    registry_queries: int = 4,
+    flood: int = 48,
+    deadline_ms: Optional[float] = None,
+    slack_ms: float = 250.0,
+    seed: int = 7,
+) -> ExperimentReport:
+    """Exp-18: the TCP serving tier under concurrent traffic replay.
+
+    Three legs on one report, all against live sockets.  **Sustained
+    replay**: ``num_clients`` concurrent clients replay a zipfian repeat
+    mix over the workload, alternating lockstep singles with pipelined
+    bursts; every request carries ``include_edges`` so each served answer
+    is compared bit-for-bit (wire format included) against a serial
+    evaluation of the same query — while the leg records aggregate QPS
+    and client-observed p50/p99.  **Registry identity**: every registered
+    algorithm answers a query slice through the socket and must match its
+    own serial run exactly.  **Saturated refusal**: a fresh single-worker
+    server is flooded with one pipelined window of distinct queries whose
+    shared ``deadline_ms`` is a fraction of the window's measured serial
+    cost — admission control must refuse the tail *before* running it,
+    and no admitted query may overshoot the deadline by more than
+    ``slack_ms`` (the cooperative-checkpoint granularity).
+    """
+    import random
+
+    report = ExperimentReport(
+        experiment=f"Exp-18 (serving tier, {dataset_key})",
+        description=(
+            f"{num_clients} concurrent JSONL clients replaying zipf({zipf_s}) "
+            f"traffic with pipelined bursts of {burst} against a "
+            f"{workers}-worker TCP server, plus a registry-wide identity "
+            f"sweep and a saturated refuse-before-work leg"
+        ),
+    )
+    graph = _load(dataset_key)
+    graph.warm_indices()
+    queries = list(_workload(graph, dataset_key, num_queries, seed=seed))
+    requests = [
+        _exp18_query_request(query, include_edges=True) for query in queries
+    ]
+    references = [
+        _exp18_wire_answer(graph, "VUG", query) for query in queries
+    ]
+
+    def _matches(response: dict, reference: Dict[str, object]) -> bool:
+        return bool(
+            response.get("ok")
+            and not response.get("refused")
+            and response.get("num_vertices") == reference["num_vertices"]
+            and response.get("num_edges") == reference["num_edges"]
+            and response.get("edges") == reference["edges"]
+        )
+
+    # Leg 1: sustained concurrent replay with per-answer identity.
+    service = TspgService(graph, default_algorithm="VUG")
+    core = RequestCore(service, default_workers=workers)
+    with ServerThread(core, workers=workers) as harness:
+        records, wall = _exp18_replay(
+            harness.address,
+            requests,
+            num_clients=num_clients,
+            requests_per_client=requests_per_client,
+            burst=burst,
+            zipf_s=zipf_s,
+            seed=seed,
+        )
+        latencies = [latency for _, latency, _ in records]
+        refused = sum(
+            1 for _, _, response in records if response.get("refused")
+        )
+        errors = sum(
+            1 for _, _, response in records if not response.get("ok")
+        )
+        identical = all(
+            _matches(response, references[index])
+            for index, _, response in records
+        )
+        qps = len(records) / wall if wall > 0 else 0.0
+        p50 = _exp18_quantile_ms(latencies, 0.50)
+        p99 = _exp18_quantile_ms(latencies, 0.99)
+
+        # Leg 2: registry-wide identity through the same live server.
+        registry = available_algorithms()
+        sweep = queries[: max(1, registry_queries)]
+        registry_ok = True
+        registry_answers = 0
+        client = TspgClient(harness.address, timeout=120.0)
+        try:
+            for algorithm_key in registry:
+                for index, query in enumerate(sweep):
+                    response = client.request(
+                        {**requests[index], "algorithm": algorithm_key}
+                    )
+                    reference = _exp18_wire_answer(
+                        graph, algorithm_key, query
+                    )
+                    registry_answers += 1
+                    if not _matches(response, reference):
+                        registry_ok = False
+            server_stats = client.request({"op": "stats"})["server"]
+            client.quit()
+        finally:
+            client.close()
+
+    report.add_row(
+        mode="sustained",
+        clients=num_clients,
+        responses=len(records),
+        wall_s=round(wall, 3),
+        qps=round(qps, 1),
+        p50_ms=round(p50, 2),
+        p99_ms=round(p99, 2),
+        refused=refused,
+        errors=errors,
+        identical=identical,
+    )
+    report.add_point("qps", "sustained", round(qps, 1))
+    report.add_point("p99_ms", "sustained", round(p99, 2))
+    report.add_note(
+        f"sustained: {len(records)} responses from {num_clients} clients in "
+        f"{wall:.3f}s ({qps:.0f} QPS, client p50 {p50:.2f}ms / p99 "
+        f"{p99:.2f}ms; {refused} refusals, {errors} errors); every answer "
+        f"{'bit-identical to its serial replay' if identical else 'MISMATCHED the serial replay'}; "
+        f"server-side query p99 "
+        f"{server_stats['latency_ms'].get('query', {}).get('p99_ms', 'n/a')}ms "
+        f"over {server_stats['responses_sent']} responses sent"
+    )
+    report.add_row(
+        mode="registry-identity",
+        algorithms=len(registry),
+        answers=registry_answers,
+        identical=registry_ok,
+    )
+    report.add_note(
+        f"registry identity: {registry_answers} served answers across "
+        f"{len(registry)} registered algorithms "
+        f"({'all bit-identical to their serial runs' if registry_ok else 'MISMATCH'})"
+    )
+
+    # Leg 3: saturated refuse-before-work on a fresh single-worker server.
+    flood_queries = list(
+        _workload(graph, dataset_key, flood, seed=seed + 5)
+    )
+    serial_started = time.perf_counter()
+    algorithm = get_algorithm("VUG")
+    for query in flood_queries:
+        algorithm.run(graph, query.source, query.target, query.interval)
+    serial_ms = (time.perf_counter() - serial_started) * 1000.0
+    effective_deadline = (
+        float(deadline_ms)
+        if deadline_ms is not None
+        else max(2.0, 0.25 * serial_ms)
+    )
+    saturated_requests = [
+        _exp18_query_request(query, deadline_ms=effective_deadline)
+        for query in flood_queries
+    ]
+    saturated_service = TspgService(graph, default_algorithm="VUG")
+    saturated_core = RequestCore(saturated_service, default_workers=1)
+    saturated_records: List[Tuple[float, dict]] = []
+    with ServerThread(
+        saturated_core,
+        workers=1,
+        max_inflight=2 * flood,
+        max_pending_per_client=flood + 8,
+    ) as harness:
+        client = TspgClient(harness.address, timeout=120.0)
+        try:
+            started = time.perf_counter()
+            for request in saturated_requests:
+                client.send(request)
+            for _ in saturated_requests:
+                response = client.recv()
+                saturated_records.append(
+                    ((time.perf_counter() - started) * 1000.0, response)
+                )
+            client.quit()
+        finally:
+            client.close()
+    admitted = [
+        (latency, response)
+        for latency, response in saturated_records
+        if not response.get("refused")
+    ]
+    saturated_refused = len(saturated_records) - len(admitted)
+    max_admitted_ms = max(
+        (latency for latency, _ in admitted), default=0.0
+    )
+    max_response_ms = max(
+        (latency for latency, _ in saturated_records), default=0.0
+    )
+    overshoot = max_admitted_ms > effective_deadline + slack_ms
+    refusals_prompt = max_response_ms <= effective_deadline + slack_ms
+    admitted_ok = all(response.get("ok") for _, response in admitted)
+    report.add_row(
+        mode="saturated",
+        flood=flood,
+        serial_ms=round(serial_ms, 1),
+        deadline_ms=round(effective_deadline, 2),
+        slack_ms=slack_ms,
+        admitted=len(admitted),
+        refused=saturated_refused,
+        max_admitted_ms=round(max_admitted_ms, 2),
+        max_response_ms=round(max_response_ms, 2),
+        overshoot=overshoot,
+        admitted_ok=admitted_ok,
+    )
+    report.add_point("refused", "saturated", saturated_refused)
+    report.add_note(
+        f"saturated: {flood} pipelined distinct queries (serial cost "
+        f"{serial_ms:.1f}ms) against 1 worker under a shared "
+        f"{effective_deadline:.1f}ms deadline -> {len(admitted)} admitted, "
+        f"{saturated_refused} refused before work; slowest admitted answer "
+        f"{max_admitted_ms:.1f}ms, last refusal flushed by "
+        f"{max_response_ms:.1f}ms "
+        f"({'within' if refusals_prompt and not overshoot else 'OUTSIDE'} "
+        f"deadline + {slack_ms:.0f}ms slack)"
+    )
+    return report
+
+
 EXPERIMENTS = {
     "table1": table1_datasets,
     "exp1": exp1_response_time,
@@ -2352,4 +2714,5 @@ EXPERIMENTS = {
     "exp15": exp15_mmap_boot,
     "exp16": exp16_query_residency,
     "exp17": exp17_live_ingest,
+    "exp18": exp18_serving_tier,
 }

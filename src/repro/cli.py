@@ -7,8 +7,10 @@ main operations:
 * ``batch``       — serve many queries through the batch service (worker pool +
   cache), optionally booting from a snapshot (or a per-shard snapshot set),
   sharding by time range and/or fanning out over worker processes;
-* ``serve``       — long-lived stdin/JSONL request loop over a persistent
-  worker pool (boot once, answer batch after batch with warm workers);
+* ``serve``       — long-lived JSONL request loop over a persistent worker
+  pool (boot once, answer batch after batch with warm workers); stdio by
+  default, or an asyncio TCP front end with ``--listen HOST:PORT`` that
+  multiplexes many concurrent clients with admission control;
 * ``warm``        — build every index of a graph and save a binary snapshot
   (or, with ``--shards N``, a directory of per-shard snapshots + manifest);
   accepts the streaming ``synth-scale`` generator with size overrides;
@@ -16,7 +18,7 @@ main operations:
   touching any payload byte;
 * ``datasets``    — list the synthetic dataset analogues and their statistics
   (plus the ``synth-scale`` streaming generator's parameters, never loaded);
-* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp17);
+* ``experiment``  — run one of the paper's experiments (table1, exp1 … exp18);
 * ``case-study``  — reproduce the SFMTA transit case study (Fig. 13).
 
 ``batch`` and ``serve`` accept ``--mmap`` on their snapshot sources: the v4
@@ -30,6 +32,7 @@ releases cold pages so a long session's memory tracks its working set.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import sys
@@ -38,7 +41,6 @@ from typing import List, Optional, Sequence, TextIO
 
 from .algorithms import available_algorithms, get_algorithm, supports_kernel_backend
 from .core.kernels import KERNEL_BACKENDS
-from .core.deadline import Deadline
 from .bench import experiments as bench_experiments
 from .bench.reporting import render_table
 from .datasets.registry import SYNTH_SCALE, SYNTH_SCALE_KEY, dataset_keys, get_dataset
@@ -49,12 +51,17 @@ from .core.vug import generate_tspg_report
 from .queries.query import TspgQuery
 from .queries.workload import generate_workload
 from .service import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_MAX_LINE_BYTES,
+    DEFAULT_MAX_PENDING_PER_CLIENT,
     EXECUTOR_BACKENDS,
+    RequestCore,
     ShardedTspgService,
+    TspgServer,
     TspgService,
     WorkerPool,
-    WorkerPoolError,
 )
+from .service.server import coerce_vertex as _coerce_vertex
 from .store import (
     SnapshotError,
     SnapshotGraphStore,
@@ -158,17 +165,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve",
-        help="long-lived JSONL request loop over a persistent worker pool",
+        help="long-lived JSONL request loop (stdio, or TCP with --listen)",
         description=(
-            "Boot a service once, then answer one JSON request per stdin "
-            "line until EOF. Requests: "
+            "Boot a service once, then answer one JSON request per line "
+            "until EOF or quit. Default transport is stdio (one client); "
+            "--listen HOST:PORT serves the same protocol over TCP to many "
+            "concurrent clients with admission control. Requests: "
             '{"source": S, "target": T, "begin": B, "end": E, '
-            '"algorithm"?, "deadline_ms"?} for one query; '
+            '"algorithm"?, "deadline_ms"?, "include_edges"?} for one query; '
             '{"queries": [[S, T, B, E], ...], "algorithm"?, "budget_ms"?, '
             '"workers"?} for a batch; {"op": "ingest", "edges": '
             '[[U, V, T], ...]} to append edges live (journaled next to a '
             'snapshot boot); {"op": "stats"} for counters; '
-            '{"op": "quit"} to stop. One JSON response per line on stdout.'
+            '{"op": "quit"} to stop (acknowledged). One JSON response per '
+            "line on stdout (or the socket)."
         ),
     )
     serve_source = serve.add_mutually_exclusive_group(required=True)
@@ -229,6 +239,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--input", default=None,
         help="read requests from this file instead of stdin (scripting/tests)",
+    )
+    serve.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the JSONL protocol over TCP instead of stdio: many "
+        "concurrent clients multiplex onto the one booted service with "
+        "admission control (arrival-stamped deadlines, refuse-before-work, "
+        "per-client fairness); port 0 picks a free port, printed on stderr",
+    )
+    serve.add_argument(
+        "--stdio", action="store_true",
+        help="explicit stdio transport (the default; conflicts with --listen)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=DEFAULT_MAX_INFLIGHT,
+        help="with --listen: refuse new requests (ok:false, retryable) once "
+        "this many are queued or running across all clients",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=DEFAULT_MAX_PENDING_PER_CLIENT,
+        help="with --listen: per-client pending-request bound; a client "
+        "that outruns the server stalls its own TCP reads (backpressure) "
+        "instead of growing a queue",
+    )
+    serve.add_argument(
+        "--max-line-bytes", type=int, default=DEFAULT_MAX_LINE_BYTES,
+        help="with --listen: oversized request lines answer ok:false and "
+        "close that connection instead of buffering without bound",
+    )
+    serve.add_argument(
+        "--admission-margin-ms", type=float, default=0.0,
+        help="with --listen: refuse a deadline-carrying request unless at "
+        "least this much of its budget is still left at admission time",
     )
 
     warm = sub.add_parser(
@@ -320,17 +362,6 @@ def _command_query(args: argparse.Namespace) -> int:
         for u, v, t in sorted(result.edges, key=lambda edge: edge[2]):
             print(f"  {u} -> {v} @ {t}")
     return 0
-
-
-def _coerce_vertex(label: str, graph) -> object:
-    """Interpret a CLI vertex label as int when the graph uses integer ids."""
-    if graph.has_vertex(label):
-        return label
-    try:
-        as_int = int(label)
-    except ValueError:
-        return label
-    return as_int if graph.has_vertex(as_int) else label
 
 
 def _load_batch_queries(args: argparse.Namespace, graph) -> List[TspgQuery]:
@@ -574,140 +605,77 @@ def _serve_service(args: argparse.Namespace, pool: Optional[WorkerPool]):
     return service, source
 
 
-def _serve_parse_query(request: dict, graph) -> TspgQuery:
-    """Decode one query request; ``graph`` only needs ``has_vertex``.
-
-    The serve loop passes the *service* here, not ``service.graph``: on a
-    snapshot-booted sharded router the ``graph`` accessor would
-    materialise the full-graph union just to coerce a vertex label, which
-    ``ShardedTspgService.has_vertex`` answers union-free.
-    """
-    missing = [key for key in ("source", "target", "begin", "end") if key not in request]
-    if missing:
-        raise ValueError(f"query request is missing {', '.join(missing)}")
-    return TspgQuery(
-        _coerce_vertex(str(request["source"]), graph),
-        _coerce_vertex(str(request["target"]), graph),
-        (int(request["begin"]), int(request["end"])),
-    )
+def _parse_listen(value: str) -> tuple:
+    """Split ``--listen HOST:PORT`` (host defaults to loopback)."""
+    host, sep, port = value.rpartition(":")
+    if not sep:
+        raise SystemExit("--listen expects HOST:PORT (e.g. 127.0.0.1:7401 or :0)")
+    try:
+        port_number = int(port)
+    except ValueError:
+        raise SystemExit(f"--listen port must be an integer, got {port!r}") from None
+    return host or "127.0.0.1", port_number
 
 
-def _serve_handle(request: dict, service, args, pool: Optional[WorkerPool]) -> dict:
-    """Answer one decoded JSONL request (see the ``serve`` parser help)."""
-    operation = request.get("op")
-    if operation is None:
-        operation = "batch" if "queries" in request else "query"
-    algorithm = request.get("algorithm")
-    if algorithm is not None and algorithm not in available_algorithms():
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; available: "
-            f"{', '.join(available_algorithms())}"
+def _serve_listen(args: argparse.Namespace, core: RequestCore, source: str) -> int:
+    """The TCP transport: one event loop, many clients, one booted core."""
+    host, port = _parse_listen(args.listen)
+
+    async def _main() -> None:
+        server = TspgServer(
+            core,
+            host,
+            port,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            max_pending_per_client=args.max_pending,
+            max_line_bytes=args.max_line_bytes,
+            admission_margin_ms=args.admission_margin_ms,
         )
-    if operation == "stats":
-        stats = service.cache_stats()
-        response = {
-            "ok": True,
-            "op": "stats",
-            "cache": {
-                "hits": stats.hits,
-                "misses": stats.misses,
-                "evictions": stats.evictions,
-                "size": stats.size,
-            },
-            "index": dict(service.index_stats),
-        }
-        residency = service.residency_stats()
-        if residency is not None:
-            response["residency"] = residency
-        if pool is not None:
-            response["pool"] = pool.stats()
-        return response
-    if operation == "query":
-        query = _serve_parse_query(request, service)
-        deadline = None
-        if request.get("deadline_ms") is not None:
-            deadline = Deadline.after(float(request["deadline_ms"]) / 1000.0)
-        outcome = service.submit(query, algorithm, deadline=deadline)
-        return {
-            "ok": True,
-            "op": "query",
-            "algorithm": outcome.algorithm,
-            "num_vertices": outcome.result.num_vertices,
-            "num_edges": outcome.result.num_edges,
-            "elapsed_ms": round(outcome.elapsed_seconds * 1000.0, 3),
-            "timed_out": outcome.timed_out,
-            "cache_hit": bool(outcome.extras.get("cache_hit")),
-        }
-    if operation == "batch":
-        raw = request.get("queries")
-        if not isinstance(raw, list) or not raw:
-            raise ValueError("batch request needs a non-empty 'queries' list")
-        queries = []
-        for entry in raw:
-            if isinstance(entry, dict):
-                queries.append(_serve_parse_query(entry, service))
-            else:
-                if len(entry) != 4:
-                    raise ValueError(
-                        "each batch query must be [source, target, begin, end]"
-                    )
-                queries.append(
-                    _serve_parse_query(
-                        dict(zip(("source", "target", "begin", "end"), entry)),
-                        service,
-                    )
-                )
-        budget = args.budget
-        if request.get("budget_ms") is not None:
-            budget = float(request["budget_ms"]) / 1000.0
-        workers = int(request.get("workers", args.workers))
-        report = service.run_batch(
-            queries,
-            algorithm,
-            max_workers=workers,
-            time_budget_seconds=budget,
-            executor=args.executor,
+        await server.start()
+        bound_host, bound_port = server.address
+        print(
+            f"listening on {bound_host}:{bound_port} — serving {source} "
+            f"(algorithm {args.algorithm}, {args.workers} workers, "
+            f"max-inflight {args.max_inflight}); one JSON request per "
+            "line per connection, Ctrl-C stops",
+            file=sys.stderr,
+            flush=True,
         )
-        row = report.as_row()
-        row["num_timed_out"] = report.num_timed_out
-        return {"ok": True, "op": "batch", **row}
-    if operation == "ingest":
-        raw = request.get("edges")
-        if not isinstance(raw, list) or not raw:
-            raise ValueError("ingest request needs a non-empty 'edges' list")
-        edges = []
-        for entry in raw:
-            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
-                raise ValueError(
-                    "each ingested edge must be [source, target, timestamp]"
-                )
-            source, target, timestamp = entry
-            if isinstance(source, str):
-                source = _coerce_vertex(source, service)
-            if isinstance(target, str):
-                target = _coerce_vertex(target, service)
-            edges.append((source, target, int(timestamp)))
-        delta = service.ingest(edges)
-        return {
-            "ok": True,
-            "op": "ingest",
-            "appended": delta.num_rows,
-            "epoch": delta.new_epoch,
-            "append_only": bool(delta.append_only),
-            "new_vertices": [str(vertex) for vertex in delta.new_vertices],
-        }
-    raise ValueError(
-        f"unknown op {operation!r} (expected query, batch, ingest, stats or quit)"
-    )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.aclose()
+            stats = core.stats
+            print(
+                f"served {stats.responses_sent} responses to "
+                f"{stats.connections_opened} connections from {source} "
+                f"({stats.refusals} refusals, "
+                f"{stats.protocol_errors} protocol errors)",
+                file=sys.stderr,
+            )
+            if args.residency:
+                _print_residency_line(core.service, file=sys.stderr)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _command_serve(args: argparse.Namespace, stdin: Optional[TextIO] = None) -> int:
     """The persistent serving loop: boot once, answer JSONL until EOF.
 
-    Responses go to stdout (one JSON object per line, always with an
-    ``ok`` flag); the human-facing banner goes to stderr so stdout stays
-    machine-parseable.  A malformed request answers ``ok: false`` and the
-    loop continues — only EOF or ``{"op": "quit"}`` ends the session.
+    Both transports drive one :class:`~repro.service.server.RequestCore`
+    over the booted service.  On stdio (the default, single-client case)
+    responses go to stdout — one JSON object per line, always with an
+    ``ok`` flag — and the human-facing banner goes to stderr so stdout
+    stays machine-parseable.  A malformed request answers ``ok: false``
+    and the loop continues; blank lines and ``#`` comments answer
+    nothing; only EOF or ``{"op": "quit"}`` (acknowledged) ends the
+    session.  With ``--listen`` the same protocol is served over TCP to
+    many concurrent clients (see :class:`~repro.service.TspgServer`).
     """
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
@@ -719,6 +687,14 @@ def _command_serve(args: argparse.Namespace, stdin: Optional[TextIO] = None) -> 
         raise SystemExit("--evict-every must be non-negative")
     if args.evict_every and not args.residency:
         raise SystemExit("--evict-every requires --residency")
+    if args.listen and args.stdio:
+        raise SystemExit("--listen and --stdio are mutually exclusive")
+    if args.listen and args.input:
+        raise SystemExit("--input reads stdio requests; it conflicts with --listen")
+    if args.max_inflight < 1:
+        raise SystemExit("--max-inflight must be at least 1")
+    if args.max_pending < 1:
+        raise SystemExit("--max-pending must be at least 1")
     pool = WorkerPool(max_workers=args.workers) if args.executor == "processes" else None
     opened = None
     try:
@@ -732,6 +708,16 @@ def _command_serve(args: argparse.Namespace, stdin: Optional[TextIO] = None) -> 
                 + "; ".join(service.mmap_fallback_reasons()),
                 file=sys.stderr,
             )
+        core = RequestCore(
+            service,
+            pool=pool,
+            default_workers=args.workers,
+            default_executor=args.executor,
+            default_budget_seconds=args.budget,
+            evict_every=args.evict_every,
+        )
+        if args.listen:
+            return _serve_listen(args, core, source)
         reasons = (
             service.process_fallback_reasons(max_workers=args.workers)
             if args.executor == "processes"
@@ -756,40 +742,13 @@ def _command_serve(args: argparse.Namespace, stdin: Optional[TextIO] = None) -> 
                 stdin = sys.stdin
         served = 0
         for line in stdin:
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            try:
-                request = json.loads(line)
-                if not isinstance(request, dict):
-                    raise ValueError("request must be a JSON object")
-            except ValueError as exc:
-                print(json.dumps({"ok": False, "error": str(exc)}), flush=True)
-                continue
-            if request.get("op") == "quit":
+            response, session_over = core.handle_line(line)
+            if response is not None:
+                print(json.dumps(response), flush=True)
+                if response.get("op") != "quit":
+                    served += 1
+            if session_over:
                 break
-            try:
-                response = _serve_handle(request, service, args, pool)
-            except WorkerPoolError as exc:
-                # A worker died mid-batch.  The pool has already discarded
-                # its broken worker set and will fork a fresh one on the
-                # next batch — the session must survive to serve it.
-                response = {"ok": False, "error": str(exc), "retryable": True}
-            except SnapshotError as exc:
-                # A worker failed to boot (snapshot deleted/rewritten
-                # under a live session).  Only EOF or quit may end the
-                # session; the operator decides whether to re-warm.
-                response = {"ok": False, "error": str(exc)}
-            except (KeyError, TypeError, ValueError) as exc:
-                response = {"ok": False, "error": str(exc)}
-            print(json.dumps(response), flush=True)
-            served += 1
-            if args.evict_every and served % args.evict_every == 0:
-                # Periodic DONTNEED keeps a long session's resident set
-                # proportional to its recent working set; dropped pages
-                # re-fault from the snapshot file, so this trades a little
-                # tail latency for bounded memory.
-                service.evict_cold_pages()
         print(f"served {served} requests from {source}", file=sys.stderr)
         if args.residency:
             _print_residency_line(service, file=sys.stderr)
@@ -938,7 +897,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         )
     elif name in {"exp12", "exp13"}:
         report = driver(args.dataset, num_queries=args.queries, workers=args.workers)
-    elif name in {"exp10", "exp11", "exp14", "exp15", "exp16", "exp17"}:
+    elif name in {"exp10", "exp11", "exp14", "exp15", "exp16", "exp17", "exp18"}:
         report = driver(args.dataset, num_queries=args.queries)
     else:
         report = driver(keys=args.datasets, num_queries=args.queries)
@@ -946,7 +905,7 @@ def _command_experiment(args: argparse.Namespace) -> int:
         x_label = "theta"
     elif name in {
         "exp9", "exp10", "exp11", "exp12", "exp13", "exp14", "exp15", "exp16",
-        "exp17",
+        "exp17", "exp18",
     }:
         x_label = "mode"
     else:

@@ -58,6 +58,17 @@ from .service import (
     BatchReport,
     TspgService,
 )
+from .server import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_MAX_LINE_BYTES,
+    DEFAULT_MAX_PENDING_PER_CLIENT,
+    LatencyHistogram,
+    RequestCore,
+    ServerStats,
+    ServerThread,
+    TspgClient,
+    TspgServer,
+)
 from .sharding import (
     FALLBACK_SHARD,
     ShardedBatchReport,
@@ -82,4 +93,13 @@ __all__ = [
     "ShardSpec",
     "FALLBACK_SHARD",
     "partition_time_range",
+    "RequestCore",
+    "ServerStats",
+    "ServerThread",
+    "LatencyHistogram",
+    "TspgClient",
+    "TspgServer",
+    "DEFAULT_MAX_INFLIGHT",
+    "DEFAULT_MAX_LINE_BYTES",
+    "DEFAULT_MAX_PENDING_PER_CLIENT",
 ]

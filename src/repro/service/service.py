@@ -607,6 +607,17 @@ class TspgService:
         return self._graph.has_vertex(vertex)
 
     @property
+    def epoch(self) -> int:
+        """Mutation epoch of the served graph.
+
+        Part of the uniform flat/sharded surface: the serving tier stamps
+        this onto every query response (``epoch_before`` /
+        ``epoch_after``) so network clients can replay answers against a
+        serial oracle while ingest runs concurrently.
+        """
+        return self._graph.epoch
+
+    @property
     def default_algorithm(self) -> str:
         """Name of the algorithm used when none is given."""
         return self._default_algorithm

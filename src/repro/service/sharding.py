@@ -936,6 +936,19 @@ class ShardedTspgService:
         )
 
     @property
+    def epoch(self) -> int:
+        """Mutation epoch of the routed graph (union-free).
+
+        Mirrors :attr:`TspgService.epoch` so the serving tier can stamp
+        ``epoch_before`` / ``epoch_after`` onto responses without
+        materialising a snapshot-booted router's full-graph union — the
+        topology already carries the epoch its shards were built at.
+        """
+        if self._graph is not None:
+            return self._graph.epoch
+        return self._current_topology().epoch
+
+    @property
     def num_shards(self) -> int:
         """Number of shard partitions currently built."""
         return len(self._current_topology().shards)

@@ -346,11 +346,60 @@ class TestServeCommand:
         assert "unknown algorithm" in responses[4]["error"]
 
     def test_quit_ends_the_session_early(self, tmp_path, capsys):
+        # quit is acknowledged (so shutdown is observable, symmetric with
+        # every other op) and everything after it goes unanswered.
         responses = self._run(tmp_path, [
             '{"op": "quit"}',
             '{"source": "s", "target": "t", "begin": 2, "end": 7}',
         ], capsys=capsys)
-        assert responses == []
+        assert responses == [{"ok": True, "op": "quit"}]
+
+    def test_blank_lines_and_comments_answer_nothing(self, tmp_path, capsys):
+        # Keystroke artifacts of an interactive session are not requests:
+        # no error response per blank line, and the loop keeps serving.
+        responses = self._run(tmp_path, [
+            "",
+            "   ",
+            "# a comment, not a request",
+            '{"source": "s", "target": "t", "begin": 2, "end": 7}',
+        ], capsys=capsys)
+        assert len(responses) == 1
+        assert responses[0]["ok"] is True and responses[0]["op"] == "query"
+
+    def test_eof_and_quit_shutdown_paths_are_symmetric(self, tmp_path, capsys):
+        # Same requests, one session ended by quit and one by EOF: both
+        # answer every request, print the same served-count summary, and
+        # differ only by the quit ack itself.
+        edge_list = self._edge_list(tmp_path)
+        outputs = {}
+        for name, requests in (
+            ("eof", ['{"source": "s", "target": "t", "begin": 2, "end": 7}']),
+            ("quit", ['{"source": "s", "target": "t", "begin": 2, "end": 7}',
+                      '{"op": "quit"}']),
+        ):
+            script = tmp_path / f"{name}.jsonl"
+            script.write_text("\n".join(requests) + "\n", encoding="utf-8")
+            assert main([
+                "serve", "--edge-list", str(edge_list),
+                "--executor", "threads", "--input", str(script),
+            ]) == 0
+            captured = capsys.readouterr()
+            outputs[name] = (
+                [json.loads(line) for line in captured.out.splitlines() if line.strip()],
+                captured.err,
+            )
+        eof_responses, eof_err = outputs["eof"]
+        quit_responses, quit_err = outputs["quit"]
+
+        def stable(response):
+            return {k: v for k, v in response.items() if k != "elapsed_ms"}
+
+        assert [stable(r) for r in quit_responses[:-1]] == [
+            stable(r) for r in eof_responses
+        ]
+        assert quit_responses[-1] == {"ok": True, "op": "quit"}
+        assert "served 1 requests" in eof_err
+        assert "served 1 requests" in quit_err
 
     def test_serve_over_a_persistent_pool(self, tmp_path, capsys):
         edge_list = self._edge_list(tmp_path)

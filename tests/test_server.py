@@ -1,0 +1,550 @@
+"""The TCP serving tier: protocol conformance, admission control, concurrency.
+
+Three layers of coverage, all over a *real* socket (no transport mocks):
+
+* **Protocol conformance** — framing edge cases (split/partial lines,
+  oversized payloads, malformed JSON, unknown ops, mid-request
+  disconnects, blank lines) each answer ``ok: false`` or close cleanly,
+  and never kill the accept loop or leak the connection.
+* **Admission control** — refuse-before-work on arrival-stamped
+  deadlines, prompt refusals while the pool is saturated, the global
+  in-flight bound, and round-robin fairness across clients.
+* **Concurrency stress** — concurrent query clients race a writer client
+  issuing ``ingest`` ops; every answer must be bit-identical to a serial
+  replay of the ingest sequence at some epoch inside the answer's stamped
+  ``[epoch_before, epoch_after]`` range (the exp17 oracle, across the
+  network boundary).
+"""
+
+import asyncio
+import json
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.datasets.registry import get_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.queries.workload import generate_workload
+from repro.service import (
+    RequestCore,
+    ServerThread,
+    TspgClient,
+    TspgService,
+)
+from repro.service.server import (
+    LatencyHistogram,
+    _FairScheduler,
+    parse_request_line,
+)
+
+
+def small_graph() -> TemporalGraph:
+    return TemporalGraph(
+        edges=[("s", "b", 2), ("b", "t", 6), ("b", "c", 3), ("c", "t", 7),
+               ("s", "c", 4), ("c", "b", 5)]
+    )
+
+
+def boot(service=None, **server_kwargs) -> ServerThread:
+    """A running server over ``service`` (defaults to the small graph)."""
+    if service is None:
+        service = TspgService(small_graph())
+    core = RequestCore(service, default_workers=2)
+    server_kwargs.setdefault("workers", 2)
+    return ServerThread(core, **server_kwargs)
+
+
+class SlowService(TspgService):
+    """A service whose every submit takes at least ``delay`` seconds.
+
+    Saturation on demand: with ``workers=1`` one in-flight query occupies
+    the whole pool for a predictable window, which is what the admission
+    and fairness tests need.
+    """
+
+    def __init__(self, graph, delay: float, **kwargs) -> None:
+        super().__init__(graph, **kwargs)
+        self._delay = delay
+
+    def submit(self, query, algorithm=None, **kwargs):
+        time.sleep(self._delay)
+        return super().submit(query, algorithm, **kwargs)
+
+
+QUERY = {"source": "s", "target": "t", "begin": 2, "end": 7}
+
+
+# ----------------------------------------------------------------------
+# protocol conformance
+# ----------------------------------------------------------------------
+
+
+class TestProtocolConformance:
+    def test_lockstep_round_trip_all_ops(self):
+        with boot() as st:
+            with TspgClient(st.address) as client:
+                query = client.request(dict(QUERY))
+                assert query["ok"] and query["op"] == "query"
+                assert query["num_edges"] > 0
+                assert query["epoch_before"] == query["epoch_after"]
+                batch = client.request({"queries": [["s", "t", 2, 7], ["b", "t", 3, 7]]})
+                assert batch["ok"] and batch["op"] == "batch"
+                ingest = client.request({"op": "ingest", "edges": [["s", "z", 9]]})
+                assert ingest["ok"] and ingest["appended"] == 1
+                stats = client.request({"op": "stats"})
+                assert stats["ok"] and stats["server"]["connections_active"] == 1
+                assert client.quit() == {"ok": True, "op": "quit"}
+
+    def test_request_split_across_many_writes(self):
+        # A request arriving byte-dribbled over several TCP segments is
+        # still one protocol line.
+        with boot() as st:
+            with TspgClient(st.address) as client:
+                payload = (json.dumps(QUERY) + "\n").encode("utf-8")
+                middle = len(payload) // 2
+                client.send_raw(payload[:middle])
+                time.sleep(0.05)
+                client.send_raw(payload[middle:])
+                response = client.recv()
+                assert response["ok"] and response["num_edges"] > 0
+
+    def test_two_requests_in_one_write(self):
+        with boot() as st:
+            with TspgClient(st.address) as client:
+                line = json.dumps(QUERY) + "\n"
+                client.send_raw((line + line).encode("utf-8"))
+                first, second = client.recv(), client.recv()
+                assert first["ok"] and second["ok"]
+                assert second["cache_hit"] is True
+
+    def test_malformed_requests_answer_ok_false_and_loop_survives(self):
+        with boot() as st:
+            with TspgClient(st.address) as client:
+                for bad in (
+                    b"definitely not json\n",
+                    b"[1, 2, 3]\n",            # JSON, but not an object
+                    b'{"op": "unknown-op"}\n',
+                    b'{"source": "s", "target": "t"}\n',
+                    b'{"queries": [], "op": "batch"}\n',
+                    b"\xff\xfe\n",              # not UTF-8
+                ):
+                    client.send_raw(bad)
+                    response = client.recv()
+                    assert response["ok"] is False
+                    assert response.get("error")
+                # The session is still alive and serving.
+                assert client.request(dict(QUERY))["ok"] is True
+                stats = client.request({"op": "stats"})
+                # Unparseable lines count as protocol errors; well-formed
+                # lines with bad request content (unknown op, missing
+                # fields, empty batch) answer ok:false without being
+                # framing errors.
+                assert stats["server"]["protocol_errors"] == 3
+
+    def test_blank_lines_and_comments_answer_nothing(self):
+        with boot() as st:
+            with TspgClient(st.address) as client:
+                client.send_raw(b"\n   \n# just a comment\n")
+                client.send(dict(QUERY))
+                response = client.recv()  # the only response on the wire
+                assert response["ok"] is True and response["op"] == "query"
+
+    def test_oversized_line_answers_error_and_closes_cleanly(self):
+        with boot(max_line_bytes=512) as st:
+            with TspgClient(st.address) as client:
+                client.send_raw(b'{"source": "' + b"x" * 2048 + b'"}\n')
+                response = client.recv()
+                assert response["ok"] is False
+                assert "512" in response["error"]
+                with pytest.raises(ConnectionError):
+                    client.recv()
+            # The refusal is per-connection: the server still accepts.
+            with TspgClient(st.address) as client:
+                assert client.request(dict(QUERY))["ok"] is True
+
+    def test_mid_request_disconnect_does_not_kill_the_server(self):
+        with boot() as st:
+            client = TspgClient(st.address)
+            client.send_raw(b'{"source": "s", "ta')  # torn frame, no newline
+            client.close()
+            deadline = time.monotonic() + 5
+            with TspgClient(st.address) as second:
+                assert second.request(dict(QUERY))["ok"] is True
+                while time.monotonic() < deadline:
+                    stats = second.request({"op": "stats"})["server"]
+                    if stats["connections_active"] == 1:
+                        break
+                    time.sleep(0.02)
+                # The torn connection was reaped, not leaked, and the torn
+                # fragment produced no response at all.
+                assert stats["connections_active"] == 1
+                assert stats["connections_opened"] == 2
+
+    def test_quit_ack_follows_pipelined_responses_in_order(self):
+        with boot() as st:
+            with TspgClient(st.address) as client:
+                responses = client.request_pipelined(
+                    [dict(QUERY), {"queries": [["s", "t", 2, 7]]}, {"op": "quit"}]
+                )
+                assert [r["op"] for r in responses] == ["query", "batch", "quit"]
+                assert all(r["ok"] for r in responses)
+                with pytest.raises(ConnectionError):
+                    client.recv()  # the server closed after the ack
+
+    def test_eof_without_quit_closes_cleanly(self):
+        with boot() as st:
+            client = TspgClient(st.address)
+            assert client.request(dict(QUERY))["ok"] is True
+            client.close()
+            with TspgClient(st.address) as second:
+                deadline = time.monotonic() + 5
+                while time.monotonic() < deadline:
+                    stats = second.request({"op": "stats"})["server"]
+                    if stats["connections_active"] == 1:
+                        break
+                    time.sleep(0.02)
+                assert stats["connections_active"] == 1
+
+    def test_stats_surface_shapes(self):
+        with boot() as st:
+            with TspgClient(st.address) as client:
+                client.request(dict(QUERY))
+                stats = client.request({"op": "stats"})
+                assert stats["cache"]["misses"] >= 1
+                assert stats["index"]
+                assert stats["epoch"] >= 0
+                server = stats["server"]
+                for key in (
+                    "connections_opened", "connections_active",
+                    "requests_admitted", "responses_sent", "refused_deadline",
+                    "refused_overload", "protocol_errors", "queue_depth",
+                    "inflight", "latency_ms",
+                ):
+                    assert key in server
+                histogram = server["latency_ms"]["query"]
+                assert histogram["count"] == 1
+                assert histogram["p99_ms"] >= 0
+
+
+# ----------------------------------------------------------------------
+# admission control
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionControl:
+    def test_expired_deadline_is_refused_before_any_work(self):
+        with boot() as st:
+            with TspgClient(st.address) as client:
+                response = client.request(dict(QUERY, deadline_ms=-1))
+                assert response["ok"] is True
+                assert response["refused"] is True
+                assert response["timed_out"] is True
+                assert response["num_edges"] == 0
+                stats = client.request({"op": "stats"})
+                # Refuse-before-work: the service never saw the query (no
+                # cache traffic) and no query op was admitted.
+                assert stats["server"]["refused_deadline"] == 1
+                assert "query" not in stats["server"]["latency_ms"]
+                assert stats["cache"]["misses"] == 0
+
+    def test_deadline_expiring_in_queue_is_refused_promptly(self):
+        service = SlowService(small_graph(), delay=0.4, cache_size=0)
+        with boot(service, workers=1) as st:
+            with TspgClient(st.address) as occupant, TspgClient(st.address) as victim:
+                occupant.send(dict(QUERY))  # occupies the only worker
+                time.sleep(0.1)
+                started = time.monotonic()
+                response = victim.request(dict(QUERY, deadline_ms=50))
+                elapsed = time.monotonic() - started
+                assert response["refused"] is True and response["timed_out"] is True
+                # Refused at deadline expiry (~50ms), not when the worker
+                # freed up (~300ms later).
+                assert elapsed < 0.3
+                assert occupant.recv()["ok"] is True
+
+    def test_overload_refusals_at_the_inflight_bound(self):
+        service = SlowService(small_graph(), delay=0.2, cache_size=0)
+        with boot(service, workers=1, max_inflight=2) as st:
+            with TspgClient(st.address) as client:
+                responses = client.request_pipelined([dict(QUERY)] * 6)
+                served = [r for r in responses if r["ok"]]
+                refused = [r for r in responses if not r["ok"]]
+                assert len(served) == 2
+                assert len(refused) == 4
+                for response in refused:
+                    assert response["refused"] is True
+                    assert response["retryable"] is True
+                    assert "overloaded" in response["error"]
+                # Load shed, session alive: the next request is served.
+                assert client.request(dict(QUERY))["ok"] is True
+                stats = client.request({"op": "stats"})
+                assert stats["server"]["refused_overload"] == 4
+
+    def test_fair_scheduler_rotates_across_sessions(self):
+        # One firehose session queueing three waiters, one polite session
+        # queueing three: grants must alternate x, y, x, y, ... — never
+        # drain x's backlog first.
+        async def main():
+            scheduler = _FairScheduler(1)
+            await scheduler.acquire("head")  # take the only permit
+            order = []
+
+            async def waiter(key, index):
+                await scheduler.acquire(key)
+                order.append((key, index))
+                scheduler.release()
+
+            tasks = [asyncio.create_task(waiter("x", i)) for i in range(3)]
+            await asyncio.sleep(0)  # let all of x queue first
+            tasks += [asyncio.create_task(waiter("y", i)) for i in range(3)]
+            await asyncio.sleep(0.02)
+            scheduler.release()
+            await asyncio.gather(*tasks)
+            return order
+
+        order = asyncio.run(main())
+        assert order == [
+            ("x", 0), ("y", 0), ("x", 1), ("y", 1), ("x", 2), ("y", 2),
+        ]
+
+    def test_fair_scheduler_releases_slot_granted_to_cancelled_waiter(self):
+        async def main():
+            scheduler = _FairScheduler(1)
+            await scheduler.acquire("a")
+            waiter = asyncio.create_task(scheduler.acquire("b"))
+            await asyncio.sleep(0)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            scheduler.release()
+            # The cancelled waiter must not have swallowed the permit.
+            await asyncio.wait_for(scheduler.acquire("c"), timeout=1)
+
+        asyncio.run(main())
+
+    def test_firehose_client_cannot_starve_a_polite_one(self):
+        service = SlowService(small_graph(), delay=0.05, cache_size=0)
+        with boot(service, workers=1) as st:
+            with TspgClient(st.address) as firehose, TspgClient(st.address) as polite:
+                firehose.send_raw(
+                    b"".join([(json.dumps(QUERY) + "\n").encode()] * 8)
+                )
+                time.sleep(0.06)  # firehose backlog is in place
+                started = time.monotonic()
+                assert polite.request(dict(QUERY))["ok"] is True
+                polite_wait = time.monotonic() - started
+                # Round-robin: the polite client waits out at most the
+                # running request plus its own turn, not the 8-deep
+                # firehose backlog (~0.4s).
+                assert polite_wait < 0.25
+                for _ in range(8):
+                    assert firehose.recv()["ok"] is True
+
+
+# ----------------------------------------------------------------------
+# concurrency stress: the exp17 oracle across the network boundary
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentIngestOracle:
+    def test_concurrent_answers_match_a_serial_replay_at_their_epoch(self):
+        dataset = get_dataset("D1")
+        graph = dataset.load()
+        base_edges = list(graph.edge_tuples())
+        queries = list(
+            generate_workload(
+                graph, num_queries=6, theta=dataset.default_theta, seed=3
+            )
+        )
+        vertices = list(graph.vertices())
+        rng = random.Random(41)
+        timestamps = sorted({t for _, _, t in base_edges})
+        lo, hi = timestamps[0], timestamps[-1]
+        batches = []
+        for _ in range(5):
+            batch = []
+            for _ in range(3):
+                u, v = rng.sample(vertices, 2)
+                batch.append((u, v, rng.randint(lo, hi)))
+            batches.append(batch)
+
+        service = TspgService(graph, cache_size=0)
+        records = []
+        errors = []
+        with boot(service) as st:
+            address = st.address
+
+            def query_client():
+                try:
+                    with TspgClient(address) as client:
+                        for _ in range(3):
+                            for query in queries:
+                                response = client.request({
+                                    "source": str(query.source),
+                                    "target": str(query.target),
+                                    "begin": query.interval.begin,
+                                    "end": query.interval.end,
+                                    "include_edges": True,
+                                })
+                                assert response["ok"], response
+                                records.append((query, response))
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+
+            def writer_client():
+                try:
+                    with TspgClient(address) as client:
+                        for batch in batches:
+                            response = client.request({
+                                "op": "ingest",
+                                "edges": [list(edge) for edge in batch],
+                            })
+                            assert response["ok"], response
+                            time.sleep(0.01)
+                except Exception as exc:
+                    errors.append(exc)
+
+            base_epoch = graph.epoch
+            threads = [threading.Thread(target=query_client) for _ in range(3)]
+            threads.append(threading.Thread(target=writer_client))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert not errors, errors
+
+        # Serial replay: answers at every ingest prefix k = 0 .. len(batches).
+        algorithm = get_algorithm("VUG")
+        replay_graph = TemporalGraph(edges=base_edges)
+        replays = []
+        for k in range(len(batches) + 1):
+            answers = {}
+            for query in queries:
+                outcome = algorithm.run(
+                    replay_graph, query.source, query.target, query.interval
+                )
+                answers[query] = (
+                    frozenset(outcome.result.edges),
+                    outcome.result.num_vertices,
+                )
+            replays.append(answers)
+            if k < len(batches):
+                replay_graph.append_edges(batches[k])
+
+        assert len(records) == 3 * 3 * len(queries)
+        for query, response in records:
+            served = (
+                frozenset(tuple(edge) for edge in response["edges"]),
+                response["num_vertices"],
+            )
+            k_lo = response["epoch_before"] - base_epoch
+            k_hi = response["epoch_after"] - base_epoch
+            assert 0 <= k_lo <= k_hi <= len(batches)
+            assert any(
+                served == replays[k][query] for k in range(k_lo, k_hi + 1)
+            ), (
+                f"answer for {query} (epochs {k_lo}..{k_hi}) matches no "
+                f"serial replay prefix"
+            )
+
+
+# ----------------------------------------------------------------------
+# the CLI transport, end to end
+# ----------------------------------------------------------------------
+
+
+class TestCliListen:
+    def test_tspg_serve_listen_round_trip_and_clean_shutdown(self):
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--dataset", "D1", "--executor", "threads",
+                "--listen", "127.0.0.1:0",
+            ],
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = process.stderr.readline()
+            match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+            assert match, f"no listen banner in {banner!r}"
+            address = (match.group(1), int(match.group(2)))
+            with TspgClient(address) as client:
+                query = client.request(
+                    {"source": "3", "target": "11", "begin": 5, "end": 40}
+                )
+                assert query["ok"] and query["num_edges"] > 0
+                ingest = client.request(
+                    {"op": "ingest", "edges": [["3", "4242", 55]]}
+                )
+                assert ingest["ok"] and ingest["appended"] == 1
+                stats = client.request({"op": "stats"})
+                assert stats["ok"]
+                assert stats["server"]["connections_active"] == 1
+                assert client.quit() == {"ok": True, "op": "quit"}
+            process.send_signal(signal.SIGINT)
+            code = process.wait(timeout=30)
+            summary = process.stderr.read()
+            assert code == 0
+            assert "served 3 responses to 1 connections" in summary
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# unit coverage of the protocol helpers
+# ----------------------------------------------------------------------
+
+
+class TestHelpers:
+    def test_parse_request_line_kinds(self):
+        assert parse_request_line("") == ("blank", None)
+        assert parse_request_line("   \n") == ("blank", None)
+        assert parse_request_line("# note") == ("blank", None)
+        assert parse_request_line('{"op": "quit"}') == ("quit", {"op": "quit"})
+        kind, request = parse_request_line('{"op": "stats"}')
+        assert kind == "request" and request == {"op": "stats"}
+        with pytest.raises(ValueError):
+            parse_request_line("nope")
+        with pytest.raises(ValueError):
+            parse_request_line("[1, 2]")
+
+    def test_latency_histogram_quantiles(self):
+        histogram = LatencyHistogram()
+        assert histogram.summary() == {"count": 0}
+        for ms in (0.2, 0.4, 0.6, 3.0, 40.0):
+            histogram.record(ms)
+        summary = histogram.summary()
+        assert summary["count"] == 5
+        assert summary["max_ms"] == 40.0
+        assert summary["p50_ms"] <= summary["p99_ms"] <= 50.0
+        assert histogram.quantile(1.0) == 40.0
+
+    def test_request_core_stdio_line_handling(self):
+        core = RequestCore(TspgService(small_graph()))
+        assert core.handle_line("\n") == (None, False)
+        assert core.handle_line("# comment\n") == (None, False)
+        response, over = core.handle_line('{"op": "quit"}\n')
+        assert response == {"ok": True, "op": "quit"} and over is True
+        response, over = core.handle_line("not json\n")
+        assert response["ok"] is False and over is False
+        response, over = core.handle_line(json.dumps(QUERY) + "\n")
+        assert response["ok"] is True and over is False
+        assert core.stats.protocol_errors == 1
